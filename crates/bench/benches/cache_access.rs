@@ -1,0 +1,120 @@
+//! Access-path throughput for every cache organisation: the simulator's
+//! hot loop, and a proxy for relative hardware complexity.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use talus_bench::synthetic_stream;
+use talus_core::MissCurve;
+use talus_sim::part::{
+    FutilityScaled, IdealPartitioned, PartitionedCacheModel, VantageLike, WayPartitioned,
+};
+use talus_sim::policy::{Lru, PolicyKind};
+use talus_sim::{
+    AccessCtx, CacheModel, FullyAssocLru, LineAddr, PartitionId, SetAssocCache, TalusCache,
+    TalusCacheConfig,
+};
+
+const CACHE_LINES: u64 = 16384;
+const STREAM: usize = 20_000;
+
+fn bench_policies(c: &mut Criterion) {
+    let stream = synthetic_stream(STREAM, 8192, 32768, 7);
+    let mut g = c.benchmark_group("set_assoc_access");
+    g.throughput(Throughput::Elements(STREAM as u64));
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Dip,
+        PolicyKind::Pdp,
+        PolicyKind::Ship,
+        PolicyKind::Random,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            let mut cache = SetAssocCache::new(CACHE_LINES, 16, kind.build(1), 2);
+            let ctx = AccessCtx::new();
+            b.iter(|| {
+                for &l in &stream {
+                    black_box(cache.access(LineAddr(l), &ctx));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_organisations(c: &mut Criterion) {
+    let stream = synthetic_stream(STREAM, 8192, 32768, 7);
+    let ctx = AccessCtx::new();
+    let mut g = c.benchmark_group("organisation_access");
+    g.throughput(Throughput::Elements(STREAM as u64));
+
+    g.bench_function("fully_assoc_lru", |b| {
+        let mut cache = FullyAssocLru::new(CACHE_LINES);
+        b.iter(|| {
+            for &l in &stream {
+                black_box(cache.access(LineAddr(l), &ctx));
+            }
+        })
+    });
+
+    g.bench_function("way_partitioned_lru", |b| {
+        let mut cache = WayPartitioned::new(CACHE_LINES, 16, 2, Lru::new(), 3);
+        cache.set_partition_sizes(&[CACHE_LINES / 2, CACHE_LINES / 2]);
+        b.iter(|| {
+            for &l in &stream {
+                black_box(cache.access(PartitionId((l & 1) as u32), LineAddr(l), &ctx));
+            }
+        })
+    });
+
+    g.bench_function("vantage_like", |b| {
+        let mut cache = VantageLike::new(CACHE_LINES, 16, 2, 3);
+        cache.set_partition_sizes(&[CACHE_LINES / 2, CACHE_LINES / 2]);
+        b.iter(|| {
+            for &l in &stream {
+                black_box(cache.access(PartitionId((l & 1) as u32), LineAddr(l), &ctx));
+            }
+        })
+    });
+
+    g.bench_function("futility_scaled", |b| {
+        let mut cache = FutilityScaled::new(CACHE_LINES, 16, 2, 3);
+        cache.set_partition_sizes(&[CACHE_LINES / 2, CACHE_LINES / 2]);
+        b.iter(|| {
+            for &l in &stream {
+                black_box(cache.access(PartitionId((l & 1) as u32), LineAddr(l), &ctx));
+            }
+        })
+    });
+
+    g.bench_function("talus_on_ideal", |b| {
+        // Includes the sampling-function overhead (hash + limit compare).
+        let cache = IdealPartitioned::new(CACHE_LINES, 2);
+        let mut talus = TalusCache::new(cache, 1, TalusCacheConfig::new());
+        let curve = MissCurve::from_samples(
+            &[0.0, 4096.0, 8192.0, 12288.0, 16384.0, 32768.0],
+            &[1.0, 0.8, 0.8, 0.8, 0.2, 0.2],
+        )
+        .expect("static bench curve");
+        talus.reconfigure(&[CACHE_LINES], &[curve]).expect("reconfigure succeeds");
+        b.iter(|| {
+            for &l in &stream {
+                black_box(talus.access(PartitionId(0), LineAddr(l), &ctx));
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(name = benches; config = fast_criterion();
+    targets = bench_policies, bench_organisations);
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_main!(benches);

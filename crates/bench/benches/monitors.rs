@@ -1,0 +1,92 @@
+//! Monitor overheads: what it costs to *observe* miss curves — the
+//! trade-off behind the paper's §VI-C monitoring discussion.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use talus_bench::synthetic_stream;
+use talus_sim::monitor::{CurveSampler, MattsonMonitor, Monitor, ThreePointMonitor, Umon, UmonPair};
+use talus_sim::policy::PolicyKind;
+use talus_sim::LineAddr;
+
+const STREAM: usize = 20_000;
+
+fn bench_record(c: &mut Criterion) {
+    let stream = synthetic_stream(STREAM, 8192, 32768, 11);
+    let mut g = c.benchmark_group("monitor_record");
+    g.throughput(Throughput::Elements(STREAM as u64));
+
+    g.bench_function("mattson_exact", |b| {
+        let mut m = MattsonMonitor::new(65536);
+        b.iter(|| {
+            for &l in &stream {
+                m.record(black_box(LineAddr(l)));
+            }
+        })
+    });
+
+    g.bench_function("umon_1k", |b| {
+        let mut m = Umon::new(65536, 16, 64, 5);
+        b.iter(|| {
+            for &l in &stream {
+                m.record(black_box(LineAddr(l)));
+            }
+        })
+    });
+
+    g.bench_function("umon_pair", |b| {
+        let mut m = UmonPair::new(65536, 5);
+        b.iter(|| {
+            for &l in &stream {
+                m.record(black_box(LineAddr(l)));
+            }
+        })
+    });
+
+    g.bench_function("three_point_cruise", |b| {
+        let mut m = ThreePointMonitor::new(16384, 9);
+        b.iter(|| {
+            for &l in &stream {
+                m.record(LineAddr(l));
+            }
+            black_box(m.sampled_accesses())
+        })
+    });
+
+    g.bench_function("curve_sampler_srrip_16pt", |b| {
+        let sizes: Vec<u64> = (1..=16).map(|i| i * 4096).collect();
+        let mut m = CurveSampler::new(PolicyKind::Srrip, &sizes, 1024, 16, 5);
+        b.iter(|| {
+            for &l in &stream {
+                m.record(black_box(LineAddr(l)));
+            }
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_curve_extraction(c: &mut Criterion) {
+    let stream = synthetic_stream(200_000, 8192, 32768, 11);
+    let mut g = c.benchmark_group("monitor_curve");
+
+    let mut mattson = MattsonMonitor::new(65536);
+    let mut pair = UmonPair::new(65536, 5);
+    for &l in &stream {
+        mattson.record(LineAddr(l));
+        pair.record(LineAddr(l));
+    }
+    g.bench_function("mattson_curve", |b| b.iter(|| black_box(mattson.curve())));
+    g.bench_function("umon_pair_curve", |b| b.iter(|| black_box(pair.curve())));
+    g.finish();
+}
+
+criterion_group!(name = benches; config = fast_criterion();
+    targets = bench_record, bench_curve_extraction);
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Allocation-algorithm cost (the Fig. 12 simplicity argument): hill
+//! climbing is linear, Lookahead quadratic, the DP oracle worse — Talus's
+//! convexity guarantee is what lets a system run the cheapest one.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use talus_bench::synthetic_curve;
+use talus_core::MissCurve;
+use talus_partition::{hill_climb, imbalanced, lookahead, optimal_dp};
+
+fn curves(n: usize) -> Vec<MissCurve> {
+    (0..n).map(|i| synthetic_curve(64, 1000 + i as u64)).collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let capacity = 64 * 64u64; // 64 grains of 64 lines
+    for apps in [4usize, 8, 16] {
+        let cs = curves(apps);
+        let hulls: Vec<MissCurve> = cs.iter().map(|c| c.convex_hull().to_curve()).collect();
+        let mut g = c.benchmark_group(format!("alloc_{apps}_apps"));
+        g.bench_with_input(BenchmarkId::new("hill_climb", apps), &cs, |b, cs| {
+            b.iter(|| black_box(hill_climb(cs, capacity, 64)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("hill_climb_on_hulls", apps),
+            &hulls,
+            |b, hs| b.iter(|| black_box(hill_climb(hs, capacity, 64))),
+        );
+        g.bench_with_input(BenchmarkId::new("lookahead", apps), &cs, |b, cs| {
+            b.iter(|| black_box(lookahead(cs, capacity, 64)))
+        });
+        g.bench_with_input(BenchmarkId::new("optimal_dp", apps), &cs, |b, cs| {
+            b.iter(|| black_box(optimal_dp(cs, capacity, 64)))
+        });
+        g.bench_with_input(BenchmarkId::new("imbalanced", apps), &cs, |b, cs| {
+            b.iter(|| black_box(imbalanced(cs, capacity, 64, 0)))
+        });
+        g.finish();
+    }
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    // Talus's pre-processing step: hulls for 8 apps at 64 points each.
+    let cs = curves(8);
+    c.bench_function("preprocess_hulls_8x64pt", |b| {
+        b.iter(|| {
+            let hulls: Vec<MissCurve> =
+                cs.iter().map(|c| c.convex_hull().to_curve()).collect();
+            black_box(hulls)
+        })
+    });
+}
+
+criterion_group!(name = benches; config = fast_criterion();
+    targets = bench_algorithms, bench_preprocessing);
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Stream-prefetcher overhead (the §VII-B substrate): what does tracking
+//! streams and injecting prefetches cost relative to the raw generator,
+//! and how does the combined stream affect LLC access throughput?
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use talus_sim::policy::Lru;
+use talus_sim::{AccessCtx, CacheModel, SetAssocCache};
+use talus_workloads::{AccessGenerator, Scan, StreamPrefetcher, UniformRandom};
+
+const ACCESSES: usize = 20_000;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetcher_generate");
+    g.throughput(Throughput::Elements(ACCESSES as u64));
+
+    g.bench_function("raw_scan", |b| {
+        let mut gen = Scan::new(0, 65_536);
+        b.iter(|| {
+            for _ in 0..ACCESSES {
+                black_box(gen.next_line());
+            }
+        })
+    });
+
+    g.bench_function("prefetched_scan", |b| {
+        // Worst case for the prefetcher: every access extends a stream.
+        let mut pf = StreamPrefetcher::new(Scan::new(0, 65_536), 7);
+        b.iter(|| {
+            for _ in 0..ACCESSES {
+                black_box(pf.next_tagged());
+            }
+        })
+    });
+
+    g.bench_function("prefetched_random", |b| {
+        // Best case: no streams detected, trackers churn.
+        let mut pf = StreamPrefetcher::new(UniformRandom::new(0, 1 << 20, 3), 7);
+        b.iter(|| {
+            for _ in 0..ACCESSES {
+                black_box(pf.next_tagged());
+            }
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetcher_llc");
+    g.throughput(Throughput::Elements(ACCESSES as u64));
+
+    g.bench_function("scan_through_llc", |b| {
+        let mut pf = StreamPrefetcher::new(Scan::new(0, 65_536), 7);
+        let mut cache = SetAssocCache::new(16_384, 16, Lru::new(), 2);
+        let ctx = AccessCtx::new();
+        b.iter(|| {
+            let mut demand = 0usize;
+            while demand < ACCESSES {
+                let (line, kind) = pf.next_tagged();
+                black_box(cache.access(line, &ctx));
+                if kind.is_demand() {
+                    demand += 1;
+                }
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(name = benches; config = fast_criterion();
+    targets = bench_generation, bench_end_to_end);
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end reconfiguration cost: the paper's §VI-D claim that Talus's
+//! software steps cost "a few thousand cycles per reconfiguration".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use talus_bench::synthetic_curve;
+use talus_core::MissCurve;
+use talus_partition::hill_climb;
+use talus_sim::part::VantageLike;
+use talus_sim::{TalusCache, TalusCacheConfig};
+
+const LLC_LINES: u64 = 131_072; // 8 MB
+
+fn bench_full_interval_software(c: &mut Criterion) {
+    // The whole software path for 8 logical partitions: hulls →
+    // hill climbing → shadow planning → hardware grant.
+    let curves: Vec<MissCurve> = (0..8).map(|i| synthetic_curve(64, 77 + i)).collect();
+    c.bench_function("interval_software_8apps", |b| {
+        let cache = VantageLike::new(LLC_LINES, 16, 16, 3);
+        let mut talus = TalusCache::new(cache, 8, TalusCacheConfig::for_vantage());
+        b.iter(|| {
+            let hulls: Vec<MissCurve> =
+                curves.iter().map(|c| c.convex_hull().to_curve()).collect();
+            let sizes = hill_climb(&hulls, LLC_LINES, LLC_LINES / 64);
+            black_box(talus.reconfigure(&sizes, &curves).expect("valid plan"));
+        })
+    });
+}
+
+fn bench_talus_reconfigure_only(c: &mut Criterion) {
+    let curves: Vec<MissCurve> = (0..8).map(|i| synthetic_curve(64, 77 + i)).collect();
+    let sizes = vec![LLC_LINES / 8; 8];
+    c.bench_function("talus_reconfigure_8apps", |b| {
+        let cache = VantageLike::new(LLC_LINES, 16, 16, 3);
+        let mut talus = TalusCache::new(cache, 8, TalusCacheConfig::for_vantage());
+        b.iter(|| black_box(talus.reconfigure(&sizes, &curves).expect("valid plan")))
+    });
+}
+
+criterion_group!(name = benches; config = fast_criterion();
+    targets = bench_full_interval_software, bench_talus_reconfigure_only);
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_main!(benches);

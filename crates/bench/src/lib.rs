@@ -1,0 +1,68 @@
+//! Shared fixtures for the Criterion benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use talus_core::{CurvePoint, MissCurve};
+
+/// A deterministic pseudo-random miss curve with `points` samples and a
+/// handful of plateaus/cliffs, for hull and planning benches.
+pub fn synthetic_curve(points: usize, seed: u64) -> MissCurve {
+    assert!(points >= 2, "need at least two points");
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut m = 200.0 + (next() % 100) as f64;
+    let pts: Vec<CurvePoint> = (0..points)
+        .map(|i| {
+            // Mostly plateaus with occasional cliffs.
+            if next() % 7 == 0 {
+                m = (m - (next() % 40) as f64).max(0.0);
+            } else {
+                m = (m - (next() % 3) as f64).max(0.0);
+            }
+            CurvePoint::new(i as f64 * 64.0, m)
+        })
+        .collect();
+    MissCurve::new(pts).expect("synthetic curve is valid")
+}
+
+/// A deterministic mixed access stream (hot set + scan) of `len` lines.
+pub fn synthetic_stream(len: usize, hot_lines: u64, scan_lines: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    let mut scan = 0u64;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state >> 63 == 0 {
+                (state >> 33) % hot_lines
+            } else {
+                scan += 1;
+                (1 << 40) + (scan % scan_lines)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_curve_is_valid_and_sized() {
+        let c = synthetic_curve(64, 9);
+        assert_eq!(c.len(), 64);
+        assert!(c.is_monotone(1e-9));
+    }
+
+    #[test]
+    fn synthetic_stream_mixes_components() {
+        let s = synthetic_stream(10_000, 100, 1000, 3);
+        assert!(s.iter().any(|&l| l < 100));
+        assert!(s.iter().any(|&l| l >= 1 << 40));
+    }
+}

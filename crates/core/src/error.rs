@@ -1,0 +1,132 @@
+//! Error types for miss-curve construction and Talus planning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or validating a [`MissCurve`].
+///
+/// [`MissCurve`]: crate::MissCurve
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveError {
+    /// The curve has no points.
+    Empty,
+    /// Curve sizes are not strictly increasing at the given index.
+    NonIncreasingSizes {
+        /// Index of the offending point (the second of the pair).
+        index: usize,
+    },
+    /// A point has a negative or non-finite miss value.
+    InvalidMissValue {
+        /// Index of the offending point.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A point has a negative or non-finite size.
+    InvalidSize {
+        /// Index of the offending point.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two input slices that must be of equal length were not.
+    LengthMismatch {
+        /// Length of the size slice.
+        sizes: usize,
+        /// Length of the miss slice.
+        misses: usize,
+    },
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::Empty => write!(f, "miss curve has no points"),
+            CurveError::NonIncreasingSizes { index } => {
+                write!(f, "curve sizes are not strictly increasing at index {index}")
+            }
+            CurveError::InvalidMissValue { index, value } => {
+                write!(f, "invalid miss value {value} at index {index}")
+            }
+            CurveError::InvalidSize { index, value } => {
+                write!(f, "invalid size {value} at index {index}")
+            }
+            CurveError::LengthMismatch { sizes, misses } => {
+                write!(f, "size slice has {sizes} entries but miss slice has {misses}")
+            }
+        }
+    }
+}
+
+impl Error for CurveError {}
+
+/// Error produced when computing a Talus shadow-partition plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The requested size is outside the domain covered by the miss curve.
+    SizeOutOfRange {
+        /// The requested total cache size.
+        size: f64,
+        /// Smallest size covered by the curve.
+        min: f64,
+        /// Largest size covered by the curve.
+        max: f64,
+    },
+    /// The requested size is negative or non-finite.
+    InvalidSize {
+        /// The offending value.
+        size: f64,
+    },
+    /// The safety margin is negative or non-finite.
+    InvalidMargin {
+        /// The offending value.
+        margin: f64,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::SizeOutOfRange { size, min, max } => {
+                write!(f, "size {size} lies outside the curve domain [{min}, {max}]")
+            }
+            PlanError::InvalidSize { size } => write!(f, "invalid target size {size}"),
+            PlanError::InvalidMargin { margin } => {
+                write!(f, "invalid safety margin {margin}")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<Box<dyn Error>> = vec![
+            Box::new(CurveError::Empty),
+            Box::new(CurveError::NonIncreasingSizes { index: 3 }),
+            Box::new(CurveError::InvalidMissValue { index: 1, value: -1.0 }),
+            Box::new(CurveError::InvalidSize { index: 0, value: f64::NAN }),
+            Box::new(CurveError::LengthMismatch { sizes: 2, misses: 3 }),
+            Box::new(PlanError::SizeOutOfRange { size: 9.0, min: 0.0, max: 4.0 }),
+            Box::new(PlanError::InvalidSize { size: -2.0 }),
+            Box::new(PlanError::InvalidMargin { margin: -0.1 }),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CurveError>();
+        assert_send_sync::<PlanError>();
+    }
+}

@@ -1,0 +1,320 @@
+//! Lower convex hulls of miss curves.
+//!
+//! Talus traces the convex hull of the underlying policy's miss curve
+//! (paper §III, Theorem 6). The hull is "the curve produced by stretching a
+//! taut rubber band across the curve from below": the tightest convex
+//! function that never exceeds the original curve on its domain.
+//!
+//! The paper computes hulls with the three-coins algorithm [31]; for a curve
+//! that is already sorted by size (a function, not a general polygon), the
+//! standard single-pass monotone-chain scan used here is the same
+//! stack-based linear-time procedure.
+
+use crate::curve::{interpolate, CurvePoint, MissCurve};
+
+/// The lower convex hull of a [`MissCurve`].
+///
+/// A hull is itself a piecewise-linear curve whose vertices are a subset of
+/// the original curve's points, beginning at the curve's first point and
+/// ending at its last. Between vertices it *bridges* non-convex regions
+/// (plateaus followed by cliffs) with straight chords — exactly the segments
+/// Talus realises by shadow partitioning.
+///
+/// # Examples
+///
+/// ```
+/// use talus_core::MissCurve;
+/// // Plateau from 2 to 4 MB, cliff at 5 MB (paper Fig. 3 shape).
+/// let curve = MissCurve::from_samples(
+///     &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 10.0],
+///     &[24.0, 18.0, 12.0, 12.0, 12.0, 3.0, 3.0],
+/// )?;
+/// let hull = curve.convex_hull();
+/// // The hull bridges the plateau: vertices at 0, 2, 5 and 10 MB.
+/// let sizes: Vec<f64> = hull.vertices().iter().map(|p| p.size).collect();
+/// assert_eq!(sizes, vec![0.0, 2.0, 5.0, 10.0]);
+/// # Ok::<(), talus_core::CurveError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexHull {
+    vertices: Vec<CurvePoint>,
+}
+
+impl ConvexHull {
+    /// Computes the lower convex hull of `curve` in a single linear pass.
+    pub fn of_curve(curve: &MissCurve) -> ConvexHull {
+        Self::of_points(curve.points())
+    }
+
+    /// Computes the lower convex hull of sorted points.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `points` is empty or unsorted; `MissCurve`
+    /// construction guarantees both.
+    pub(crate) fn of_points(points: &[CurvePoint]) -> ConvexHull {
+        debug_assert!(!points.is_empty());
+        let mut hull: Vec<CurvePoint> = Vec::with_capacity(points.len().min(16));
+        for &p in points {
+            // Pop the last hull vertex while it lies on or above the chord
+            // from its predecessor to `p` (non-left turn in the lower hull).
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                // Cross product of (b - a) x (p - a); b is kept only if it
+                // lies strictly below the chord a->p.
+                let cross =
+                    (b.size - a.size) * (p.misses - a.misses) - (b.misses - a.misses) * (p.size - a.size);
+                if cross <= 0.0 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(p);
+        }
+        ConvexHull { vertices: hull }
+    }
+
+    /// The hull's vertices: the points where the hull touches the original
+    /// curve, in increasing size order.
+    pub fn vertices(&self) -> &[CurvePoint] {
+        &self.vertices
+    }
+
+    /// Number of hull vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the hull has no vertices. Always `false` for a hull built
+    /// from a valid curve; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Smallest size covered by the hull.
+    pub fn min_size(&self) -> f64 {
+        self.vertices[0].size
+    }
+
+    /// Largest size covered by the hull.
+    pub fn max_size(&self) -> f64 {
+        self.vertices[self.vertices.len() - 1].size
+    }
+
+    /// Evaluates the hull at `size` (piecewise-linear, clamped outside the
+    /// domain).
+    pub fn value_at(&self, size: f64) -> f64 {
+        interpolate(&self.vertices, size)
+    }
+
+    /// The neighbouring hull vertices around `size` (Theorem 6's α and β):
+    /// α is the largest vertex size ≤ `size`, β the smallest vertex size
+    /// > `size`.
+    ///
+    /// Returns `None` if `size` lies outside the hull's domain, or if `size`
+    /// is at (or beyond) the last vertex, where no bracketing pair exists
+    /// and the cache should run unpartitioned.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use talus_core::MissCurve;
+    /// let curve = MissCurve::from_samples(
+    ///     &[0.0, 2.0, 3.0, 4.0, 5.0, 10.0],
+    ///     &[24.0, 12.0, 12.0, 12.0, 3.0, 3.0],
+    /// )?;
+    /// let hull = curve.convex_hull();
+    /// let (alpha, beta) = hull.bracket(4.0).unwrap();
+    /// assert_eq!((alpha.size, beta.size), (2.0, 5.0)); // paper §III
+    /// # Ok::<(), talus_core::CurveError>(())
+    /// ```
+    pub fn bracket(&self, size: f64) -> Option<(CurvePoint, CurvePoint)> {
+        if size < self.min_size() || size >= self.max_size() {
+            return None;
+        }
+        // Index of the first vertex with vertex.size > size.
+        let idx = self.vertices.partition_point(|v| v.size <= size);
+        debug_assert!(idx >= 1 && idx < self.vertices.len());
+        Some((self.vertices[idx - 1], self.vertices[idx]))
+    }
+
+    /// Whether `size` coincides (within `tol`) with a hull vertex — i.e. a
+    /// size where the original policy is already efficient and Talus leaves
+    /// the cache effectively unpartitioned.
+    pub fn is_vertex(&self, size: f64, tol: f64) -> bool {
+        self.vertices.iter().any(|v| (v.size - size).abs() <= tol)
+    }
+
+    /// Converts the hull into a [`MissCurve`] over its vertices.
+    ///
+    /// This is the curve handed to partitioning algorithms in Talus's
+    /// pre-processing step (paper §VI-A): guaranteed convex, so convex
+    /// optimisation (hill climbing) is exact on it.
+    pub fn to_curve(&self) -> MissCurve {
+        MissCurve::new(self.vertices.iter().copied())
+            .expect("hull vertices are valid curve points")
+    }
+
+    /// Converts the hull into a [`MissCurve`] sampled on the given grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `grid` is empty or not strictly increasing.
+    pub fn to_curve_on_grid(&self, grid: &[f64]) -> Result<MissCurve, crate::CurveError> {
+        MissCurve::new(grid.iter().map(|&s| CurvePoint::new(s, self.value_at(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_curve() -> MissCurve {
+        MissCurve::from_samples(
+            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 10.0],
+            &[24.0, 18.0, 12.0, 12.0, 12.0, 3.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hull_of_fig3_bridges_the_plateau() {
+        let hull = fig3_curve().convex_hull();
+        let sizes: Vec<f64> = hull.vertices().iter().map(|p| p.size).collect();
+        assert_eq!(sizes, vec![0.0, 2.0, 5.0, 10.0]);
+        // Talus's §III headline number: 6 MPKI at 4 MB.
+        assert!((hull.value_at(4.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_of_convex_curve_is_identity() {
+        let c = MissCurve::from_samples(&[0.0, 2.0, 5.0, 10.0], &[24.0, 12.0, 3.0, 3.0]).unwrap();
+        let hull = c.convex_hull();
+        assert_eq!(hull.vertices(), c.points());
+    }
+
+    #[test]
+    fn hull_of_single_point() {
+        let c = MissCurve::from_samples(&[4.0], &[7.0]).unwrap();
+        let hull = c.convex_hull();
+        assert_eq!(hull.len(), 1);
+        assert_eq!(hull.value_at(0.0), 7.0);
+        assert_eq!(hull.value_at(9.0), 7.0);
+        assert_eq!(hull.bracket(4.0), None);
+    }
+
+    #[test]
+    fn hull_of_two_points() {
+        let c = MissCurve::from_samples(&[0.0, 8.0], &[10.0, 2.0]).unwrap();
+        let hull = c.convex_hull();
+        assert_eq!(hull.len(), 2);
+        assert_eq!(hull.value_at(4.0), 6.0);
+    }
+
+    #[test]
+    fn hull_never_exceeds_curve() {
+        let c = fig3_curve();
+        let hull = c.convex_hull();
+        for i in 0..=100 {
+            let s = 10.0 * i as f64 / 100.0;
+            assert!(
+                hull.value_at(s) <= c.value_at(s) + 1e-12,
+                "hull above curve at {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn hull_is_convex() {
+        let hull = fig3_curve().convex_hull();
+        assert!(hull.to_curve().is_convex(1e-12));
+    }
+
+    #[test]
+    fn hull_drops_collinear_interior_points() {
+        // Points on a straight line: only the endpoints are vertices.
+        let c = MissCurve::from_samples(&[0.0, 1.0, 2.0, 3.0], &[6.0, 4.0, 2.0, 0.0]).unwrap();
+        let hull = c.convex_hull();
+        assert_eq!(hull.len(), 2);
+        assert_eq!(hull.vertices()[0], CurvePoint::new(0.0, 6.0));
+        assert_eq!(hull.vertices()[1], CurvePoint::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn hull_handles_libquantum_shape() {
+        // Flat at 33 until 32, then zero: hull is the chord from (0,33) to
+        // (32,0), then flat.
+        let sizes: Vec<f64> = (0..=40).map(|i| i as f64).collect();
+        let misses: Vec<f64> = sizes
+            .iter()
+            .map(|&s| if s < 32.0 { 33.0 } else { 0.1 })
+            .collect();
+        let c = MissCurve::from_samples(&sizes, &misses).unwrap();
+        let hull = c.convex_hull();
+        assert_eq!(hull.vertices()[0].size, 0.0);
+        assert!(hull.is_vertex(32.0, 1e-9));
+        // Halfway along, Talus gets roughly half the misses.
+        let mid = hull.value_at(16.0);
+        assert!((mid - 33.0 / 2.0).abs() < 0.2, "got {mid}");
+    }
+
+    #[test]
+    fn bracket_at_vertex_returns_next_segment() {
+        let hull = fig3_curve().convex_hull();
+        // At an interior vertex, alpha == the vertex itself.
+        let (a, b) = hull.bracket(2.0).unwrap();
+        assert_eq!(a.size, 2.0);
+        assert_eq!(b.size, 5.0);
+    }
+
+    #[test]
+    fn bracket_outside_domain_is_none() {
+        let hull = fig3_curve().convex_hull();
+        assert_eq!(hull.bracket(-1.0), None);
+        assert_eq!(hull.bracket(10.0), None);
+        assert_eq!(hull.bracket(11.0), None);
+    }
+
+    #[test]
+    fn bracket_of_paper_example() {
+        let hull = fig3_curve().convex_hull();
+        let (a, b) = hull.bracket(4.0).unwrap();
+        assert_eq!(a.size, 2.0);
+        assert_eq!(b.size, 5.0);
+        assert_eq!(a.misses, 12.0);
+        assert_eq!(b.misses, 3.0);
+    }
+
+    #[test]
+    fn to_curve_on_grid_resamples() {
+        let hull = fig3_curve().convex_hull();
+        let c = hull.to_curve_on_grid(&[0.0, 4.0, 8.0]).unwrap();
+        assert!((c.value_at(4.0) - 6.0).abs() < 1e-9);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn hull_touches_curve_at_vertices() {
+        let c = fig3_curve();
+        let hull = c.convex_hull();
+        for v in hull.vertices() {
+            assert!((c.value_at(v.size) - v.misses).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hull_of_noisy_nonmonotone_curve() {
+        let c = MissCurve::from_samples(
+            &[0.0, 1.0, 2.0, 3.0, 4.0],
+            &[10.0, 8.5, 9.0, 4.0, 4.2],
+        )
+        .unwrap();
+        let hull = c.convex_hull();
+        assert!(hull.to_curve().is_convex(1e-12));
+        for p in c.points() {
+            assert!(hull.value_at(p.size) <= p.misses + 1e-12);
+        }
+    }
+}

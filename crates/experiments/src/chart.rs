@@ -1,0 +1,125 @@
+//! Minimal ASCII line charts for terminal output.
+
+/// A named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, unsorted is fine.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points }
+    }
+}
+
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders series into a text chart of the given dimensions.
+///
+/// # Panics
+///
+/// Panics if `width`/`height` are tiny (< 8).
+pub fn render(title: &str, xlabel: &str, ylabel: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 8, "chart too small");
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        return format!("{title}\n  (no data)\n");
+    }
+    let xmin = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xmax = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let ymin = 0.0f64.min(pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min));
+    let ymax = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).max(1e-9);
+    let xspan = (xmax - xmin).max(1e-9);
+    let yspan = (ymax - ymin).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        let mut sorted = s.points.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        // Dense sampling along segments so lines look connected.
+        for w in sorted.windows(2) {
+            let steps = width * 2;
+            for t in 0..=steps {
+                let f = t as f64 / steps as f64;
+                let x = w[0].0 + f * (w[1].0 - w[0].0);
+                let y = w[0].1 + f * (w[1].1 - w[0].1);
+                let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+                let row = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - row.min(height - 1);
+                grid[row][col.min(width - 1)] = glyph;
+            }
+        }
+        if sorted.len() == 1 {
+            let (x, y) = sorted[0];
+            let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let row = height - 1 - ((((y - ymin) / yspan) * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("  {title}\n"));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.name))
+        .collect();
+    out.push_str(&format!("  [{}]\n", legend.join("  ")));
+    for (r, row) in grid.iter().enumerate() {
+        let yv = ymax - (r as f64 / (height - 1) as f64) * yspan;
+        let label = if r % 4 == 0 { format!("{yv:8.2}") } else { " ".repeat(8) };
+        out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>8}  {:<12}{:^width$}{:>12}\n",
+        ylabel,
+        format!("{xmin:.2}"),
+        xlabel,
+        format!("{xmax:.2}"),
+        width = width.saturating_sub(24)
+    ));
+    out
+}
+
+/// Renders with default dimensions (72×20).
+pub fn render_default(title: &str, xlabel: &str, ylabel: &str, series: &[Series]) -> String {
+    render(title, xlabel, ylabel, series, 72, 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_series() {
+        let s = vec![
+            Series::new("a", vec![(0.0, 10.0), (5.0, 0.0)]),
+            Series::new("b", vec![(0.0, 5.0), (5.0, 5.0)]),
+        ];
+        let out = render_default("test", "MB", "MPKI", &s);
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("a"));
+        assert!(out.contains("MPKI"));
+        assert!(out.lines().count() > 20);
+    }
+
+    #[test]
+    fn handles_single_point_series() {
+        let s = vec![Series::new("dot", vec![(1.0, 1.0)])];
+        let out = render_default("t", "x", "y", &s);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn handles_empty() {
+        let out = render_default("t", "x", "y", &[]);
+        assert!(out.contains("no data"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Ablations of the design choices DESIGN.md §5 calls out.
+
+use crate::sweep::{lru_curve, mb_grid};
+use crate::{results_dir, write_csv, Scale};
+use talus_core::{plan_with_hull, MissCurve, TalusOptions, TalusPlan};
+use talus_sim::monitor::{ThreePointMonitor, UmonPair};
+use talus_sim::part::{FutilityScaled, IdealPartitioned, VantageLike};
+use talus_sim::{AccessCtx, TalusCacheConfig, TalusSingleCache};
+use talus_workloads::{profile, AccessGenerator, AppProfile};
+
+/// Runs all ablations.
+pub fn run(scale: &Scale) {
+    safety_margin(scale);
+    hull_resolution(scale);
+    monitor_design(scale);
+    adaptive_monitor(scale);
+    unmanaged_fraction(scale);
+    futility_vs_vantage(scale);
+    interval_length(scale);
+}
+
+fn measure_talus_vantage(
+    app: &AppProfile,
+    paper_mb: f64,
+    scale: &Scale,
+    config: TalusCacheConfig,
+    unmanaged: f64,
+    interval: u64,
+) -> f64 {
+    let scaled = app.scaled(scale.footprint);
+    let lines = (scale.mb_to_lines(paper_mb) / 16) * 16;
+    let cache = VantageLike::with_unmanaged_fraction(lines, 16, 2, 7, unmanaged);
+    let mon = UmonPair::new(lines, 13);
+    let mut talus = TalusSingleCache::new(cache, mon, interval, config);
+    let mut gen = scaled.generator(21, 0);
+    let ctx = AccessCtx::new();
+    for _ in 0..scale.warmup {
+        talus.access(gen.next_line(), &ctx);
+    }
+    talus.reset_stats();
+    for _ in 0..scale.accesses {
+        talus.access(gen.next_line(), &ctx);
+    }
+    app.mpki(talus.stats().miss_rate())
+}
+
+/// Ablation 1 (§VI-B): the ρ safety margin. Too little margin pushes the
+/// β shadow partition back up the cliff; too much wastes hull quality.
+fn safety_margin(scale: &Scale) {
+    println!("== Ablation: safety margin (libquantum @ 16 MB, Talus+V/LRU) ==");
+    let app = profile("libquantum").expect("roster has libquantum");
+    let interval = (scale.accesses / 6).clamp(20_000, 500_000);
+    let mut rows = Vec::new();
+    for margin in [0.0, 0.02, 0.05, 0.10, 0.15] {
+        let config = TalusCacheConfig::for_vantage()
+            .with_options(TalusOptions::new().with_safety_margin(margin));
+        let mpki = measure_talus_vantage(&app, 16.0, scale, config, 0.10, interval);
+        println!("  margin {margin:>5.2}: {mpki:6.2} MPKI (hull ≈ 16.5)");
+        rows.push(vec![format!("{margin}"), format!("{mpki:.3}")]);
+    }
+    write_csv(&results_dir().join("ablate_margin.csv"), "margin,mpki", &rows);
+    println!("  expectation: 0 margin is fragile (above hull); ≈5% matches the hull; larger margins drift slowly upward.");
+}
+
+/// Ablation 2: miss-curve resolution available to the planner.
+fn hull_resolution(scale: &Scale) {
+    println!("== Ablation: miss-curve resolution (planning quality on the example app) ==");
+    let app = crate::figs::example::example_profile();
+    // Ground truth curve at high resolution.
+    let fine = lru_curve(&app, &mb_grid(0.0, 10.0, 81), scale, 31);
+    let fine_curve = MissCurve::new(fine.iter().copied()).expect("grid sorted");
+    let exact_hull = fine_curve.convex_hull();
+    let target = 4.0;
+    let mut rows = Vec::new();
+    for points in [5usize, 9, 17, 33, 65] {
+        let coarse = fine_curve
+            .resampled(&mb_grid(0.0, 10.0, points))
+            .expect("grid is valid");
+        let hull = coarse.convex_hull();
+        let plan = plan_with_hull(&hull, target, TalusOptions::exact()).expect("4 MB in range");
+        let expected = plan.expected_misses();
+        let ideal = exact_hull.value_at(target);
+        println!(
+            "  {points:3}-point curve: planned {expected:6.2} MPKI at 4 MB (exact hull {ideal:6.2})"
+        );
+        rows.push(vec![
+            points.to_string(),
+            format!("{expected:.3}"),
+            format!("{ideal:.3}"),
+        ]);
+    }
+    write_csv(
+        &results_dir().join("ablate_resolution.csv"),
+        "points,planned_mpki,exact_hull_mpki",
+        &rows,
+    );
+    println!("  expectation: plans converge to the exact hull once the resolution resolves the cliff (the paper uses 64-point curves).");
+}
+
+/// Ablation 3: Vantage's unmanaged region vs deviation from the hull.
+fn unmanaged_fraction(scale: &Scale) {
+    println!("== Ablation: unmanaged region (libquantum @ 16 MB) ==");
+    let app = profile("libquantum").expect("roster has libquantum");
+    let interval = (scale.accesses / 6).clamp(20_000, 500_000);
+    let mut rows = Vec::new();
+    for unmanaged in [0.0, 0.05, 0.10, 0.20] {
+        // Planning scale must match what the scheme can guarantee.
+        let mut config = TalusCacheConfig::for_vantage();
+        config.planning_scale = 1.0 - unmanaged;
+        let mpki = measure_talus_vantage(&app, 16.0, scale, config, unmanaged, interval);
+        println!("  unmanaged {unmanaged:>5.2}: {mpki:6.2} MPKI");
+        rows.push(vec![format!("{unmanaged}"), format!("{mpki:.3}")]);
+    }
+    write_csv(&results_dir().join("ablate_unmanaged.csv"), "unmanaged,mpki", &rows);
+    println!("  expectation: larger unmanaged regions push Talus+V further above the hull (paper Fig. 8's deviation).");
+}
+
+/// Ablation 2b (§VI-C): monitor design — the paper's UMON pair (64-point
+/// curves, 4× coverage) vs CRUISE-style 3-point monitors. Three points
+/// are cheap but starve Talus twice over: the hull has almost no
+/// vertices, and a cliff beyond the modeled range (libquantum's 32 MB
+/// cliff seen from 16 MB) is invisible, so there is nothing to bridge.
+fn monitor_design(scale: &Scale) {
+    println!("== Ablation: monitor design (libquantum @ 16 MB, Talus+I/LRU) ==");
+    let app = profile("libquantum").expect("roster has libquantum");
+    let scaled = app.scaled(scale.footprint);
+    let lines = scale.mb_to_lines(16.0);
+    let interval = (scale.accesses / 6).clamp(20_000, 500_000);
+    let ctx = AccessCtx::new();
+    let run = |label: &str, monitor: Box<dyn FnOnce() -> f64>| {
+        let mpki = monitor();
+        println!("  {label:<28} {mpki:6.2} MPKI");
+        (label.to_string(), mpki)
+    };
+    fn measure<M: talus_sim::monitor::Monitor>(
+        mon: M,
+        lines: u64,
+        interval: u64,
+        scaled: &AppProfile,
+        app: &AppProfile,
+        scale: &Scale,
+        ctx: &AccessCtx,
+    ) -> f64 {
+        let cache = IdealPartitioned::new(lines, 2);
+        let mut talus = TalusSingleCache::new(cache, mon, interval, TalusCacheConfig::new());
+        let mut gen = scaled.generator(21, 0);
+        for _ in 0..scale.warmup {
+            talus.access(gen.next_line(), ctx);
+        }
+        talus.reset_stats();
+        for _ in 0..scale.accesses {
+            talus.access(gen.next_line(), ctx);
+        }
+        app.mpki(talus.stats().miss_rate())
+    }
+    let mut rows = Vec::new();
+    for (label, mpki) in [
+        run(
+            "UMON pair (64-pt, 4x)",
+            Box::new(|| measure(UmonPair::new(lines, 13), lines, interval, &scaled, &app, scale, &ctx)),
+        ),
+        run(
+            "3-point (coverage 1x)",
+            Box::new(|| {
+                measure(ThreePointMonitor::new(lines, 13), lines, interval, &scaled, &app, scale, &ctx)
+            }),
+        ),
+        run(
+            "3-point (coverage 4x)",
+            Box::new(|| {
+                measure(
+                    ThreePointMonitor::with_coverage(lines, 4.0, 13),
+                    lines,
+                    interval,
+                    &scaled,
+                    &app,
+                    scale,
+                    &ctx,
+                )
+            }),
+        ),
+    ] {
+        rows.push(vec![label, format!("{mpki:.3}")]);
+    }
+    write_csv(&results_dir().join("ablate_monitor.csv"), "monitor,mpki", &rows);
+    println!("  expectation: CRUISE-style 1x coverage cannot see the 32 MB cliff (stays at LRU's ~33);");
+    println!("  4x coverage bridges it crudely; the UMON pair traces the hull (~16.5).");
+}
+
+/// Ablation 2c (§VI-C future work): fixed multi-monitor banks vs the
+/// adaptive bank. The paper calls 64 monitors per core "too large to be
+/// practical" and suggests "fewer monitors and dynamically adapting
+/// sampling rates"; this measures what that buys on Talus+W/SRRIP.
+fn adaptive_monitor(scale: &Scale) {
+    use talus_sim::monitor::{AdaptiveCurveSampler, CurveSampler};
+    use talus_sim::part::WayPartitioned;
+    use talus_sim::policy::{PolicyKind, ReplacementPolicy, Srrip};
+
+    println!("== Ablation: adaptive monitor bank (libquantum @ 16 MB, Talus+W/SRRIP) ==");
+    let app = profile("libquantum").expect("roster has libquantum");
+    let scaled = app.scaled(scale.footprint);
+    let lines = (scale.mb_to_lines(16.0) / 32) * 32;
+    let interval = (scale.accesses / 6).clamp(20_000, 500_000);
+    let ctx = AccessCtx::new();
+    let span = 4 * lines;
+    let measure = |label: &str, monitor: Box<dyn talus_sim::monitor::Monitor>, cost: u64| {
+        let cache = WayPartitioned::new(lines, 32, 2, Srrip::new(), 7);
+        let mut talus = TalusSingleCache::new(cache, monitor, interval, TalusCacheConfig::new());
+        let mut gen = scaled.generator(21, 0);
+        for _ in 0..scale.warmup {
+            talus.access(gen.next_line(), &ctx);
+        }
+        talus.reset_stats();
+        for _ in 0..scale.accesses {
+            talus.access(gen.next_line(), &ctx);
+        }
+        let mpki = app.mpki(talus.stats().miss_rate());
+        println!("  {label:<28} {mpki:6.2} MPKI   ({cost} monitor lines)");
+        vec![label.to_string(), format!("{mpki:.3}"), cost.to_string()]
+    };
+    let fixed_sizes = |points: u64| -> Vec<u64> {
+        (1..=points).map(|i| (i * span / points / 32).max(1) * 32).collect::<Vec<_>>()
+    };
+    let mut rows = Vec::new();
+    for points in [64u64, 16] {
+        let sizes = fixed_sizes(points);
+        let bank = CurveSampler::new(PolicyKind::Srrip, &sizes, 1024.min(lines), 16, 5);
+        let cost = bank.monitor_lines_total();
+        rows.push(measure(&format!("fixed {points}-monitor bank"), Box::new(bank), cost));
+    }
+    let adaptive = AdaptiveCurveSampler::new(
+        |_s| Box::new(Srrip::new()) as Box<dyn ReplacementPolicy>,
+        8,
+        span,
+        1024.min(lines),
+        16,
+        5,
+    );
+    let cost = adaptive.monitor_lines_total();
+    rows.push(measure("adaptive 8-monitor bank", Box::new(adaptive), cost));
+    write_csv(
+        &results_dir().join("ablate_adaptive_monitor.csv"),
+        "monitor,mpki,monitor_lines",
+        &rows,
+    );
+    println!("  expectation: the adaptive bank tracks the 64-monitor bank's MPKI at ~1/8 the state;");
+    println!("  the fixed 16-monitor bank sits between (resolution-limited near the cliff).");
+}
+
+/// Ablation 3b (§VI-B): Vantage's unmanaged region vs Futility Scaling.
+/// The paper notes Futility Scaling "would avoid this complication";
+/// this ablation quantifies the claim: Talus+F plans over 100% of each
+/// allocation and should land closer to the hull than Talus+V.
+fn futility_vs_vantage(scale: &Scale) {
+    println!("== Ablation: Vantage (10% unmanaged) vs Futility Scaling (fully managed) ==");
+    let app = profile("libquantum").expect("roster has libquantum");
+    let scaled = app.scaled(scale.footprint);
+    let interval = (scale.accesses / 6).clamp(20_000, 500_000);
+    let ctx = AccessCtx::new();
+    let mut rows = Vec::new();
+    for paper_mb in [8.0, 16.0, 24.0] {
+        let lines = (scale.mb_to_lines(paper_mb) / 16) * 16;
+        let vantage =
+            measure_talus_vantage(&app, paper_mb, scale, TalusCacheConfig::for_vantage(), 0.10, interval);
+        let futility = {
+            let cache = FutilityScaled::new(lines, 16, 2, 7);
+            let mon = UmonPair::new(lines, 13);
+            let mut talus = TalusSingleCache::new(cache, mon, interval, TalusCacheConfig::new());
+            let mut gen = scaled.generator(21, 0);
+            for _ in 0..scale.warmup {
+                talus.access(gen.next_line(), &ctx);
+            }
+            talus.reset_stats();
+            for _ in 0..scale.accesses {
+                talus.access(gen.next_line(), &ctx);
+            }
+            app.mpki(talus.stats().miss_rate())
+        };
+        // Hull reference: libquantum's hull is the chord from (0, peak)
+        // to (cliff, ~0), so hull(s) ≈ peak·(1 − s/cliff).
+        println!("  {paper_mb:>4} MB: Talus+V {vantage:6.2} MPKI, Talus+F {futility:6.2} MPKI");
+        rows.push(vec![
+            format!("{paper_mb}"),
+            format!("{vantage:.3}"),
+            format!("{futility:.3}"),
+        ]);
+    }
+    write_csv(
+        &results_dir().join("ablate_futility.csv"),
+        "mb,talus_vantage_mpki,talus_futility_mpki",
+        &rows,
+    );
+    println!("  expectation: Talus+F at or below Talus+V at every size (no unmanaged region to plan around).");
+}
+
+/// Ablation 4: reconfiguration interval vs adaptation (Assumption 1).
+fn interval_length(scale: &Scale) {
+    println!("== Ablation: reconfiguration interval (omnetpp @ 4 MB, ideal) ==");
+    let app = profile("omnetpp").expect("roster has omnetpp");
+    let scaled = app.scaled(scale.footprint);
+    let lines = scale.mb_to_lines(4.0);
+    let mut rows = Vec::new();
+    for interval in [10_000u64, 25_000, 50_000, 100_000, 400_000] {
+        let cache = IdealPartitioned::new(lines, 2);
+        let mon = UmonPair::new(lines, 3);
+        let mut talus = TalusSingleCache::new(cache, mon, interval, TalusCacheConfig::new());
+        let mut gen = scaled.generator(17, 0);
+        let ctx = AccessCtx::new();
+        for _ in 0..scale.warmup {
+            talus.access(gen.next_line(), &ctx);
+        }
+        talus.reset_stats();
+        for _ in 0..scale.accesses {
+            talus.access(gen.next_line(), &ctx);
+        }
+        let mpki = app.mpki(talus.stats().miss_rate());
+        println!(
+            "  interval {interval:>7}: {mpki:6.2} MPKI ({} reconfigs)",
+            talus.reconfigurations()
+        );
+        rows.push(vec![interval.to_string(), format!("{mpki:.3}")]);
+    }
+    write_csv(&results_dir().join("ablate_interval.csv"), "interval,mpki", &rows);
+    println!("  expectation: stable curves tolerate long intervals; very short intervals add sampling noise.");
+}
+
+/// A plan's expected misses (exposed for the resolution ablation's tests).
+#[allow(dead_code)]
+fn expected(plan: &TalusPlan) -> f64 {
+    plan.expected_misses()
+}

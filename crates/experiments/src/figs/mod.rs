@@ -1,0 +1,40 @@
+//! One module per paper figure/table; see DESIGN.md §4 for the index.
+
+pub(crate) mod ablate;
+pub(crate) mod example;
+mod misc;
+mod multi;
+mod prefetch;
+mod single;
+
+use crate::Scale;
+
+/// All experiment names, in `all` execution order.
+pub const ALL: &[&str] = &[
+    "table1", "fig1", "fig2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "overheads", "ablate", "prefetch", "corollary7",
+];
+
+/// Runs one experiment by name. Returns `false` for unknown names.
+pub fn run(name: &str, scale: &Scale) -> bool {
+    match name {
+        "table1" => misc::table1(scale),
+        "fig1" => single::fig1(scale),
+        "fig2" => example::fig2(scale),
+        "fig3" => example::fig3(scale),
+        "fig5" => example::fig5(scale),
+        "fig6" => example::fig6(scale),
+        "fig8" => single::fig8(scale),
+        "fig9" => single::fig9(scale),
+        "fig10" => single::fig10(scale),
+        "fig11" => single::fig11(scale),
+        "fig12" => multi::fig12(scale),
+        "fig13" => multi::fig13(scale),
+        "overheads" => misc::overheads(scale),
+        "ablate" => ablate::run(scale),
+        "prefetch" => prefetch::prefetch(scale),
+        "corollary7" => misc::corollary7(scale),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,207 @@
+//! Single-program figures: Figs. 1, 8, 9, 10, and 11.
+
+use crate::chart::{render_default, Series};
+use crate::sweep::{policy_curve, talus_curve, TalusScheme};
+use crate::{results_dir, write_csv, Scale};
+use talus_multicore::{gmean, CoreModel};
+use talus_sim::policy::PolicyKind;
+use talus_workloads::{all_profiles, profile};
+
+/// Fig. 1: libquantum under LRU vs Talus, 0–40 MB.
+pub fn fig1(scale: &Scale) {
+    println!("== Fig. 1: libquantum, LRU vs Talus ==");
+    let app = profile("libquantum").expect("roster has libquantum");
+    let grid = vec![1.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 31.0, 32.0, 33.0, 36.0, 40.0];
+    let lru = policy_curve(&app, PolicyKind::Lru, &grid, scale, 1);
+    let talus = talus_curve(&app, TalusScheme::VantageLru, &grid, scale, 1);
+    let chart = render_default(
+        "Fig. 1: libquantum MPKI vs LLC size",
+        "Cache size (MB)",
+        "MPKI",
+        &[Series::new("LRU", lru.clone()), Series::new("Talus", talus.clone())],
+    );
+    println!("{chart}");
+    let lru16 = lru.iter().find(|p| p.0 == 16.0).expect("16 MB is on the grid").1;
+    let t16 = talus.iter().find(|p| p.0 == 16.0).expect("16 MB is on the grid").1;
+    println!("  at 16 MB: LRU {lru16:.1} MPKI (paper ≈ 33, flat), Talus {t16:.1} (paper ≈ 16, half)");
+    let rows = zip_rows(&grid, &[("lru", &lru), ("talus", &talus)]);
+    write_csv(&results_dir().join("fig01_libquantum.csv"), "mb,lru,talus", &rows);
+}
+
+fn zip_rows(grid: &[f64], series: &[(&str, &Vec<(f64, f64)>)]) -> Vec<Vec<String>> {
+    grid.iter()
+        .enumerate()
+        .map(|(i, &mb)| {
+            let mut row = vec![format!("{mb:.3}")];
+            for (_, s) in series {
+                row.push(format!("{:.4}", s[i].1));
+            }
+            row
+        })
+        .collect()
+}
+
+/// Fig. 8: Talus on LRU across partitioning schemes (Vantage, way, ideal).
+pub fn fig8(scale: &Scale) {
+    println!("== Fig. 8: Talus on LRU across partitioning schemes ==");
+    for (name, grid) in [
+        ("libquantum", vec![2.0, 8.0, 16.0, 24.0, 31.0, 33.0, 40.0]),
+        ("gobmk", vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 12.0]),
+    ] {
+        let app = profile(name).expect("roster has the app");
+        let lru = policy_curve(&app, PolicyKind::Lru, &grid, scale, 2);
+        let v = talus_curve(&app, TalusScheme::VantageLru, &grid, scale, 2);
+        let f = talus_curve(&app, TalusScheme::FutilityLru, &grid, scale, 2);
+        let w = talus_curve(&app, TalusScheme::WayLru, &grid, scale, 2);
+        let i = talus_curve(&app, TalusScheme::IdealLru, &grid, scale, 2);
+        let chart = render_default(
+            &format!("Fig. 8: {name}"),
+            "LLC size (MB)",
+            "MPKI",
+            &[
+                Series::new("LRU", lru.clone()),
+                Series::new("Talus+V/LRU", v.clone()),
+                Series::new("Talus+F/LRU", f.clone()),
+                Series::new("Talus+W/LRU", w.clone()),
+                Series::new("Talus+I/LRU", i.clone()),
+            ],
+        );
+        println!("{chart}");
+        let rows =
+            zip_rows(&grid, &[("lru", &lru), ("v", &v), ("f", &f), ("w", &w), ("i", &i)]);
+        write_csv(
+            &results_dir().join(format!("fig08_{name}.csv")),
+            "mb,lru,talus_vantage,talus_futility,talus_way,talus_ideal",
+            &rows,
+        );
+    }
+    println!("  expectation: all Talus variants track the hull; Talus+V sits slightly above it (unmanaged region), Talus+F (Futility Scaling extension) closes that gap.");
+}
+
+/// Fig. 9: Talus on SRRIP with way partitioning.
+pub fn fig9(scale: &Scale) {
+    println!("== Fig. 9: Talus on SRRIP (64-point sampled monitors) ==");
+    for (name, grid) in [
+        ("libquantum", vec![2.0, 8.0, 16.0, 24.0, 31.0, 33.0, 40.0]),
+        ("mcf", vec![0.5, 2.0, 4.0, 8.0, 12.0, 16.0]),
+    ] {
+        let app = profile(name).expect("roster has the app");
+        let srrip = policy_curve(&app, PolicyKind::Srrip, &grid, scale, 3);
+        let talus = talus_curve(&app, TalusScheme::WaySrrip, &grid, scale, 3);
+        let chart = render_default(
+            &format!("Fig. 9: {name}"),
+            "LLC size (MB)",
+            "MPKI",
+            &[Series::new("SRRIP", srrip.clone()), Series::new("Talus+W/SRRIP", talus.clone())],
+        );
+        println!("{chart}");
+        let rows = zip_rows(&grid, &[("srrip", &srrip), ("talus", &talus)]);
+        write_csv(
+            &results_dir().join(format!("fig09_{name}.csv")),
+            "mb,srrip,talus_w_srrip",
+            &rows,
+        );
+    }
+}
+
+/// The Fig. 10 policy roster.
+fn fig10_policies() -> Vec<(String, PolicyKind)> {
+    vec![
+        ("PDP".into(), PolicyKind::Pdp),
+        ("DRRIP".into(), PolicyKind::Drrip),
+        ("SRRIP".into(), PolicyKind::Srrip),
+        ("SHiP".into(), PolicyKind::Ship),
+    ]
+}
+
+/// Fig. 10: MPKI from 128 KB to 16 MB for six benchmarks × five policies.
+pub fn fig10(scale: &Scale) {
+    println!("== Fig. 10: Talus+V/LRU vs high-performance policies ==");
+    let apps = ["perlbench", "mcf", "cactusADM", "libquantum", "lbm", "xalancbmk"];
+    let grid = vec![0.125, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0];
+    for name in apps {
+        let app = profile(name).expect("roster has the app");
+        let lru = policy_curve(&app, PolicyKind::Lru, &grid, scale, 4);
+        let talus = talus_curve(&app, TalusScheme::VantageLru, &grid, scale, 4);
+        let mut series = vec![
+            Series::new("Talus+V/LRU", talus.clone()),
+            Series::new("LRU", lru.clone()),
+        ];
+        let mut named: Vec<(String, Vec<(f64, f64)>)> =
+            vec![("talus".into(), talus.clone()), ("lru".into(), lru.clone())];
+        for (label, kind) in fig10_policies() {
+            let c = policy_curve(&app, kind, &grid, scale, 4);
+            series.push(Series::new(label.clone(), c.clone()));
+            named.push((label.to_lowercase(), c));
+        }
+        let chart =
+            render_default(&format!("Fig. 10: {name}"), "LLC size (MB)", "MPKI", &series);
+        println!("{chart}");
+        let refs: Vec<(&str, &Vec<(f64, f64)>)> =
+            named.iter().map(|(n, c)| (n.as_str(), c)).collect();
+        let rows = zip_rows(&grid, &refs);
+        write_csv(
+            &results_dir().join(format!("fig10_{name}.csv")),
+            "mb,talus,lru,pdp,drrip,srrip,ship",
+            &rows,
+        );
+    }
+    println!("  expectation: Talus tracks or beats LRU everywhere; RRIP wins where reuse classification matters (mcf, cactusADM); PDP loses on convex-then-cliff apps (perlbench, cactusADM).");
+}
+
+/// Fig. 11: IPC over LRU at 1 MB and 8 MB across the roster.
+pub fn fig11(scale: &Scale) {
+    println!("== Fig. 11: IPC over LRU at 1 MB and 8 MB ==");
+    let model = CoreModel::new();
+    for size_mb in [1.0f64, 8.0] {
+        println!("  --- {size_mb} MB LLC ---");
+        let grid = vec![size_mb];
+        let mut rows = Vec::new();
+        let mut ratios: Vec<(String, Vec<f64>)> = vec![
+            ("Talus+V/LRU".into(), Vec::new()),
+            ("PDP".into(), Vec::new()),
+            ("DRRIP".into(), Vec::new()),
+            ("SRRIP".into(), Vec::new()),
+            ("SHiP".into(), Vec::new()),
+        ];
+        for app in all_profiles() {
+            let lru = policy_curve(&app, PolicyKind::Lru, &grid, scale, 5)[0].1;
+            let ipc_lru = model.ipc(&app, lru);
+            let talus = talus_curve(&app, TalusScheme::VantageLru, &grid, scale, 5)[0].1;
+            let mut mpkis = vec![talus];
+            for (_, kind) in fig10_policies() {
+                mpkis.push(policy_curve(&app, kind, &grid, scale, 5)[0].1);
+            }
+            let pct: Vec<f64> = mpkis
+                .iter()
+                .map(|&m| (model.ipc(&app, m) / ipc_lru - 1.0) * 100.0)
+                .collect();
+            for (r, &p) in ratios.iter_mut().zip(&pct) {
+                r.1.push(p / 100.0 + 1.0);
+            }
+            if pct.iter().any(|p| p.abs() >= 1.0) {
+                println!(
+                    "  {:12} Talus {:+6.1}%  PDP {:+6.1}%  DRRIP {:+6.1}%  SRRIP {:+6.1}%  SHiP {:+6.1}%",
+                    app.name, pct[0], pct[1], pct[2], pct[3], pct[4]
+                );
+            }
+            rows.push(vec![
+                app.name.to_string(),
+                format!("{:.3}", pct[0]),
+                format!("{:.3}", pct[1]),
+                format!("{:.3}", pct[2]),
+                format!("{:.3}", pct[3]),
+                format!("{:.3}", pct[4]),
+            ]);
+        }
+        for (name, r) in &ratios {
+            println!("  gmean {:12} {:+.2}%", name, (gmean(r) - 1.0) * 100.0);
+        }
+        write_csv(
+            &results_dir().join(format!("fig11_ipc_{size_mb}mb.csv")),
+            "app,talus_pct,pdp_pct,drrip_pct,srrip_pct,ship_pct",
+            &rows,
+        );
+    }
+    println!("  expectation: Talus never causes large degradations; competitive gmean at both sizes (paper: 1.9%@1MB, 1.0%@8MB).");
+}

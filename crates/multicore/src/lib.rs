@@ -1,0 +1,39 @@
+//! # talus-multicore — shared-LLC experiments for the Talus reproduction
+//!
+//! The paper's §VII-D evaluates Talus on an 8-core CMP with a shared,
+//! partitioned LLC. This crate provides that harness:
+//!
+//! - [`SystemConfig`]: the Table-I system parameters;
+//! - [`CoreModel`]: the analytic MPKI→IPC substitute for zsim's OOO cores
+//!   (see DESIGN.md), plus the paper's metrics (weighted/harmonic speedup,
+//!   CoV-of-IPC fairness);
+//! - [`system`]: the scheme roster — unpartitioned LRU, TA-DRRIP,
+//!   partitioned LRU (hill climbing / Lookahead / fair), and Talus+V/LRU;
+//! - [`run_mix`]: the fixed-work mix runner.
+//!
+//! ```no_run
+//! use talus_multicore::{run_mix, RunConfig, SchemeKind, SystemConfig};
+//! use talus_multicore::system::AllocAlgo;
+//! use talus_workloads::profile;
+//!
+//! let apps: Vec<_> = ["mcf", "omnetpp"].iter().map(|n| profile(n).unwrap()).collect();
+//! let cfg = RunConfig::new(SystemConfig::eight_core());
+//! let result = run_mix(&apps, SchemeKind::TalusLru(AllocAlgo::Hill), &cfg);
+//! println!("{}: {:?}", result.scheme, result.ipcs());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod coremodel;
+mod runner;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use coremodel::{
+    coefficient_of_variation, gmean, harmonic_speedup, weighted_speedup, CoreModel,
+};
+pub use runner::{run_mix, run_mix_on, AppResult, RunConfig, RunResult};
+pub use system::{AllocAlgo, SchemeKind};

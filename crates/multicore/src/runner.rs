@@ -1,0 +1,313 @@
+//! The fixed-work mix runner (paper §VII-A methodology).
+//!
+//! Runs N applications against a shared LLC system. Time is virtual
+//! cycles: each access advances its core by `1000/APKI / base_ipc` cycles
+//! of compute plus a memory stall on every miss, so cores that miss more
+//! fall behind and (as in real CMPs) issue LLC accesses more slowly. All
+//! apps run until every one has finished its instruction quota; statistics
+//! are snapshotted at each app's own finish line (the paper's fixed-work
+//! methodology).
+
+use crate::config::SystemConfig;
+use crate::coremodel::CoreModel;
+use crate::system::{LlcSystem, SchemeKind};
+use talus_sim::LineAddr;
+use talus_workloads::{AccessGenerator, AppProfile};
+
+/// Per-run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Instructions each application must complete (fixed work).
+    pub work_instructions: f64,
+    /// System parameters (LLC size, reconfiguration cadence, latency).
+    pub system: SystemConfig,
+    /// The MPKI→IPC model.
+    pub core_model: CoreModel,
+    /// Master seed; per-app seeds derive from it.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A configuration with sane defaults for the given system.
+    pub fn new(system: SystemConfig) -> Self {
+        RunConfig {
+            work_instructions: 20e6,
+            system,
+            core_model: CoreModel::new().with_latency(system.mem_latency_cycles),
+            seed: 0xBEEF,
+        }
+    }
+
+    /// Overrides the fixed work per application.
+    pub fn with_work(mut self, instructions: f64) -> Self {
+        self.work_instructions = instructions;
+        self
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Outcome for one application in a mix.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    /// Profile name.
+    pub name: String,
+    /// Instructions completed at the snapshot (the work quota).
+    pub instructions: f64,
+    /// Virtual cycles to finish the quota.
+    pub cycles: f64,
+    /// LLC accesses issued within the quota.
+    pub accesses: u64,
+    /// LLC misses within the quota.
+    pub misses: u64,
+}
+
+impl AppResult {
+    /// Achieved instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions / self.cycles
+    }
+
+    /// Misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        self.misses as f64 * 1000.0 / self.instructions
+    }
+}
+
+/// Outcome of one mix under one scheme.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme label.
+    pub scheme: String,
+    /// Per-application results, in mix order.
+    pub apps: Vec<AppResult>,
+}
+
+impl RunResult {
+    /// Per-app IPCs, in mix order.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.apps.iter().map(AppResult::ipc).collect()
+    }
+
+    /// The longest per-app completion time (overall makespan).
+    pub fn makespan_cycles(&self) -> f64 {
+        self.apps.iter().map(|a| a.cycles).fold(0.0, f64::max)
+    }
+}
+
+struct AppRun {
+    gen: Box<dyn AccessGenerator>,
+    apki: f64,
+    base_cpi: f64,
+    vtime: f64,
+    instructions: f64,
+    accesses: u64,
+    misses: u64,
+    finished: Option<AppResult>,
+    name: String,
+}
+
+/// Runs `apps` under `scheme` with fixed work per app.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty or any profile has a non-positive APKI (an
+/// app that never touches the LLC has no LLC schedule; model it with a
+/// tiny APKI instead).
+pub fn run_mix(apps: &[AppProfile], scheme: SchemeKind, cfg: &RunConfig) -> RunResult {
+    assert!(!apps.is_empty(), "need at least one application");
+    assert!(
+        apps.iter().all(|a| a.apki > 0.0),
+        "profiles must access the LLC (positive APKI)"
+    );
+    let mut system = scheme.build(cfg.system.llc_lines(), apps.len(), cfg.seed);
+    run_mix_on(apps, system.as_mut(), cfg)
+}
+
+/// Runs `apps` on an already-built system (for custom schemes/ablations).
+pub fn run_mix_on(
+    apps: &[AppProfile],
+    system: &mut dyn LlcSystem,
+    cfg: &RunConfig,
+) -> RunResult {
+    let stall = cfg.core_model.mem_latency_cycles * cfg.core_model.blocking_factor;
+    let mut runs: Vec<AppRun> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, p)| AppRun {
+            gen: Box::new(p.generator(cfg.seed.wrapping_add(i as u64 * 7717), (i as u64) << 44)),
+            apki: p.apki,
+            base_cpi: 1.0 / p.base_ipc,
+            vtime: 0.0,
+            instructions: 0.0,
+            accesses: 0,
+            misses: 0,
+            finished: None,
+            name: p.name.to_string(),
+        })
+        .collect();
+    let mut interval = vec![0u64; apps.len()];
+    let mut since_reconfig = 0u64;
+    let mut remaining = apps.len();
+
+    while remaining > 0 {
+        // Next app in virtual time (linear scan: N ≤ 8).
+        let (idx, _) = runs
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.vtime.partial_cmp(&b.vtime).expect("vtime is finite"))
+            .expect("at least one app");
+        let run = &mut runs[idx];
+        let line: LineAddr = run.gen.next_line();
+        let result = system.access(idx, line);
+        let instr_per_access = 1000.0 / run.apki;
+        run.instructions += instr_per_access;
+        run.accesses += 1;
+        run.vtime += instr_per_access * run.base_cpi;
+        if result.is_miss() {
+            run.misses += 1;
+            run.vtime += stall;
+        }
+        interval[idx] += 1;
+        if run.finished.is_none() && run.instructions >= cfg.work_instructions {
+            run.finished = Some(AppResult {
+                name: run.name.clone(),
+                instructions: run.instructions,
+                cycles: run.vtime,
+                accesses: run.accesses,
+                misses: run.misses,
+            });
+            remaining -= 1;
+        }
+        since_reconfig += 1;
+        if since_reconfig >= cfg.system.reconfig_accesses {
+            system.reconfigure(&interval);
+            interval.fill(0);
+            since_reconfig = 0;
+        }
+    }
+
+    RunResult {
+        scheme: system.name(),
+        apps: runs
+            .into_iter()
+            .map(|r| r.finished.expect("loop exits only when every app finished"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coremodel::{coefficient_of_variation, weighted_speedup};
+    use talus_workloads::profile;
+
+    fn tiny_cfg(llc_mb: f64) -> RunConfig {
+        let mut system = SystemConfig::single_core(llc_mb);
+        system.cores = 2;
+        system.reconfig_accesses = 50_000;
+        RunConfig::new(system).with_work(2e6)
+    }
+
+    /// Scaled-down profiles so tests run in milliseconds.
+    fn small(name: &str) -> AppProfile {
+        profile(name).unwrap().scaled(1.0 / 64.0)
+    }
+
+    #[test]
+    fn fixed_work_completes_every_app() {
+        let apps = vec![small("gcc"), small("mcf")];
+        let r = run_mix(&apps, SchemeKind::SharedLru, &tiny_cfg(0.25));
+        assert_eq!(r.apps.len(), 2);
+        for a in &r.apps {
+            assert!(a.instructions >= 2e6);
+            assert!(a.cycles > 0.0);
+            assert!(a.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let apps = vec![small("gcc"), small("omnetpp")];
+        let a = run_mix(&apps, SchemeKind::SharedLru, &tiny_cfg(0.25));
+        let b = run_mix(&apps, SchemeKind::SharedLru, &tiny_cfg(0.25));
+        for (x, y) in a.apps.iter().zip(&b.apps) {
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.misses, y.misses);
+        }
+    }
+
+    #[test]
+    fn missing_more_runs_slower() {
+        // The same app with a bigger LLC must finish no slower.
+        let apps = vec![small("omnetpp"), small("omnetpp")];
+        let small_llc = run_mix(&apps, SchemeKind::SharedLru, &tiny_cfg(1.0 / 64.0));
+        let big_llc = run_mix(&apps, SchemeKind::SharedLru, &tiny_cfg(0.25));
+        assert!(big_llc.apps[0].cycles <= small_llc.apps[0].cycles);
+        assert!(big_llc.apps[0].mpki() <= small_llc.apps[0].mpki() + 0.5);
+    }
+
+    #[test]
+    fn ipc_matches_core_model_identity() {
+        // cycles = instr × base_cpi + misses × stall, so IPC reconstructed
+        // from MPKI must match the analytic model.
+        let apps = vec![small("gcc")];
+        let cfg = tiny_cfg(0.25);
+        let r = run_mix(&apps, SchemeKind::SharedLru, &cfg);
+        let a = &r.apps[0];
+        let model_ipc = cfg.core_model.ipc(&apps[0], a.mpki());
+        assert!(
+            (a.ipc() - model_ipc).abs() / model_ipc < 0.01,
+            "run {} vs model {}",
+            a.ipc(),
+            model_ipc
+        );
+    }
+
+    #[test]
+    fn homogeneous_copies_have_low_cov_under_fair_talus() {
+        use crate::system::AllocAlgo;
+        let apps = vec![small("omnetpp"), small("omnetpp")];
+        let r = run_mix(&apps, SchemeKind::TalusLru(AllocAlgo::Fair), &tiny_cfg(1.0 / 32.0));
+        let cov = coefficient_of_variation(&r.ipcs());
+        assert!(cov < 0.12, "CoV {cov}");
+    }
+
+    #[test]
+    fn talus_hill_beats_plain_hill_on_cliff_mix() {
+        use crate::system::AllocAlgo;
+        // The paper's §II-D scenario at test scale: two copies of a pure
+        // scan (libquantum-like) sharing an LLC half their combined size.
+        // Plain hill climbing sees zero marginal utility everywhere and
+        // both copies thrash; Talus convexifies, so the fair split gives
+        // each copy about half its scan resident.
+        let apps = vec![small("libquantum"), small("libquantum")];
+        let cfg = tiny_cfg(0.5).with_work(6e6); // LLC = one scaled scan (0.5 MB)
+        let base = run_mix(&apps, SchemeKind::SharedLru, &cfg);
+        let hill = run_mix(&apps, SchemeKind::PartitionedLru(AllocAlgo::Hill), &cfg);
+        let talus = run_mix(&apps, SchemeKind::TalusLru(AllocAlgo::Hill), &cfg);
+        let ws_hill = weighted_speedup(&hill.ipcs(), &base.ipcs());
+        let ws_talus = weighted_speedup(&talus.ipcs(), &base.ipcs());
+        assert!(
+            ws_talus > ws_hill + 0.10,
+            "Talus hill ({ws_talus:.3}) should clearly beat plain hill ({ws_hill:.3})"
+        );
+        // And Talus actually converts misses into hits.
+        let talus_mpki = talus.apps[0].mpki();
+        let base_mpki = base.apps[0].mpki();
+        assert!(
+            talus_mpki < 0.75 * base_mpki,
+            "Talus MPKI {talus_mpki:.1} vs LRU {base_mpki:.1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_mix_rejected() {
+        run_mix(&[], SchemeKind::SharedLru, &tiny_cfg(1.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the §VII-A metrics: weighted/harmonic speedup,
+//! gmean, and the coefficient of variation satisfy their mathematical
+//! identities on arbitrary inputs.
+
+use proptest::prelude::*;
+use talus_multicore::{
+    coefficient_of_variation, gmean, harmonic_speedup, weighted_speedup,
+};
+
+/// Positive, finite IPC vectors.
+fn arb_ipcs() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..10.0, 1..12)
+}
+
+/// A matched pair of IPC vectors (same length).
+fn arb_ipc_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1usize..12).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.01f64..10.0, n),
+            proptest::collection::vec(0.01f64..10.0, n),
+        )
+    })
+}
+
+proptest! {
+    /// A system identical to the baseline has both speedups exactly 1.
+    #[test]
+    fn speedups_are_one_on_identity(ipcs in arb_ipcs()) {
+        prop_assert!((weighted_speedup(&ipcs, &ipcs) - 1.0).abs() < 1e-12);
+        prop_assert!((harmonic_speedup(&ipcs, &ipcs) - 1.0).abs() < 1e-12);
+    }
+
+    /// Harmonic speedup never exceeds weighted speedup (HM ≤ AM on the
+    /// per-app speedup ratios).
+    #[test]
+    fn harmonic_is_at_most_weighted((ipcs, base) in arb_ipc_pair()) {
+        let w = weighted_speedup(&ipcs, &base);
+        let h = harmonic_speedup(&ipcs, &base);
+        prop_assert!(h <= w + 1e-9, "harmonic {h} > weighted {w}");
+    }
+
+    /// Scaling every IPC by the same factor scales both speedups by it.
+    #[test]
+    fn speedups_are_homogeneous(ipcs in arb_ipcs(), k in 0.1f64..10.0) {
+        let scaled: Vec<f64> = ipcs.iter().map(|&x| x * k).collect();
+        let w = weighted_speedup(&scaled, &ipcs);
+        let h = harmonic_speedup(&scaled, &ipcs);
+        prop_assert!((w - k).abs() < 1e-9, "weighted {w} vs k {k}");
+        prop_assert!((h - k).abs() < 1e-9, "harmonic {h} vs k {k}");
+    }
+
+    /// The gmean lies between the min and max, and is exact on constants.
+    #[test]
+    fn gmean_bounds(vals in proptest::collection::vec(0.01f64..100.0, 1..12)) {
+        let g = gmean(&vals);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9, "gmean {g} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn gmean_of_constant_is_constant(c in 0.01f64..100.0, n in 1usize..12) {
+        let vals = vec![c; n];
+        prop_assert!((gmean(&vals) - c).abs() < 1e-9);
+    }
+
+    /// CoV is zero exactly for constant vectors and scale-invariant.
+    #[test]
+    fn cov_identities(ipcs in arb_ipcs(), k in 0.1f64..10.0) {
+        let constant = vec![ipcs[0]; ipcs.len()];
+        prop_assert!(coefficient_of_variation(&constant) < 1e-12);
+        let cov = coefficient_of_variation(&ipcs);
+        prop_assert!(cov >= 0.0);
+        let scaled: Vec<f64> = ipcs.iter().map(|&x| x * k).collect();
+        let cov_scaled = coefficient_of_variation(&scaled);
+        prop_assert!((cov - cov_scaled).abs() < 1e-9, "CoV not scale-invariant: {cov} vs {cov_scaled}");
+    }
+
+    /// Unfairness shows up in the gap: slowing one app down reduces the
+    /// harmonic speedup at least as much as the weighted one.
+    #[test]
+    fn slowdowns_hit_harmonic_harder(base in arb_ipcs(), victim_frac in 0.05f64..0.95) {
+        prop_assume!(base.len() >= 2);
+        let mut ipcs = base.clone();
+        ipcs[0] *= victim_frac; // one unlucky core, everyone else unchanged
+        let w = weighted_speedup(&ipcs, &base);
+        let h = harmonic_speedup(&ipcs, &base);
+        prop_assert!(h <= w + 1e-9);
+    }
+}

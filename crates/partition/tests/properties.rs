@@ -1,0 +1,144 @@
+//! Property tests for the allocation algorithms.
+
+use proptest::prelude::*;
+use talus_core::MissCurve;
+use talus_partition::{fair, hill_climb, imbalanced, lookahead, optimal_dp, total_misses};
+
+/// Random monotone-ish miss curve on a 0..=16 × 64-line grid.
+fn arb_curve() -> impl Strategy<Value = MissCurve> {
+    any::<u64>().prop_map(|seed| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut m = 10.0 + (next() % 40) as f64;
+        let sizes: Vec<f64> = (0..=16).map(|i| i as f64 * 64.0).collect();
+        let misses: Vec<f64> = sizes
+            .iter()
+            .map(|_| {
+                let v = m;
+                m = (m - (next() % 12) as f64).max(0.0);
+                v
+            })
+            .collect();
+        MissCurve::from_samples(&sizes, &misses).expect("valid curve")
+    })
+}
+
+fn arb_curves() -> impl Strategy<Value = Vec<MissCurve>> {
+    proptest::collection::vec(arb_curve(), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_spend_exactly_capacity(curves in arb_curves(), grains in 1u64..16) {
+        let capacity = grains * 64;
+        for alloc in [
+            hill_climb(&curves, capacity, 64),
+            lookahead(&curves, capacity, 64),
+            optimal_dp(&curves, capacity, 64),
+            fair(curves.len(), capacity, 64),
+        ] {
+            prop_assert_eq!(alloc.len(), curves.len());
+            prop_assert_eq!(alloc.iter().sum::<u64>(), capacity);
+            prop_assert!(alloc.iter().all(|a| a % 64 == 0));
+        }
+    }
+
+    #[test]
+    fn dp_is_a_lower_bound(curves in arb_curves(), grains in 1u64..16) {
+        let capacity = grains * 64;
+        let dp = total_misses(&curves, &optimal_dp(&curves, capacity, 64));
+        for alloc in [
+            hill_climb(&curves, capacity, 64),
+            lookahead(&curves, capacity, 64),
+            fair(curves.len(), capacity, 64),
+        ] {
+            prop_assert!(total_misses(&curves, &alloc) >= dp - 1e-7);
+        }
+    }
+
+    #[test]
+    fn hill_climb_is_optimal_on_hulls(curves in arb_curves(), grains in 1u64..16) {
+        // The Talus guarantee: convexify, then greedy == optimal.
+        let capacity = grains * 64;
+        let hulls: Vec<MissCurve> =
+            curves.iter().map(|c| c.convex_hull().to_curve()).collect();
+        let hc = total_misses(&hulls, &hill_climb(&hulls, capacity, 64));
+        let dp = total_misses(&hulls, &optimal_dp(&hulls, capacity, 64));
+        prop_assert!((hc - dp).abs() < 1e-7, "hill {hc} vs dp {dp}");
+    }
+
+    #[test]
+    fn convexification_never_hurts_the_optimum(curves in arb_curves(), grains in 1u64..16) {
+        // Optimal misses evaluated on hulls lower-bound those on the raw
+        // curves (hulls minorise the curves pointwise).
+        let capacity = grains * 64;
+        let hulls: Vec<MissCurve> =
+            curves.iter().map(|c| c.convex_hull().to_curve()).collect();
+        let dp_raw = total_misses(&curves, &optimal_dp(&curves, capacity, 64));
+        let dp_hull = total_misses(&hulls, &optimal_dp(&hulls, capacity, 64));
+        prop_assert!(dp_hull <= dp_raw + 1e-7);
+    }
+
+    #[test]
+    fn imbalanced_respects_capacity_for_any_favored(
+        curves in arb_curves(),
+        grains in 1u64..16,
+        favored_seed in any::<usize>(),
+    ) {
+        let capacity = grains * 64;
+        let favored = favored_seed % curves.len();
+        let alloc = imbalanced(&curves, capacity, 64, favored);
+        prop_assert_eq!(alloc.len(), curves.len());
+        prop_assert!(alloc.iter().sum::<u64>() <= capacity);
+        prop_assert!(alloc.iter().all(|a| a % 64 == 0));
+        // The favored partition gets at least one grain whenever any exist.
+        prop_assert!(alloc[favored] >= 64);
+    }
+
+    #[test]
+    fn imbalanced_rotation_hands_everyone_the_same_total(
+        curve in arb_curve(),
+        n in 2usize..6,
+        grains in 2u64..16,
+    ) {
+        // Homogeneous apps + a full rotation cycle = equal cumulative
+        // capacity (the time-multiplexed fairness Pan & Pai rely on).
+        let curves: Vec<MissCurve> = (0..n).map(|_| curve.clone()).collect();
+        let capacity = grains * 64;
+        let mut totals = vec![0u64; n];
+        for round in 0..n {
+            let alloc = imbalanced(&curves, capacity, 64, round);
+            for (t, a) in totals.iter_mut().zip(&alloc) {
+                *t += a;
+            }
+        }
+        let first = totals[0];
+        prop_assert!(totals.iter().all(|&t| t == first), "{totals:?}");
+    }
+
+    #[test]
+    fn imbalanced_beats_fair_on_homogeneous_cliffs(need in 2u64..14) {
+        // Identical cliff apps, capacity for exactly one to cross: the
+        // motivating case from §II-D.
+        let at = need * 64;
+        let sizes: Vec<f64> = (0..=16).map(|i| i as f64 * 64.0).collect();
+        let misses: Vec<f64> =
+            sizes.iter().map(|&s| if s < at as f64 { 10.0 } else { 1.0 }).collect();
+        let curve = MissCurve::from_samples(&sizes, &misses).expect("valid");
+        let curves = vec![curve.clone(), curve.clone(), curve];
+        let capacity = at + 64; // one can cross, fair split cannot
+        if capacity / 3 >= at {
+            return Ok(()); // fair also crosses; not the regime of interest
+        }
+        let im = total_misses(&curves, &imbalanced(&curves, capacity, 64, 0));
+        let fa = total_misses(&curves, &fair(3, capacity, 64));
+        prop_assert!(im < fa, "imbalanced {im} vs fair {fa}");
+    }
+}

@@ -1,0 +1,259 @@
+//! H3 universal hashing (Carter & Wegman), used for set indexing, set
+//! sampling, and Talus's shadow-partition sampling function.
+//!
+//! The paper's implementation (§VI-B) hashes each incoming address with an
+//! inexpensive H3 hash and compares the result to an 8-bit limit register
+//! to steer accesses between the α and β shadow partitions. H3 computes
+//! each output bit as the parity of the input ANDed with a random mask,
+//! which in software reduces to XOR-folding `mask & input`.
+
+use crate::addr::LineAddr;
+
+/// An H3 hash function over 64-bit inputs producing up to 64 output bits.
+///
+/// Each output bit *i* is `parity(input & mask[i])`, with masks drawn from
+/// a seeded xorshift generator, making the family universal and every
+/// instance cheap and deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use talus_sim::H3Hasher;
+/// let h = H3Hasher::new(16, 0xFEED);
+/// let a = h.hash(0x12345);
+/// assert!(a < (1 << 16));
+/// assert_eq!(a, h.hash(0x12345)); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct H3Hasher {
+    masks: Vec<u64>,
+}
+
+impl H3Hasher {
+    /// Creates an H3 hash with `bits` output bits (1..=64) seeded
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 64.
+    pub fn new(bits: u32, seed: u64) -> Self {
+        assert!((1..=64).contains(&bits), "H3 output width must be 1..=64 bits");
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut masks = Vec::with_capacity(bits as usize);
+        for _ in 0..bits {
+            // xorshift64* for mask generation.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let mask = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            // A zero mask would make an output bit constant; extremely
+            // unlikely, but guard anyway.
+            masks.push(if mask == 0 { 0xDEAD_BEEF_CAFE_F00D } else { mask });
+        }
+        H3Hasher { masks }
+    }
+
+    /// Hashes a 64-bit value to `bits` output bits.
+    pub fn hash(&self, value: u64) -> u64 {
+        let mut out = 0u64;
+        for (i, &mask) in self.masks.iter().enumerate() {
+            let parity = (value & mask).count_ones() as u64 & 1;
+            out |= parity << i;
+        }
+        out
+    }
+
+    /// Hashes a line address.
+    pub fn hash_line(&self, line: LineAddr) -> u64 {
+        self.hash(line.value())
+    }
+
+    /// Number of output bits.
+    pub fn bits(&self) -> u32 {
+        self.masks.len() as u32
+    }
+}
+
+/// The shadow-partition sampling function from the paper's Fig. 7b: an
+/// 8-bit H3 hash plus an 8-bit limit register. Addresses hashing below the
+/// limit go to the α partition; the rest go to β.
+///
+/// `limit = round(ρ · 256)`, so the α partition receives a `ρ` fraction of
+/// the (statistically self-similar) access stream.
+///
+/// # Examples
+///
+/// ```
+/// use talus_sim::{LineAddr, ShadowSampler};
+/// let mut s = ShadowSampler::new(42);
+/// s.set_rate(1.0 / 3.0);
+/// let frac = (0..30_000u64)
+///     .filter(|&i| s.goes_to_alpha(LineAddr(i * 7919)))
+///     .count() as f64
+///     / 30_000.0;
+/// assert!((frac - 1.0 / 3.0).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShadowSampler {
+    hasher: H3Hasher,
+    /// Exclusive upper bound in [0, 256]: hash < limit → α partition.
+    limit: u16,
+}
+
+impl ShadowSampler {
+    /// Creates a sampler with rate 0 (everything to β) seeded from `seed`.
+    pub fn new(seed: u64) -> Self {
+        ShadowSampler { hasher: H3Hasher::new(8, seed), limit: 0 }
+    }
+
+    /// Sets the α sampling rate. The rate is quantised to 1/256 steps, as
+    /// in the 8-bit hardware limit register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not in `[0, 1]`.
+    pub fn set_rate(&mut self, rho: f64) {
+        assert!((0.0..=1.0).contains(&rho), "sampling rate must be in [0, 1], got {rho}");
+        self.limit = (rho * 256.0).round() as u16;
+    }
+
+    /// The quantised sampling rate actually in effect.
+    pub fn rate(&self) -> f64 {
+        f64::from(self.limit) / 256.0
+    }
+
+    /// Whether this line is steered to the α shadow partition.
+    pub fn goes_to_alpha(&self, line: LineAddr) -> bool {
+        (self.hasher.hash_line(line) as u16) < self.limit
+    }
+}
+
+/// A hash-based set-sampling filter, as used by UMONs: accepts a
+/// deterministic pseudo-random `1/ratio` fraction of lines.
+#[derive(Debug, Clone)]
+pub struct SampleFilter {
+    hasher: H3Hasher,
+    ratio: u64,
+}
+
+impl SampleFilter {
+    /// Creates a filter accepting roughly one in `ratio` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is zero.
+    pub fn new(ratio: u64, seed: u64) -> Self {
+        assert!(ratio > 0, "sampling ratio must be positive");
+        SampleFilter { hasher: H3Hasher::new(32, seed), ratio }
+    }
+
+    /// Whether this line is in the sample.
+    pub fn accepts(&self, line: LineAddr) -> bool {
+        self.ratio == 1 || self.hasher.hash_line(line).is_multiple_of(self.ratio)
+    }
+
+    /// The configured ratio (the filter accepts ~1/ratio of lines).
+    pub fn ratio(&self) -> u64 {
+        self.ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "H3 output width")]
+    fn h3_rejects_zero_bits() {
+        H3Hasher::new(0, 1);
+    }
+
+    #[test]
+    fn h3_is_deterministic_per_seed() {
+        let a = H3Hasher::new(16, 7);
+        let b = H3Hasher::new(16, 7);
+        let c = H3Hasher::new(16, 8);
+        assert_eq!(a.hash(123456), b.hash(123456));
+        // Different seeds should (overwhelmingly) disagree somewhere.
+        assert!((0..64u64).any(|v| a.hash(v) != c.hash(v)));
+    }
+
+    #[test]
+    fn h3_output_fits_in_bits() {
+        let h = H3Hasher::new(5, 3);
+        assert_eq!(h.bits(), 5);
+        for v in 0..1000u64 {
+            assert!(h.hash(v * 64 + 1) < 32);
+        }
+    }
+
+    #[test]
+    fn h3_spreads_sequential_addresses() {
+        // Sequential lines must not all land in one bucket.
+        let h = H3Hasher::new(8, 42);
+        let mut counts = [0u32; 256];
+        for v in 0..25_600u64 {
+            counts[h.hash(v) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        // Expect ~100 per bucket; allow generous slack.
+        assert!(max < 200, "max bucket {max}");
+        assert!(min > 30, "min bucket {min}");
+    }
+
+    #[test]
+    fn shadow_sampler_rate_zero_and_one() {
+        let mut s = ShadowSampler::new(1);
+        s.set_rate(0.0);
+        assert!((0..1000u64).all(|i| !s.goes_to_alpha(LineAddr(i))));
+        s.set_rate(1.0);
+        assert!((0..1000u64).all(|i| s.goes_to_alpha(LineAddr(i))));
+    }
+
+    #[test]
+    fn shadow_sampler_quantises_to_8_bits() {
+        let mut s = ShadowSampler::new(1);
+        s.set_rate(1.0 / 3.0);
+        assert!((s.rate() - 85.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn shadow_sampler_rejects_bad_rate() {
+        ShadowSampler::new(1).set_rate(1.5);
+    }
+
+    #[test]
+    fn shadow_sampler_is_by_address() {
+        // The same address always goes to the same partition — the property
+        // Assumption 3 needs (sampling by address, not by time).
+        let mut s = ShadowSampler::new(9);
+        s.set_rate(0.5);
+        let first: Vec<bool> = (0..500u64).map(|i| s.goes_to_alpha(LineAddr(i))).collect();
+        let second: Vec<bool> = (0..500u64).map(|i| s.goes_to_alpha(LineAddr(i))).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn sample_filter_rate_is_roughly_correct() {
+        let f = SampleFilter::new(16, 5);
+        let n = 100_000u64;
+        let hits = (0..n).filter(|&i| f.accepts(LineAddr(i))).count() as f64;
+        let frac = hits / n as f64;
+        assert!((frac - 1.0 / 16.0).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn sample_filter_ratio_one_accepts_all() {
+        let f = SampleFilter::new(1, 5);
+        assert!((0..100u64).all(|i| f.accepts(LineAddr(i))));
+        assert_eq!(f.ratio(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling ratio")]
+    fn sample_filter_rejects_zero_ratio() {
+        SampleFilter::new(0, 1);
+    }
+}

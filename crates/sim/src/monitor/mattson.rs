@@ -1,0 +1,336 @@
+//! Exact LRU stack-distance profiling (Mattson et al., 1970).
+//!
+//! LRU obeys the *stack property*: the contents of a size-`s` LRU cache are
+//! a subset of any larger LRU cache's, so one pass that records each
+//! access's *stack distance* (number of distinct lines touched since the
+//! previous access to the same line) yields the exact LRU miss curve at
+//! every size simultaneously: an access hits in caches of at least its
+//! stack distance.
+//!
+//! Distances are counted with a Fenwick tree over access timestamps
+//! (O(log n) per access); the timestamp window is compacted periodically so
+//! memory stays proportional to the tracked capacity, with distances beyond
+//! the cap folded into a "far" bucket (they miss at every tracked size).
+
+use super::Monitor;
+use crate::addr::LineAddr;
+use std::collections::HashMap;
+use talus_core::MissCurve;
+
+/// Fenwick tree (binary indexed tree) over timestamps.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i32) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of entries in [0, i].
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i] as u64;
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    fn clear(&mut self) {
+        self.tree.fill(0);
+    }
+}
+
+/// An exact stack-distance monitor for LRU, capped at a maximum tracked
+/// capacity.
+///
+/// # Examples
+///
+/// ```
+/// use talus_sim::monitor::{MattsonMonitor, Monitor};
+/// use talus_sim::LineAddr;
+/// let mut m = MattsonMonitor::new(8);
+/// // A cyclic scan over 4 lines: after the cold pass, every access has
+/// // stack distance 4.
+/// for i in 0..400u64 {
+///     m.record(LineAddr(i % 4));
+/// }
+/// let curve = m.curve();
+/// assert!(curve.value_at(3.0) > 0.95); // smaller than the loop: ~all miss
+/// assert!(curve.value_at(4.0) < 0.05); // loop fits: ~all hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct MattsonMonitor {
+    /// Largest stack distance tracked exactly (in lines).
+    cap: usize,
+    /// hist[d] = accesses with stack distance exactly d (1-based).
+    hist: Vec<u64>,
+    /// Accesses whose distance exceeded `cap`, plus compaction casualties.
+    far: u64,
+    /// First-ever touches.
+    cold: u64,
+    accesses: u64,
+    /// Line → timestamp of most recent access.
+    last_seen: HashMap<LineAddr, usize>,
+    /// Marks timestamps that are the latest access to some line.
+    fenwick: Fenwick,
+    now: usize,
+    window: usize,
+}
+
+impl MattsonMonitor {
+    /// Creates a monitor tracking stack distances up to `max_lines`.
+    /// Distances beyond that are folded into a far bucket, so the produced
+    /// curve is exact on `[0, max_lines]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lines` is zero.
+    pub fn new(max_lines: u64) -> Self {
+        assert!(max_lines > 0, "tracked capacity must be positive");
+        let cap = max_lines as usize;
+        let window = (4 * cap).max(1 << 12);
+        MattsonMonitor {
+            cap,
+            hist: vec![0; cap + 1],
+            far: 0,
+            cold: 0,
+            accesses: 0,
+            last_seen: HashMap::new(),
+            fenwick: Fenwick::new(window),
+            now: 0,
+            window,
+        }
+    }
+
+    /// Largest capacity (in lines) this monitor resolves exactly.
+    pub fn max_lines(&self) -> u64 {
+        self.cap as u64
+    }
+
+    /// Produces the miss curve evaluated on an arbitrary grid of line
+    /// counts (values above `max_lines` clamp to the far+cold rate).
+    pub fn curve_on_grid(&self, grid: &[u64]) -> MissCurve {
+        let total = self.accesses.max(1) as f64;
+        // Cumulative hits by distance.
+        let mut cum = vec![0u64; self.cap + 1];
+        for d in 1..=self.cap {
+            cum[d] = cum[d - 1] + self.hist[d];
+        }
+        let mut sizes = Vec::with_capacity(grid.len() + 1);
+        let mut misses = Vec::with_capacity(grid.len() + 1);
+        if grid.first().copied() != Some(0) {
+            sizes.push(0.0);
+            misses.push(1.0);
+        }
+        for &g in grid {
+            let hits = cum[(g as usize).min(self.cap)];
+            sizes.push(g as f64);
+            misses.push((self.accesses - hits) as f64 / total);
+        }
+        MissCurve::from_samples(&sizes, &misses).expect("grid is sorted and rates are finite")
+    }
+
+    /// Compacts the timestamp window: re-indexes the most recent `cap`
+    /// distinct lines to timestamps `0..k` and drops the rest (their next
+    /// access would be beyond `cap` anyway).
+    fn compact(&mut self) {
+        let mut entries: Vec<(LineAddr, usize)> =
+            self.last_seen.iter().map(|(&l, &t)| (l, t)).collect();
+        entries.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+        entries.truncate(self.cap);
+        entries.reverse(); // oldest kept entry first
+        self.last_seen.clear();
+        self.fenwick.clear();
+        for (i, &(line, _)) in entries.iter().enumerate() {
+            self.last_seen.insert(line, i);
+            self.fenwick.add(i, 1);
+        }
+        self.now = entries.len();
+    }
+}
+
+impl Monitor for MattsonMonitor {
+    fn record(&mut self, line: LineAddr) {
+        if self.now >= self.window {
+            self.compact();
+        }
+        self.accesses += 1;
+        match self.last_seen.get(&line).copied() {
+            Some(prev) => {
+                // Distinct lines touched in (prev, now): each has its latest
+                // access marked in the Fenwick tree after prev.
+                let upto_prev = self.fenwick.prefix(prev);
+                let upto_now = if self.now == 0 { 0 } else { self.fenwick.prefix(self.now - 1) };
+                let distance = (upto_now - upto_prev) as usize + 1; // include the line itself
+                if distance <= self.cap {
+                    self.hist[distance] += 1;
+                } else {
+                    self.far += 1;
+                }
+                self.fenwick.add(prev, -1);
+            }
+            None => {
+                self.cold += 1;
+            }
+        }
+        self.fenwick.add(self.now, 1);
+        self.last_seen.insert(line, self.now);
+        self.now += 1;
+    }
+
+    fn curve(&self) -> MissCurve {
+        // Default grid: every power-of-two-ish step keeps curves compact
+        // without losing the knees; use 64 evenly spaced points plus 0.
+        let points = 64usize;
+        let step = (self.cap / points).max(1);
+        let grid: Vec<u64> = (1..=points).map(|i| (i * step) as u64).collect();
+        self.curve_on_grid(&grid)
+    }
+
+    fn sampled_accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    fn reset(&mut self) {
+        self.hist.fill(0);
+        self.far = 0;
+        self.cold = 0;
+        self.accesses = 0;
+        // Keep last_seen/fenwick: the monitor stays warm across intervals.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::test_support::{scan_stream, uniform_stream};
+
+    #[test]
+    fn scan_produces_step_curve() {
+        // Cyclic scan over 32 lines: misses at sizes < 32, hits at >= 32.
+        let mut m = MattsonMonitor::new(64);
+        for &l in &scan_stream(32, 32 * 100) {
+            m.record(l);
+        }
+        let c = m.curve_on_grid(&(0..=64).collect::<Vec<_>>());
+        assert!(c.value_at(31.0) > 0.98, "at 31: {}", c.value_at(31.0));
+        assert!(c.value_at(32.0) < 0.02, "at 32: {}", c.value_at(32.0));
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let mut m = MattsonMonitor::new(128);
+        for &l in &uniform_stream(200, 50_000, 3) {
+            m.record(l);
+        }
+        assert!(m.curve_on_grid(&(0..=128).collect::<Vec<_>>()).is_monotone(1e-12));
+    }
+
+    #[test]
+    fn matches_fully_associative_lru_exactly() {
+        use crate::array::{CacheModel, FullyAssocLru};
+        use crate::policy::AccessCtx;
+        // The whole point of Mattson: one pass gives the same miss count an
+        // actual LRU cache of each size would see.
+        let stream = uniform_stream(100, 20_000, 9);
+        let mut m = MattsonMonitor::new(128);
+        for &l in &stream {
+            m.record(l);
+        }
+        let curve = m.curve_on_grid(&[10, 25, 50, 75, 100]);
+        for &size in &[10u64, 25, 50, 75, 100] {
+            let mut cache = FullyAssocLru::new(size);
+            for &l in &stream {
+                cache.access(l, &AccessCtx::new());
+            }
+            let real = cache.stats().miss_rate();
+            let est = curve.value_at(size as f64);
+            assert!(
+                (real - est).abs() < 1e-9,
+                "size {size}: cache {real} vs mattson {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        // Small window forces many compactions; distances ≤ cap must stay
+        // exact. Compare against a no-compaction run (big cap).
+        let stream = uniform_stream(60, 30_000, 11);
+        let mut small = MattsonMonitor::new(64); // window 4096 → compactions
+        let mut big = MattsonMonitor::new(4096); // effectively no pressure
+        for &l in &stream {
+            small.record(l);
+            big.record(l);
+        }
+        let gs: Vec<u64> = (0..=64).collect();
+        let cs = small.curve_on_grid(&gs);
+        let cb = big.curve_on_grid(&gs);
+        for &g in &gs {
+            assert!(
+                (cs.value_at(g as f64) - cb.value_at(g as f64)).abs() < 1e-9,
+                "divergence at {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn distances_beyond_cap_fold_into_far() {
+        // Scan over 100 lines with cap 16: every warm access is far.
+        let mut m = MattsonMonitor::new(16);
+        for &l in &scan_stream(100, 1000) {
+            m.record(l);
+        }
+        assert_eq!(m.far, 900);
+        assert_eq!(m.cold, 100);
+        let c = m.curve();
+        assert!(c.value_at(16.0) > 0.99);
+    }
+
+    #[test]
+    fn reset_clears_statistics_but_stays_warm() {
+        let mut m = MattsonMonitor::new(32);
+        for &l in &scan_stream(8, 64) {
+            m.record(l);
+        }
+        m.reset();
+        assert_eq!(m.sampled_accesses(), 0);
+        // Next pass over the same lines: all warm hits at distance 8.
+        for &l in &scan_stream(8, 16) {
+            m.record(l);
+        }
+        let c = m.curve_on_grid(&[0, 4, 8, 16]);
+        assert!(c.value_at(8.0) < 0.01);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_one() {
+        let mut m = MattsonMonitor::new(8);
+        m.record(LineAddr(1));
+        m.record(LineAddr(1));
+        assert_eq!(m.hist[1], 1);
+        let c = m.curve_on_grid(&[0, 1, 2]);
+        assert!((c.value_at(1.0) - 0.5).abs() < 1e-9); // 1 cold miss, 1 hit
+    }
+
+    #[test]
+    fn curve_includes_origin() {
+        let mut m = MattsonMonitor::new(8);
+        m.record(LineAddr(1));
+        let c = m.curve();
+        assert_eq!(c.min_size(), 0.0);
+        assert_eq!(c.value_at(0.0), 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Miss-curve monitors.
+//!
+//! Talus is driven entirely by miss curves (paper §VI-C). This module
+//! provides three ways to obtain them:
+//!
+//! - [`MattsonMonitor`]: exact LRU stack-distance profiling — the software
+//!   analogue of address-based sampling [11, 42], and the ground truth the
+//!   hardware monitors are tested against;
+//! - [`Umon`] / [`UmonPair`]: hardware-faithful utility monitors (Qureshi & Patt) —
+//!   a small sampled LRU tag array with per-way hit counters, plus the
+//!   paper's second, more sparsely sampled monitor that extends coverage
+//!   to 4× the LLC size;
+//! - [`CurveSampler`]: the brute-force multi-monitor approach the paper
+//!   uses for SRRIP (one sampled monitor per curve point), applicable to
+//!   any policy at proportionally higher cost;
+//! - [`ThreePointMonitor`]: the CRUISE-style 3-point alternative §VI-C
+//!   mentions — cheap, but too coarse and too short-sighted for Talus
+//!   (see the monitor ablation);
+//! - [`AdaptiveCurveSampler`]: the §VI-C *future-work* design — a small
+//!   bank that re-aims its sampling rates at the hull's active region
+//!   every interval, matching the fixed 64-monitor bank at a fraction of
+//!   the state.
+
+mod adaptive;
+mod mattson;
+mod sampler;
+mod threepoint;
+mod umon;
+
+pub use adaptive::AdaptiveCurveSampler;
+pub use mattson::MattsonMonitor;
+pub use sampler::CurveSampler;
+pub use threepoint::ThreePointMonitor;
+pub use umon::{Umon, UmonPair};
+
+use crate::addr::LineAddr;
+use talus_core::MissCurve;
+
+/// A monitor that observes an access stream and produces a miss curve in
+/// **misses per access** over capacities in **lines**.
+pub trait Monitor {
+    /// Observes one access.
+    fn record(&mut self, line: LineAddr);
+
+    /// The miss curve estimated from everything recorded so far.
+    ///
+    /// Curves always include the point `(0, miss-rate-at-zero)` so Talus
+    /// can plan bypass partitions.
+    fn curve(&self) -> MissCurve;
+
+    /// Accesses observed (after any sampling filter).
+    fn sampled_accesses(&self) -> u64;
+
+    /// Forgets accumulated statistics (monitored tags may be kept).
+    fn reset(&mut self);
+}
+
+impl Monitor for Box<dyn Monitor> {
+    fn record(&mut self, line: LineAddr) {
+        (**self).record(line)
+    }
+
+    fn curve(&self) -> MissCurve {
+        (**self).curve()
+    }
+
+    fn sampled_accesses(&self) -> u64 {
+        (**self).sampled_accesses()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::addr::LineAddr;
+
+    /// A deterministic pseudo-random access stream over `lines` distinct
+    /// lines.
+    pub fn uniform_stream(lines: u64, len: usize, seed: u64) -> Vec<LineAddr> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                LineAddr((state >> 33) % lines)
+            })
+            .collect()
+    }
+
+    /// A cyclic scan over `lines` distinct lines.
+    pub fn scan_stream(lines: u64, len: usize) -> Vec<LineAddr> {
+        (0..len as u64).map(|i| LineAddr(i % lines)).collect()
+    }
+}

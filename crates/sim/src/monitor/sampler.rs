@@ -1,0 +1,273 @@
+//! Multi-monitor curve sampling for policies without the stack property.
+//!
+//! High-performance policies (SRRIP, DRRIP, …) do not obey the stack
+//! property, so no single array can sample their whole miss curve. The
+//! paper's workaround (§VI-C) is one monitor per curve point: monitor *i*
+//! samples the stream at rate `ρᵢ = monitor_capacity / sizeᵢ`, so by
+//! Theorem 4 a small array behaves like a cache of `sizeᵢ` — at the cost
+//! the paper acknowledges is impractical in hardware (64 × 4 KB per core)
+//! but which a simulator is happy to pay.
+
+use super::Monitor;
+use crate::addr::LineAddr;
+use crate::array::{CacheModel, SetAssocCache};
+use crate::hasher::SampleFilter;
+use crate::policy::{AccessCtx, PolicyKind, ReplacementPolicy};
+use talus_core::MissCurve;
+
+/// One sampled shadow monitor: a small cache modelling a larger one.
+#[derive(Debug)]
+struct Point {
+    modeled_lines: u64,
+    filter: SampleFilter,
+    cache: SetAssocCache<Box<dyn ReplacementPolicy>>,
+}
+
+/// A bank of sampled monitors producing an N-point miss curve for an
+/// arbitrary replacement policy.
+///
+/// # Examples
+///
+/// ```
+/// use talus_sim::monitor::{CurveSampler, Monitor};
+/// use talus_sim::policy::PolicyKind;
+/// use talus_sim::LineAddr;
+/// let sizes: Vec<u64> = (1..=8).map(|i| i * 512).collect();
+/// let mut s = CurveSampler::new(PolicyKind::Srrip, &sizes, 512, 16, 42);
+/// for i in 0..200_000u64 {
+///     s.record(LineAddr(i % 1500));
+/// }
+/// let curve = s.curve();
+/// assert!(curve.value_at(512.0) > curve.value_at(4096.0));
+/// ```
+#[derive(Debug)]
+pub struct CurveSampler {
+    points: Vec<Point>,
+    accesses: u64,
+}
+
+impl CurveSampler {
+    /// Creates one monitor per entry of `modeled_sizes` (lines, sorted
+    /// ascending). Each monitor is a `monitor_lines`-line, `ways`-way cache
+    /// running a fresh instance of `policy`; sizes smaller than
+    /// `monitor_lines` get an exact unsampled mini-cache instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modeled_sizes` is empty or unsorted, or if geometry is
+    /// invalid.
+    pub fn new(
+        policy: PolicyKind,
+        modeled_sizes: &[u64],
+        monitor_lines: u64,
+        ways: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_policy(|s| policy.build(s), modeled_sizes, monitor_lines, ways, seed)
+    }
+
+    /// Like [`new`](Self::new), but for *custom* policies: `factory` is
+    /// called once per monitor with a distinct seed and returns a fresh
+    /// policy instance. This is the hook downstream code uses to measure
+    /// miss curves — and therefore run Talus — on policies this crate has
+    /// never heard of (see the `custom_policy` example).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modeled_sizes` is empty or unsorted, or if geometry is
+    /// invalid.
+    pub fn with_policy<F>(
+        factory: F,
+        modeled_sizes: &[u64],
+        monitor_lines: u64,
+        ways: usize,
+        seed: u64,
+    ) -> Self
+    where
+        F: Fn(u64) -> Box<dyn ReplacementPolicy>,
+    {
+        assert!(!modeled_sizes.is_empty(), "need at least one modelled size");
+        assert!(
+            modeled_sizes.windows(2).all(|w| w[0] < w[1]),
+            "modelled sizes must be strictly increasing"
+        );
+        let points = modeled_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| {
+                let size = size.max(ways as u64);
+                let (cap, ratio) = if size <= monitor_lines {
+                    (size / ways as u64 * ways as u64, 1u64)
+                } else {
+                    // ρ = monitor/size rounded so capacity stays aligned.
+                    let ratio = size.div_ceil(monitor_lines);
+                    (monitor_lines, ratio)
+                };
+                let cap = cap.max(ways as u64);
+                Point {
+                    modeled_lines: cap * ratio,
+                    filter: SampleFilter::new(ratio, seed.wrapping_add(i as u64 * 7919)),
+                    cache: SetAssocCache::new(
+                        cap,
+                        ways,
+                        factory(seed.wrapping_add(i as u64)),
+                        seed.wrapping_add(1000 + i as u64),
+                    ),
+                }
+            })
+            .collect();
+        CurveSampler { points, accesses: 0 }
+    }
+
+    /// Number of monitors (curve points, excluding the origin).
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The hardware cost of this bank in monitor lines (for the §VI-C
+    /// overhead discussion).
+    pub fn monitor_lines_total(&self) -> u64 {
+        self.points.iter().map(|p| p.cache.capacity_lines()).sum()
+    }
+
+    /// The cache sizes (in lines) this bank models, ascending.
+    pub fn modeled_sizes(&self) -> Vec<u64> {
+        self.points.iter().map(|p| p.modeled_lines).collect()
+    }
+}
+
+impl Monitor for CurveSampler {
+    fn record(&mut self, line: LineAddr) {
+        self.accesses += 1;
+        let ctx = AccessCtx::new();
+        for p in &mut self.points {
+            if p.filter.accepts(line) {
+                p.cache.access(line, &ctx);
+            }
+        }
+    }
+
+    fn curve(&self) -> MissCurve {
+        let mut sizes = vec![0.0f64];
+        let mut misses = vec![1.0f64];
+        for p in &self.points {
+            let s = p.cache.stats();
+            let rate = if s.accesses() == 0 { 1.0 } else { s.miss_rate() };
+            // Guard against duplicate modelled sizes after rounding.
+            if sizes.last().copied() != Some(p.modeled_lines as f64) {
+                sizes.push(p.modeled_lines as f64);
+                misses.push(rate);
+            }
+        }
+        MissCurve::from_samples(&sizes, &misses).expect("sizes are increasing")
+    }
+
+    fn sampled_accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    fn reset(&mut self) {
+        for p in &mut self.points {
+            p.cache.reset_stats();
+        }
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::test_support::{scan_stream, uniform_stream};
+
+    #[test]
+    fn sampler_builds_requested_points() {
+        let sizes: Vec<u64> = vec![256, 512, 1024, 2048];
+        let s = CurveSampler::new(PolicyKind::Lru, &sizes, 256, 16, 1);
+        assert_eq!(s.num_points(), 4);
+        assert!(s.monitor_lines_total() <= 4 * 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn sampler_rejects_unsorted_sizes() {
+        CurveSampler::new(PolicyKind::Lru, &[512, 256], 256, 16, 1);
+    }
+
+    #[test]
+    fn lru_sampler_matches_mattson() {
+        use crate::monitor::MattsonMonitor;
+        let stream = uniform_stream(1500, 500_000, 21);
+        let sizes: Vec<u64> = (1..=8).map(|i| i * 512).collect();
+        let mut s = CurveSampler::new(PolicyKind::Lru, &sizes, 512, 16, 2);
+        let mut m = MattsonMonitor::new(4096);
+        for &l in &stream {
+            s.record(l);
+            m.record(l);
+        }
+        let cs = s.curve();
+        let cm = m.curve_on_grid(&sizes);
+        for &size in &sizes {
+            let a = cs.value_at(size as f64);
+            let b = cm.value_at(size as f64);
+            assert!(
+                (a - b).abs() < 0.10,
+                "size {size}: sampler {a} vs exact {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn srrip_shares_lru_cliff_but_brrip_resists() {
+        // Pure cyclic scan over 3000 lines at 1024 lines of cache. SRRIP
+        // inserts everything at "long" and, with no hits to promote, ages
+        // into FIFO behaviour — it thrashes exactly like LRU. (This is why
+        // the paper's Fig. 9 shows Talus removing SRRIP's libquantum cliff
+        // too.) BRRIP's bimodal insertion keeps a resident fraction and
+        // escapes the cliff.
+        let stream = scan_stream(3000, 600_000);
+        let sizes = vec![1024u64];
+        let mut srrip = CurveSampler::new(PolicyKind::Srrip, &sizes, 1024, 16, 3);
+        let mut brrip = CurveSampler::new(PolicyKind::Brrip, &sizes, 1024, 16, 3);
+        let mut lru = CurveSampler::new(PolicyKind::Lru, &sizes, 1024, 16, 3);
+        for &l in &stream {
+            srrip.record(l);
+            brrip.record(l);
+            lru.record(l);
+        }
+        let ms = srrip.curve().value_at(1024.0);
+        let mb = brrip.curve().value_at(1024.0);
+        let ml = lru.curve().value_at(1024.0);
+        assert!(ml > 0.95, "LRU thrashes: {ml}");
+        assert!(ms > 0.95, "SRRIP thrashes on pure scans too: {ms}");
+        assert!(mb < 0.9, "BRRIP protects part of the loop: {mb}");
+    }
+
+    #[test]
+    fn sampled_point_approximates_unsampled_cache() {
+        use crate::array::{CacheModel, SetAssocCache};
+        use crate::policy::Srrip;
+        // Theorem 4 applied to monitors: a 512-line monitor at ratio 4
+        // should track a real 2048-line cache.
+        let stream = uniform_stream(3000, 800_000, 33);
+        let mut s = CurveSampler::new(PolicyKind::Srrip, &[2048], 512, 16, 4);
+        let mut real = SetAssocCache::new(2048, 16, Srrip::new(), 5);
+        let ctx = AccessCtx::new();
+        for &l in &stream {
+            s.record(l);
+            real.access(l, &ctx);
+        }
+        let est = s.curve().value_at(2048.0);
+        let act = real.stats().miss_rate();
+        assert!((est - act).abs() < 0.08, "estimated {est} vs actual {act}");
+    }
+
+    #[test]
+    fn reset_zeroes_accesses() {
+        let mut s = CurveSampler::new(PolicyKind::Lru, &[256], 256, 16, 1);
+        for &l in &uniform_stream(100, 1000, 3) {
+            s.record(l);
+        }
+        s.reset();
+        assert_eq!(s.sampled_accesses(), 0);
+    }
+}

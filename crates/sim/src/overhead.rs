@@ -1,0 +1,119 @@
+//! Hardware overhead accounting (paper §VI-D).
+//!
+//! Talus's additions over a baseline partitioned cache are: doubled
+//! partition count (one extra tag bit per line plus per-partition state in
+//! Vantage-style schemes), one 8-bit H3 hash and 8-bit limit register per
+//! logical partition, and monitor storage (a conventional UMON plus the
+//! sparser large-coverage UMON). The paper totals 24.2 KB — 0.3% of an
+//! 8 MB LLC — for an 8-core system; this module reproduces that accounting
+//! so experiments can report overheads for arbitrary configurations.
+
+use crate::addr::LINE_BYTES;
+
+/// Bits of Vantage-style per-partition state (paper: 256 bits/partition).
+const VANTAGE_PARTITION_STATE_BITS: u64 = 256;
+/// Monitor tag width (paper: 32-bit tags).
+const MONITOR_TAG_BITS: u64 = 32;
+/// Conventional UMON entries per core (paper: 1K lines).
+const UMON_ENTRIES: u64 = 1024;
+/// Sampled (large-coverage) UMON entries per core (paper: 16 ways × 16
+/// sets = 256 entries = 1 KB of 32-bit tags).
+const SAMPLED_UMON_ENTRIES: u64 = 256;
+
+/// A hardware overhead breakdown, all in bytes. Follows the paper's
+/// accounting: only *Talus-specific* state counts toward the total — the
+/// conventional UMONs (reported separately) are presumed present in any
+/// partitioned system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadReport {
+    /// Extra partition-id tag bit(s) per cache line from doubling the
+    /// partition count.
+    pub tag_bits_bytes: u64,
+    /// Vantage-style per-partition state for the added shadow partitions.
+    pub partition_state_bytes: u64,
+    /// Sampling functions: 8-bit hash + 8-bit limit per logical partition.
+    pub sampler_bytes: u64,
+    /// Talus-specific monitor state: the sparsely-sampled large-coverage
+    /// UMON (1 KB/core) that extends curves past the LLC size.
+    pub monitor_bytes: u64,
+    /// Conventional UMON storage (4 KB/core) — *not* Talus-specific, not
+    /// counted in [`total_bytes`](Self::total_bytes).
+    pub baseline_monitor_bytes: u64,
+}
+
+impl OverheadReport {
+    /// Computes the overhead of Talus on a Vantage-style LLC.
+    ///
+    /// `llc_lines` is the shared LLC capacity in lines; `cores` the number
+    /// of cores (= logical partitions, each with a monitor pair).
+    pub fn vantage(llc_lines: u64, cores: u64) -> Self {
+        // Doubling partitions costs one extra bit per line tag (partition
+        // ids get one bit wider).
+        let tag_bits_bytes = llc_lines / 8;
+        // One extra shadow partition's state per logical partition.
+        let partition_state_bytes = cores * VANTAGE_PARTITION_STATE_BITS / 8;
+        // H3 masks (8 × 8-bit treated as 8 bytes) + 1-byte limit register.
+        let sampler_bytes = cores * (8 + 1);
+        // Talus-specific: the extra sampled UMON plus its way counters.
+        let monitor_bytes =
+            cores * (SAMPLED_UMON_ENTRIES * MONITOR_TAG_BITS / 8 + 16 * 4);
+        let baseline_monitor_bytes =
+            cores * (UMON_ENTRIES * MONITOR_TAG_BITS / 8 + 64 * 4);
+        OverheadReport {
+            tag_bits_bytes,
+            partition_state_bytes,
+            sampler_bytes,
+            monitor_bytes,
+            baseline_monitor_bytes,
+        }
+    }
+
+    /// Total overhead in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.tag_bits_bytes + self.partition_state_bytes + self.sampler_bytes + self.monitor_bytes
+    }
+
+    /// Overhead as a fraction of the LLC's data capacity.
+    pub fn fraction_of_llc(&self, llc_lines: u64) -> f64 {
+        self.total_bytes() as f64 / (llc_lines * LINE_BYTES) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::mb_to_lines;
+
+    #[test]
+    fn paper_configuration_is_small() {
+        // 8-core system, 8 MB LLC: paper reports 24.2 KB ≈ 0.3% of LLC.
+        let lines = mb_to_lines(8.0);
+        let r = OverheadReport::vantage(lines, 8);
+        let kb = r.total_bytes() as f64 / 1024.0;
+        assert!(kb > 20.0 && kb < 30.0, "total {kb:.1} KB (paper: 24.2)");
+        let frac = r.fraction_of_llc(lines);
+        assert!(frac < 0.005, "fraction {frac:.4} (paper: 0.003)");
+    }
+
+    #[test]
+    fn tag_bits_dominate_talus_specific_state() {
+        // Paper breakdown: the extra tag bit per line (16 KB at 8 MB) is
+        // the biggest Talus-specific component.
+        let lines = mb_to_lines(8.0);
+        let r = OverheadReport::vantage(lines, 8);
+        assert!(r.tag_bits_bytes > r.monitor_bytes);
+        assert!(r.monitor_bytes > r.partition_state_bytes);
+        assert!(r.monitor_bytes > r.sampler_bytes);
+        // Conventional monitors are bigger but not Talus-specific.
+        assert!(r.baseline_monitor_bytes > r.monitor_bytes);
+    }
+
+    #[test]
+    fn overhead_scales_with_cores() {
+        let lines = mb_to_lines(8.0);
+        let r8 = OverheadReport::vantage(lines, 8);
+        let r1 = OverheadReport::vantage(lines, 1);
+        assert!(r8.monitor_bytes == 8 * r1.monitor_bytes);
+        assert!(r8.total_bytes() > r1.total_bytes());
+    }
+}

@@ -1,0 +1,267 @@
+//! Way partitioning: each partition owns a subset of the ways in every set.
+//!
+//! The classic scheme (Albonesi; Chiou et al.): simple, but allocations are
+//! quantised to whole ways and associativity degrades as partitions shrink
+//! — precisely the Assumption-2 violation the paper calls out in §VI-B and
+//! corrects by recomputing ρ from the coarsened sizes.
+
+use super::{apportion, PartitionedCacheModel};
+use crate::addr::{LineAddr, PartitionId};
+use crate::hasher::H3Hasher;
+use crate::policy::{AccessCtx, ReplacementPolicy};
+use crate::stats::{AccessResult, CacheStats};
+
+const INVALID_TAG: u64 = u64::MAX;
+
+/// A way-partitioned set-associative cache.
+///
+/// Lookups search every way (partitioning constrains *insertion*, not
+/// residency), so a line cached while owned by one partition still hits
+/// when the ways are later reassigned; the new owner's insertions evict it
+/// naturally.
+///
+/// # Examples
+///
+/// ```
+/// use talus_sim::part::{PartitionedCacheModel, WayPartitioned};
+/// use talus_sim::policy::Lru;
+/// use talus_sim::{AccessCtx, LineAddr, PartitionId};
+///
+/// // 2048 lines, 16 ways, two partitions.
+/// let mut cache = WayPartitioned::new(2048, 16, 2, Lru::new(), 7);
+/// let granted = cache.set_partition_sizes(&[512, 1536]);
+/// assert_eq!(granted, vec![512, 1536]); // 4 and 12 ways exactly
+/// let ctx = AccessCtx::new();
+/// cache.access(PartitionId(0), LineAddr(3), &ctx);
+/// assert_eq!(cache.partition_stats(PartitionId(0)).misses(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WayPartitioned<P> {
+    sets: usize,
+    ways: usize,
+    tags: Vec<u64>,
+    /// `way_owner[w]` = partition owning way `w` (same in every set), or
+    /// `u32::MAX` for unassigned ways.
+    way_owner: Vec<u32>,
+    /// Cached candidate lists per partition.
+    own_ways: Vec<Vec<usize>>,
+    policy: P,
+    hasher: H3Hasher,
+    stats: Vec<CacheStats>,
+}
+
+impl<P: ReplacementPolicy> WayPartitioned<P> {
+    /// Builds a way-partitioned cache of `capacity_lines` with the given
+    /// associativity and number of partitions. Initially all ways are
+    /// unassigned; call
+    /// [`set_partition_sizes`](PartitionedCacheModel::set_partition_sizes)
+    /// before use (unsized partitions bypass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a positive multiple of `ways`, or if
+    /// `partitions` is zero.
+    pub fn new(capacity_lines: u64, ways: usize, partitions: usize, mut policy: P, seed: u64) -> Self {
+        assert!(capacity_lines > 0, "capacity must be positive");
+        assert!(ways > 0, "associativity must be positive");
+        assert!(partitions > 0, "partition count must be positive");
+        assert!(
+            capacity_lines.is_multiple_of(ways as u64),
+            "capacity must be a multiple of ways"
+        );
+        let sets = (capacity_lines / ways as u64) as usize;
+        policy.attach(sets, ways);
+        WayPartitioned {
+            sets,
+            ways,
+            tags: vec![INVALID_TAG; sets * ways],
+            way_owner: vec![u32::MAX; ways],
+            own_ways: vec![Vec::new(); partitions],
+            policy,
+            hasher: H3Hasher::new(32, seed),
+            stats: vec![CacheStats::new(); partitions],
+        }
+    }
+
+    /// Number of ways currently owned by a partition.
+    pub fn ways_of(&self, part: PartitionId) -> usize {
+        self.own_ways[part.index()].len()
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        if self.sets == 1 {
+            0
+        } else {
+            (self.hasher.hash_line(line) % self.sets as u64) as usize
+        }
+    }
+}
+
+impl<P: ReplacementPolicy> PartitionedCacheModel for WayPartitioned<P> {
+    fn num_partitions(&self) -> usize {
+        self.stats.len()
+    }
+
+    fn set_partition_sizes(&mut self, lines: &[u64]) -> Vec<u64> {
+        assert_eq!(lines.len(), self.num_partitions(), "one request per partition");
+        let ways_per = apportion(lines, self.sets as u64, self.ways as u64);
+        // Reassign way ownership: walk ways in order, handing each
+        // partition its quota. Stable so small reallocations move few ways.
+        self.way_owner.fill(u32::MAX);
+        for v in &mut self.own_ways {
+            v.clear();
+        }
+        let mut next_way = 0usize;
+        for (p, &quota) in ways_per.iter().enumerate() {
+            for _ in 0..quota {
+                self.way_owner[next_way] = p as u32;
+                self.own_ways[p].push(next_way);
+                next_way += 1;
+            }
+        }
+        ways_per.iter().map(|&w| w * self.sets as u64).collect()
+    }
+
+    fn access(&mut self, part: PartitionId, line: LineAddr, ctx: &AccessCtx) -> AccessResult {
+        let p = part.index();
+        assert!(p < self.num_partitions(), "unknown {part}");
+        let set = self.set_of(line);
+        let tag = line.value();
+        let base = set * self.ways;
+        let ctx = &ctx.with_line(line); // signature-based policies need the address
+        let result = if let Some(way) = (0..self.ways).find(|&w| self.tags[base + w] == tag) {
+            self.policy.on_hit(set, way, ctx);
+            AccessResult::Hit
+        } else if self.own_ways[p].is_empty() {
+            // Zero ways: bypass partition.
+            AccessResult::Miss
+        } else {
+            let way = match self.own_ways[p].iter().copied().find(|&w| self.tags[base + w] == INVALID_TAG)
+            {
+                Some(w) => w,
+                None => self.policy.choose_victim(set, &self.own_ways[p]),
+            };
+            self.tags[base + way] = tag;
+            self.policy.on_insert(set, way, ctx);
+            AccessResult::Miss
+        };
+        self.stats[p].record(result);
+        result
+    }
+
+    fn partition_stats(&self, part: PartitionId) -> &CacheStats {
+        &self.stats[part.index()]
+    }
+
+    fn reset_stats(&mut self) {
+        for s in &mut self.stats {
+            s.reset();
+        }
+    }
+
+    fn capacity_lines(&self) -> u64 {
+        (self.sets * self.ways) as u64
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "way"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Lru;
+
+    fn ctx() -> AccessCtx {
+        AccessCtx::new()
+    }
+
+    #[test]
+    fn sizes_round_to_whole_ways() {
+        let mut c = WayPartitioned::new(1024, 16, 2, Lru::new(), 1);
+        // 1024 lines / 16 ways = 64 lines per way. Request 100 and 900.
+        let granted = c.set_partition_sizes(&[100, 900]);
+        assert_eq!(granted.iter().sum::<u64>() % 64, 0);
+        assert!(granted[0] == 64 || granted[0] == 128); // 1-2 ways
+        assert!(granted[1] >= 832); // ~14 ways
+        assert_eq!(c.ways_of(PartitionId(0)) + c.ways_of(PartitionId(1)), 16);
+    }
+
+    #[test]
+    fn partitions_do_not_evict_each_other() {
+        // Partition 0 gets 1 way, partition 1 gets 7. Partition 1's
+        // traffic must not evict partition 0's single resident line per set.
+        let mut c = WayPartitioned::new(8, 8, 2, Lru::new(), 1);
+        c.set_partition_sizes(&[1, 7]);
+        c.access(PartitionId(0), LineAddr(42), &ctx());
+        for i in 0..1000u64 {
+            c.access(PartitionId(1), LineAddr(100 + i), &ctx());
+        }
+        assert!(c.access(PartitionId(0), LineAddr(42), &ctx()).is_hit());
+    }
+
+    #[test]
+    fn zero_way_partition_bypasses() {
+        let mut c = WayPartitioned::new(64, 8, 2, Lru::new(), 1);
+        c.set_partition_sizes(&[0, 512]);
+        for _ in 0..3 {
+            assert!(c.access(PartitionId(0), LineAddr(5), &ctx()).is_miss());
+        }
+        assert_eq!(c.partition_stats(PartitionId(0)).misses(), 3);
+    }
+
+    #[test]
+    fn lookup_hits_across_partitions() {
+        // A line inserted by partition 1 is still found by partition 0's
+        // lookup (shared physical array).
+        let mut c = WayPartitioned::new(64, 8, 2, Lru::new(), 1);
+        c.set_partition_sizes(&[256, 256]);
+        c.access(PartitionId(1), LineAddr(9), &ctx());
+        assert!(c.access(PartitionId(0), LineAddr(9), &ctx()).is_hit());
+    }
+
+    #[test]
+    fn per_partition_stats_are_separate() {
+        let mut c = WayPartitioned::new(64, 8, 2, Lru::new(), 1);
+        c.set_partition_sizes(&[256, 256]);
+        c.access(PartitionId(0), LineAddr(1), &ctx());
+        c.access(PartitionId(1), LineAddr(2), &ctx());
+        c.access(PartitionId(1), LineAddr(2), &ctx());
+        assert_eq!(c.partition_stats(PartitionId(0)).accesses(), 1);
+        assert_eq!(c.partition_stats(PartitionId(1)).accesses(), 2);
+        assert_eq!(c.total_stats().accesses(), 3);
+        c.reset_stats();
+        assert_eq!(c.total_stats().accesses(), 0);
+    }
+
+    #[test]
+    fn reallocation_moves_capacity() {
+        // 64-line cache: requests beyond capacity are capped at the full
+        // 8 ways (64 lines).
+        let mut c = WayPartitioned::new(64, 8, 2, Lru::new(), 1);
+        c.set_partition_sizes(&[64, 0]);
+        assert_eq!(c.ways_of(PartitionId(0)), 8);
+        let granted = c.set_partition_sizes(&[0, 64]);
+        assert_eq!(granted, vec![0, 64]);
+        assert_eq!(c.ways_of(PartitionId(0)), 0);
+        assert_eq!(c.ways_of(PartitionId(1)), 8);
+        // Oversubscribed requests are shaved to fit.
+        let granted = c.set_partition_sizes(&[512, 512]);
+        assert!(granted.iter().sum::<u64>() <= 64);
+    }
+
+    #[test]
+    fn working_set_fits_when_partition_large_enough() {
+        let mut c = WayPartitioned::new(512, 8, 2, Lru::new(), 1);
+        c.set_partition_sizes(&[256, 256]);
+        // 128-line working set in a 256-line partition: after warmup, all hits.
+        for _ in 0..4 {
+            for i in 0..128u64 {
+                c.access(PartitionId(0), LineAddr(i), &ctx());
+            }
+        }
+        let s = c.partition_stats(PartitionId(0));
+        assert!(s.hit_rate() > 0.70, "hit rate {}", s.hit_rate());
+    }
+}

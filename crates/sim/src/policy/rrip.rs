@@ -1,0 +1,463 @@
+//! RRIP-family policies: SRRIP, BRRIP, DRRIP, and thread-aware DRRIP
+//! (Jaleel et al., ISCA 2010), as configured in the paper's evaluation
+//! (M = 2 bits, ε = 1/32).
+
+use super::{AccessCtx, ReplacementPolicy};
+
+/// Number of RRPV bits (paper §VII-A: M = 2).
+const RRPV_BITS: u8 = 2;
+/// Maximum (distant) re-reference prediction value: 2^M − 1.
+pub(crate) const RRPV_MAX: u8 = (1 << RRPV_BITS) - 1;
+/// Long re-reference interval used by SRRIP insertion: 2^M − 2.
+pub(crate) const RRPV_LONG: u8 = RRPV_MAX - 1;
+/// BRRIP inserts at long (instead of distant) once every 1/ε misses.
+const BRRIP_EPSILON: u64 = 32;
+/// Set-dueling constituency: one SRRIP and one BRRIP leader per this many
+/// sets (per thread for the thread-aware variant).
+const DUEL_CONSTITUENCY: usize = 64;
+/// 10-bit saturating policy selector.
+const PSEL_MAX: i32 = 1023;
+const PSEL_INIT: i32 = PSEL_MAX / 2;
+
+/// Shared RRPV array logic.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RrpvTable {
+    pub(crate) rrpv: Vec<u8>,
+    ways: usize,
+}
+
+impl RrpvTable {
+    pub(crate) fn attach(&mut self, sets: usize, ways: usize) {
+        self.rrpv = vec![RRPV_MAX; sets * ways];
+        self.ways = ways;
+    }
+
+    pub(crate) fn promote(&mut self, set: usize, way: usize) {
+        self.rrpv[set * self.ways + way] = 0;
+    }
+
+    pub(crate) fn insert(&mut self, set: usize, way: usize, value: u8) {
+        self.rrpv[set * self.ways + way] = value;
+    }
+
+    /// SRRIP victim search: find a distant (RRPV max) candidate, aging all
+    /// candidates until one appears. Ties break toward the lowest way.
+    pub(crate) fn choose_victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "no victim candidates");
+        loop {
+            let mut oldest = candidates[0];
+            let mut oldest_v = 0;
+            for &w in candidates {
+                let v = self.rrpv[set * self.ways + w];
+                if v == RRPV_MAX {
+                    return w;
+                }
+                if v > oldest_v {
+                    oldest_v = v;
+                    oldest = w;
+                }
+            }
+            // Nobody distant: age everyone by the gap to RRPV_MAX. A single
+            // loop iteration then finds the (previously) oldest line.
+            let bump = RRPV_MAX - oldest_v;
+            debug_assert!(bump > 0);
+            for &w in candidates {
+                self.rrpv[set * self.ways + w] += bump;
+            }
+            let _ = oldest;
+        }
+    }
+}
+
+/// Static RRIP (SRRIP-HP): insert at long re-reference interval, promote
+/// to near-immediate on hit, evict distant lines.
+///
+/// Scan-resistant relative to LRU, but still thrashes on working sets
+/// slightly larger than the cache — which is why the paper shows Talus
+/// convexifying SRRIP too (Fig. 9).
+#[derive(Debug, Clone, Default)]
+pub struct Srrip {
+    table: RrpvTable,
+}
+
+impl Srrip {
+    /// Creates an SRRIP policy.
+    pub fn new() -> Self {
+        Srrip::default()
+    }
+}
+
+impl ReplacementPolicy for Srrip {
+    fn attach(&mut self, sets: usize, ways: usize) {
+        self.table.attach(sets, ways);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
+        self.table.promote(set, way);
+    }
+
+    fn choose_victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        self.table.choose_victim(set, candidates)
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
+        self.table.insert(set, way, RRPV_LONG);
+    }
+
+    fn name(&self) -> &'static str {
+        "SRRIP"
+    }
+}
+
+/// Bimodal RRIP: inserts at distant RRPV except for a 1/32 fraction of
+/// misses inserted at long, protecting the cache from thrash.
+#[derive(Debug, Clone)]
+pub struct Brrip {
+    table: RrpvTable,
+    miss_count: u64,
+}
+
+impl Brrip {
+    /// Creates a BRRIP policy; `seed` offsets the bimodal phase so
+    /// replicated caches do not insert in lockstep.
+    pub fn new(seed: u64) -> Self {
+        Brrip { table: RrpvTable::default(), miss_count: seed % BRRIP_EPSILON }
+    }
+
+    fn insertion_value(&mut self) -> u8 {
+        self.miss_count += 1;
+        if self.miss_count.is_multiple_of(BRRIP_EPSILON) {
+            RRPV_LONG
+        } else {
+            RRPV_MAX
+        }
+    }
+}
+
+impl ReplacementPolicy for Brrip {
+    fn attach(&mut self, sets: usize, ways: usize) {
+        self.table.attach(sets, ways);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
+        self.table.promote(set, way);
+    }
+
+    fn choose_victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        self.table.choose_victim(set, candidates)
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
+        let v = self.insertion_value();
+        self.table.insert(set, way, v);
+    }
+
+    fn name(&self) -> &'static str {
+        "BRRIP"
+    }
+}
+
+/// Which of the duelling insertion policies a set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DuelRole {
+    SrripLeader,
+    BrripLeader,
+    Follower,
+}
+
+/// Dynamic RRIP: set dueling between SRRIP and BRRIP insertion with a
+/// 10-bit PSEL counter (single-threaded variant).
+#[derive(Debug, Clone)]
+pub struct Drrip {
+    table: RrpvTable,
+    brrip_phase: u64,
+    psel: i32,
+}
+
+impl Drrip {
+    /// Creates a DRRIP policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Drrip { table: RrpvTable::default(), brrip_phase: seed % BRRIP_EPSILON, psel: PSEL_INIT }
+    }
+
+    fn role(set: usize) -> DuelRole {
+        match set % DUEL_CONSTITUENCY {
+            0 => DuelRole::SrripLeader,
+            1 => DuelRole::BrripLeader,
+            _ => DuelRole::Follower,
+        }
+    }
+
+    fn brrip_value(&mut self) -> u8 {
+        self.brrip_phase += 1;
+        if self.brrip_phase.is_multiple_of(BRRIP_EPSILON) {
+            RRPV_LONG
+        } else {
+            RRPV_MAX
+        }
+    }
+}
+
+impl ReplacementPolicy for Drrip {
+    fn attach(&mut self, sets: usize, ways: usize) {
+        self.table.attach(sets, ways);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
+        self.table.promote(set, way);
+    }
+
+    fn choose_victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        self.table.choose_victim(set, candidates)
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
+        // A miss in a leader set votes against that leader's policy.
+        let value = match Self::role(set) {
+            DuelRole::SrripLeader => {
+                self.psel = (self.psel + 1).min(PSEL_MAX);
+                RRPV_LONG
+            }
+            DuelRole::BrripLeader => {
+                self.psel = (self.psel - 1).max(0);
+                self.brrip_value()
+            }
+            DuelRole::Follower => {
+                // High PSEL: SRRIP leaders miss more, so follow BRRIP.
+                if self.psel > PSEL_INIT {
+                    self.brrip_value()
+                } else {
+                    RRPV_LONG
+                }
+            }
+        };
+        self.table.insert(set, way, value);
+    }
+
+    fn name(&self) -> &'static str {
+        "DRRIP"
+    }
+}
+
+/// Thread-aware DRRIP (TA-DRRIP): one PSEL and one pair of leader-set
+/// groups per thread, so each thread chooses SRRIP or BRRIP insertion
+/// independently in a shared cache.
+#[derive(Debug, Clone)]
+pub struct TaDrrip {
+    table: RrpvTable,
+    brrip_phase: u64,
+    psel: Vec<i32>,
+}
+
+/// Maximum threads TA-DRRIP tracks (Table I: 8-core CMP).
+const MAX_THREADS: usize = 16;
+
+impl TaDrrip {
+    /// Creates a TA-DRRIP policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        TaDrrip {
+            table: RrpvTable::default(),
+            brrip_phase: seed % BRRIP_EPSILON,
+            psel: vec![PSEL_INIT; MAX_THREADS],
+        }
+    }
+
+    fn role(set: usize, thread: usize) -> DuelRole {
+        // Each thread owns two slots in the constituency: 2t (SRRIP leader)
+        // and 2t+1 (BRRIP leader).
+        let slot = set % DUEL_CONSTITUENCY;
+        if slot == 2 * thread {
+            DuelRole::SrripLeader
+        } else if slot == 2 * thread + 1 {
+            DuelRole::BrripLeader
+        } else {
+            DuelRole::Follower
+        }
+    }
+
+    fn brrip_value(&mut self) -> u8 {
+        self.brrip_phase += 1;
+        if self.brrip_phase.is_multiple_of(BRRIP_EPSILON) {
+            RRPV_LONG
+        } else {
+            RRPV_MAX
+        }
+    }
+}
+
+impl ReplacementPolicy for TaDrrip {
+    fn attach(&mut self, sets: usize, ways: usize) {
+        self.table.attach(sets, ways);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
+        self.table.promote(set, way);
+    }
+
+    fn choose_victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        self.table.choose_victim(set, candidates)
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
+        let t = ctx.thread.index() % MAX_THREADS;
+        let value = match Self::role(set, t) {
+            DuelRole::SrripLeader => {
+                self.psel[t] = (self.psel[t] + 1).min(PSEL_MAX);
+                RRPV_LONG
+            }
+            DuelRole::BrripLeader => {
+                self.psel[t] = (self.psel[t] - 1).max(0);
+                self.brrip_value()
+            }
+            DuelRole::Follower => {
+                if self.psel[t] > PSEL_INIT {
+                    self.brrip_value()
+                } else {
+                    RRPV_LONG
+                }
+            }
+        };
+        self.table.insert(set, way, value);
+    }
+
+    fn name(&self) -> &'static str {
+        "TA-DRRIP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::ThreadId;
+
+    fn ctx() -> AccessCtx {
+        AccessCtx::new()
+    }
+
+    #[test]
+    fn srrip_promotes_on_hit_and_evicts_distant() {
+        let mut p = Srrip::new();
+        p.attach(1, 4);
+        for w in 0..4 {
+            p.on_insert(0, w, &ctx()); // all at RRPV_LONG = 2
+        }
+        p.on_hit(0, 1, &ctx()); // way 1 -> 0
+        // No distant lines: aging bumps everyone until some hit RRPV_MAX.
+        // Ways 0, 2, 3 (at 2) reach 3 first; lowest index wins.
+        assert_eq!(p.choose_victim(0, &[0, 1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn srrip_eviction_prefers_existing_distant_line() {
+        let mut p = Srrip::new();
+        p.attach(1, 2);
+        // Untouched table starts at RRPV_MAX, so way 0 is already distant.
+        assert_eq!(p.choose_victim(0, &[0, 1]), 0);
+    }
+
+    #[test]
+    fn srrip_aging_preserves_relative_order() {
+        let mut p = Srrip::new();
+        p.attach(1, 3);
+        for w in 0..3 {
+            p.on_insert(0, w, &ctx());
+        }
+        p.on_hit(0, 0, &ctx()); // rrpv 0
+        p.on_hit(0, 1, &ctx());
+        p.on_hit(0, 1, &ctx()); // still 0
+        // way 2 at RRPV_LONG ages to max first.
+        assert_eq!(p.choose_victim(0, &[0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn brrip_mostly_inserts_distant() {
+        let mut p = Brrip::new(0);
+        p.attach(1, 1);
+        let mut distant = 0;
+        for _ in 0..320 {
+            p.on_insert(0, 0, &ctx());
+            if p.table.rrpv[0] == RRPV_MAX {
+                distant += 1;
+            }
+        }
+        assert_eq!(distant, 320 - 10); // exactly 1/32 at long
+    }
+
+    #[test]
+    fn drrip_follower_tracks_psel() {
+        let mut p = Drrip::new(0);
+        p.attach(DUEL_CONSTITUENCY * 2, 1);
+        // Hammer the SRRIP leader set with misses: PSEL rises.
+        for _ in 0..600 {
+            p.on_insert(0, 0, &ctx());
+        }
+        assert!(p.psel > PSEL_INIT);
+        // Follower sets now use BRRIP insertion (mostly distant).
+        p.on_insert(5, 0, &ctx());
+        let v = p.table.rrpv[5];
+        assert!(v == RRPV_MAX || v == RRPV_LONG);
+        // And hammering the BRRIP leader drives PSEL down.
+        for _ in 0..1200 {
+            p.on_insert(1, 0, &ctx());
+        }
+        assert!(p.psel < PSEL_INIT);
+    }
+
+    #[test]
+    fn drrip_psel_saturates() {
+        let mut p = Drrip::new(0);
+        p.attach(DUEL_CONSTITUENCY, 1);
+        for _ in 0..5000 {
+            p.on_insert(0, 0, &ctx());
+        }
+        assert_eq!(p.psel, PSEL_MAX);
+        for _ in 0..5000 {
+            p.on_insert(1, 0, &ctx());
+        }
+        assert_eq!(p.psel, 0);
+    }
+
+    #[test]
+    fn ta_drrip_psel_is_per_thread() {
+        let mut p = TaDrrip::new(0);
+        p.attach(DUEL_CONSTITUENCY, 1);
+        let t0 = AccessCtx::from_thread(ThreadId(0));
+        let t1 = AccessCtx::from_thread(ThreadId(1));
+        // Thread 0 misses in its SRRIP leader (set 0).
+        for _ in 0..100 {
+            p.on_insert(0, 0, &t0);
+        }
+        // Thread 1 misses in its BRRIP leader (set 3).
+        for _ in 0..100 {
+            p.on_insert(3, 0, &t1);
+        }
+        assert!(p.psel[0] > PSEL_INIT);
+        assert!(p.psel[1] < PSEL_INIT);
+    }
+
+    #[test]
+    fn ta_drrip_ignores_foreign_leader_sets() {
+        let mut p = TaDrrip::new(0);
+        p.attach(DUEL_CONSTITUENCY, 1);
+        let t5 = AccessCtx::from_thread(ThreadId(5));
+        // Set 0 is thread 0's leader, not thread 5's: PSEL[5] unchanged.
+        for _ in 0..100 {
+            p.on_insert(0, 0, &t5);
+        }
+        assert_eq!(p.psel[5], PSEL_INIT);
+    }
+
+    #[test]
+    fn victim_respects_candidates() {
+        let mut p = Srrip::new();
+        p.attach(1, 8);
+        for w in 0..8 {
+            p.on_insert(0, w, &ctx());
+            p.on_hit(0, w, &ctx());
+        }
+        for _ in 0..10 {
+            let v = p.choose_victim(0, &[6, 7]);
+            assert!(v == 6 || v == 7);
+        }
+    }
+}

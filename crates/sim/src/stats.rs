@@ -1,0 +1,175 @@
+//! Access statistics: hit/miss counters and derived rates.
+
+/// The outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent (and, unless bypassed, has been inserted).
+    Miss,
+}
+
+impl AccessResult {
+    /// Whether this is a hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+
+    /// Whether this is a miss.
+    pub fn is_miss(self) -> bool {
+        matches!(self, AccessResult::Miss)
+    }
+}
+
+/// Hit/miss counters for a cache or partition.
+///
+/// # Examples
+///
+/// ```
+/// use talus_sim::{AccessResult, CacheStats};
+/// let mut s = CacheStats::new();
+/// s.record(AccessResult::Hit);
+/// s.record(AccessResult::Miss);
+/// assert_eq!(s.accesses(), 2);
+/// assert_eq!(s.miss_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Records one access outcome.
+    pub fn record(&mut self, result: AccessResult) {
+        match result {
+            AccessResult::Hit => self.hits += 1,
+            AccessResult::Miss => self.misses += 1,
+        }
+    }
+
+    /// Number of hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Misses per access in `[0, 1]`; zero if nothing was recorded.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Hits per access in `[0, 1]`; zero if nothing was recorded.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Misses per kilo-instruction given how many instructions the
+    /// recorded window covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is zero.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        assert!(instructions > 0, "instruction count must be positive");
+        self.misses as f64 * 1000.0 / instructions as f64
+    }
+
+    /// Resets all counters to zero (used at reconfiguration interval
+    /// boundaries).
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+
+    /// Adds another window's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_result_predicates() {
+        assert!(AccessResult::Hit.is_hit());
+        assert!(!AccessResult::Hit.is_miss());
+        assert!(AccessResult::Miss.is_miss());
+        assert!(!AccessResult::Miss.is_hit());
+    }
+
+    #[test]
+    fn rates_on_empty_stats_are_zero() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn record_and_rates() {
+        let mut s = CacheStats::new();
+        for _ in 0..3 {
+            s.record(AccessResult::Hit);
+        }
+        s.record(AccessResult::Miss);
+        assert_eq!(s.hits(), 3);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.miss_rate(), 0.25);
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn mpki_scales_by_instructions() {
+        let mut s = CacheStats::new();
+        for _ in 0..50 {
+            s.record(AccessResult::Miss);
+        }
+        assert_eq!(s.mpki(10_000), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "instruction count")]
+    fn mpki_rejects_zero_instructions() {
+        CacheStats::new().mpki(0);
+    }
+
+    #[test]
+    fn reset_and_merge() {
+        let mut a = CacheStats::new();
+        a.record(AccessResult::Hit);
+        let mut b = CacheStats::new();
+        b.record(AccessResult::Miss);
+        b.record(AccessResult::Miss);
+        a.merge(&b);
+        assert_eq!(a.accesses(), 3);
+        a.reset();
+        assert_eq!(a.accesses(), 0);
+    }
+}

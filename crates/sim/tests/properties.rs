@@ -1,0 +1,175 @@
+//! Property tests on the simulation substrate: policy contracts, LRU
+//! inclusion, sampler statistics, and partition-scheme accounting hold on
+//! arbitrary access streams, not just the unit tests' hand-picked ones.
+
+use proptest::prelude::*;
+use talus_sim::monitor::{MattsonMonitor, Monitor};
+use talus_sim::part::{FutilityScaled, PartitionedCacheModel, VantageLike};
+use talus_sim::policy::PolicyKind;
+use talus_sim::{
+    AccessCtx, CacheModel, FullyAssocLru, LineAddr, PartitionId, SetAssocCache, ShadowSampler,
+};
+
+/// Strategy: a short access stream over a bounded address space.
+fn arb_stream() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..4096, 64..2048)
+}
+
+/// All online policies (Belady needs oracle annotations; tested separately).
+fn online_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Lru,
+        PolicyKind::Srrip,
+        PolicyKind::Brrip,
+        PolicyKind::Drrip,
+        PolicyKind::TaDrrip,
+        PolicyKind::Dip,
+        PolicyKind::Pdp,
+        PolicyKind::Ship,
+        PolicyKind::Random,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// LRU's stack property (Mattson): a bigger LRU cache never misses
+    /// more than a smaller one on the same stream.
+    #[test]
+    fn lru_inclusion_property(stream in arb_stream(), small in 16u64..256) {
+        let big = small * 2;
+        let ctx = AccessCtx::new();
+        let mut small_cache = FullyAssocLru::new(small);
+        let mut big_cache = FullyAssocLru::new(big);
+        for &l in &stream {
+            small_cache.access(LineAddr(l), &ctx);
+            big_cache.access(LineAddr(l), &ctx);
+        }
+        prop_assert!(big_cache.stats().misses() <= small_cache.stats().misses());
+    }
+
+    /// The Mattson monitor's curve is non-increasing in size and matches
+    /// direct simulation of a fully-associative LRU cache at every size.
+    #[test]
+    fn mattson_matches_direct_lru(stream in arb_stream(), cap in 32u64..512) {
+        let mut mon = MattsonMonitor::new(4096);
+        let ctx = AccessCtx::new();
+        let mut cache = FullyAssocLru::new(cap);
+        for &l in &stream {
+            mon.record(LineAddr(l));
+            cache.access(LineAddr(l), &ctx);
+        }
+        // curve() interpolates on a 64-point grid; exactness is only
+        // promised at requested grid sizes, so evaluate there.
+        let curve = mon.curve_on_grid(&[cap]);
+        let predicted = curve.value_at(cap as f64);
+        let actual = cache.stats().miss_rate();
+        prop_assert!((predicted - actual).abs() < 1e-9,
+            "Mattson {predicted} vs direct {actual} at {cap}");
+    }
+
+    /// Every policy's victim always comes from the candidate set, and
+    /// every access is classified hit or miss exactly once (stats add up).
+    #[test]
+    fn policies_honor_contract_on_random_streams(stream in arb_stream(), seed in any::<u64>()) {
+        let ctx = AccessCtx::new();
+        for kind in online_policies() {
+            let mut cache = SetAssocCache::new(512, 8, kind.build(seed), seed);
+            for &l in &stream {
+                cache.access(LineAddr(l), &ctx);
+            }
+            let s = cache.stats();
+            prop_assert_eq!(s.accesses(), stream.len() as u64, "{}", kind.label());
+            prop_assert_eq!(s.hits() + s.misses(), s.accesses());
+        }
+    }
+
+    /// The shadow sampler is deterministic per line and its acceptance
+    /// fraction tracks ρ.
+    #[test]
+    fn shadow_sampler_is_deterministic_and_calibrated(
+        rho_pct in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let rho = rho_pct as f64 / 100.0;
+        let mut s = ShadowSampler::new(seed);
+        s.set_rate(rho);
+        let mut to_alpha = 0u64;
+        let n = 20_000u64;
+        for l in 0..n {
+            let first = s.goes_to_alpha(LineAddr(l));
+            prop_assert_eq!(first, s.goes_to_alpha(LineAddr(l)), "must be deterministic");
+            if first {
+                to_alpha += 1;
+            }
+        }
+        let frac = to_alpha as f64 / n as f64;
+        // The limit register is 8-bit, so calibration is within ~1/256 + noise.
+        prop_assert!((frac - rho).abs() < 0.02, "rho {rho} measured {frac}");
+    }
+
+    /// Partitioned schemes never lose or invent accesses, and occupancy
+    /// never exceeds capacity.
+    #[test]
+    fn partition_accounting_is_conserved(
+        stream in arb_stream(),
+        split_pct in 1u64..100,
+        seed in any::<u64>(),
+    ) {
+        let capacity = 1024u64;
+        let s0 = capacity * split_pct / 100;
+        let mut vantage = VantageLike::new(capacity, 16, 2, seed);
+        vantage.set_partition_sizes(&[s0, capacity - s0]);
+        let mut futility = FutilityScaled::new(capacity, 16, 2, seed);
+        futility.set_partition_sizes(&[s0, capacity - s0]);
+        let ctx = AccessCtx::new();
+        for (i, &l) in stream.iter().enumerate() {
+            let p = PartitionId((i % 2) as u32);
+            vantage.access(p, LineAddr(l), &ctx);
+            futility.access(p, LineAddr(l), &ctx);
+        }
+        for cache in [&vantage.total_stats(), &futility.total_stats()] {
+            prop_assert_eq!(cache.accesses(), stream.len() as u64);
+        }
+        let v_occ = vantage.occupancy(PartitionId(0)) + vantage.occupancy(PartitionId(1));
+        let f_occ = futility.occupancy(PartitionId(0)) + futility.occupancy(PartitionId(1));
+        prop_assert!(v_occ <= capacity, "vantage occupancy {v_occ}");
+        prop_assert!(f_occ <= capacity, "futility occupancy {f_occ}");
+    }
+
+    /// Re-running any policy on the same stream with the same seed gives
+    /// identical miss counts (end-to-end determinism).
+    #[test]
+    fn simulation_is_deterministic(stream in arb_stream(), seed in any::<u64>()) {
+        for kind in [PolicyKind::Drrip, PolicyKind::Pdp, PolicyKind::Ship, PolicyKind::Random] {
+            let run = || {
+                let ctx = AccessCtx::new();
+                let mut cache = SetAssocCache::new(256, 8, kind.build(seed), seed);
+                for &l in &stream {
+                    cache.access(LineAddr(l), &ctx);
+                }
+                cache.stats().misses()
+            };
+            prop_assert_eq!(run(), run(), "{}", kind.label());
+        }
+    }
+
+    /// A zero-sized partition bypasses: it never hits and never holds
+    /// lines, for both fine-grained schemes.
+    #[test]
+    fn zero_partitions_bypass(stream in arb_stream(), seed in any::<u64>()) {
+        let mut vantage = VantageLike::new(512, 16, 2, seed);
+        vantage.set_partition_sizes(&[0, 512]);
+        let mut futility = FutilityScaled::new(512, 16, 2, seed);
+        futility.set_partition_sizes(&[0, 512]);
+        let ctx = AccessCtx::new();
+        for &l in &stream {
+            vantage.access(PartitionId(0), LineAddr(l), &ctx);
+            futility.access(PartitionId(0), LineAddr(l), &ctx);
+        }
+        prop_assert_eq!(vantage.partition_stats(PartitionId(0)).hits(), 0);
+        prop_assert_eq!(futility.partition_stats(PartitionId(0)).hits(), 0);
+        prop_assert_eq!(vantage.occupancy(PartitionId(0)), 0);
+        prop_assert_eq!(futility.occupancy(PartitionId(0)), 0);
+    }
+}

@@ -1,0 +1,573 @@
+//! Access-stream generators.
+//!
+//! The paper's workloads are SPEC CPU2006 binaries run under zsim; this
+//! crate replaces them with composable synthetic generators whose LRU miss
+//! curves have the same qualitative shapes (plateaus, cliffs, convex
+//! declines — see DESIGN.md for the substitution argument). The primitives:
+//!
+//! - [`Scan`]: cyclic sequential sweeps — the canonical cliff-maker
+//!   (libquantum's 32 MB array);
+//! - [`UniformRandom`]: flat random reuse over a working set — a sharp
+//!   knee once the set fits;
+//! - [`Zipfian`]: skewed reuse — smooth convex miss curves;
+//! - [`Mixture`]: probabilistic blends of the above — plateaus *between*
+//!   knees (the §III example);
+//! - [`Phased`]: time-varying behaviour for stressing Assumption 1.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use talus_sim::LineAddr;
+
+/// An infinite access stream at cache-line granularity.
+pub trait AccessGenerator: std::fmt::Debug {
+    /// Produces the next accessed line.
+    fn next_line(&mut self) -> LineAddr;
+
+    /// Total distinct lines this generator can touch (its footprint).
+    fn footprint_lines(&self) -> u64;
+}
+
+impl AccessGenerator for Box<dyn AccessGenerator> {
+    fn next_line(&mut self) -> LineAddr {
+        (**self).next_line()
+    }
+
+    fn footprint_lines(&self) -> u64 {
+        (**self).footprint_lines()
+    }
+}
+
+/// A cyclic sequential scan over `lines` lines starting at `base`.
+///
+/// Under LRU, a scan of `L` lines hits 100% in caches of at least `L`
+/// lines and 0% in anything smaller: a pure cliff.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    base: u64,
+    lines: u64,
+    pos: u64,
+}
+
+impl Scan {
+    /// Creates a scan of `lines` lines with addresses starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn new(base: u64, lines: u64) -> Self {
+        assert!(lines > 0, "scan footprint must be positive");
+        Scan { base, lines, pos: 0 }
+    }
+}
+
+impl AccessGenerator for Scan {
+    fn next_line(&mut self) -> LineAddr {
+        let l = LineAddr(self.base + self.pos);
+        self.pos = (self.pos + 1) % self.lines;
+        l
+    }
+
+    fn footprint_lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+/// Uniform random accesses over a working set of `lines` lines.
+#[derive(Debug, Clone)]
+pub struct UniformRandom {
+    base: u64,
+    lines: u64,
+    rng: SmallRng,
+}
+
+impl UniformRandom {
+    /// Creates a uniform generator over `lines` lines starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn new(base: u64, lines: u64, seed: u64) -> Self {
+        assert!(lines > 0, "working set must be positive");
+        UniformRandom { base, lines, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl AccessGenerator for UniformRandom {
+    fn next_line(&mut self) -> LineAddr {
+        LineAddr(self.base + self.rng.gen_range(0..self.lines))
+    }
+
+    fn footprint_lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+/// Zipf-distributed accesses over `lines` lines (rank 1 hottest), using
+/// rejection-inversion sampling (Hörmann & Derflinger), O(1) per sample
+/// with no precomputed tables.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    base: u64,
+    lines: u64,
+    exponent: f64,
+    rng: SmallRng,
+    // Precomputed constants for rejection-inversion.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipfian {
+    /// Creates a Zipf(`exponent`) generator over `lines` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or `exponent` is not positive and finite.
+    pub fn new(base: u64, lines: u64, exponent: f64, seed: u64) -> Self {
+        assert!(lines > 0, "working set must be positive");
+        assert!(
+            exponent > 0.0 && exponent.is_finite(),
+            "zipf exponent must be positive and finite"
+        );
+        let n = lines as f64;
+        let h_x1 = Self::h(1.5, exponent) - 1.0;
+        let h_n = Self::h(n + 0.5, exponent);
+        let s = 2.0 - Self::h_inv(Self::h(2.5, exponent) - 2.0f64.powf(-exponent), exponent);
+        Zipfian { base, lines, exponent, rng: SmallRng::seed_from_u64(seed), h_x1, h_n, s }
+    }
+
+    /// Integral of the Zipf density envelope: H(x) = (x^(1-q) - 1)/(1-q),
+    /// or ln(x) for q = 1.
+    fn h(x: f64, q: f64) -> f64 {
+        if (q - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - q) - 1.0) / (1.0 - q)
+        }
+    }
+
+    fn h_inv(x: f64, q: f64) -> f64 {
+        if (q - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - q)).powf(1.0 / (1.0 - q))
+        }
+    }
+
+    fn sample_rank(&mut self) -> u64 {
+        loop {
+            let u = self.h_x1 + self.rng.gen::<f64>() * (self.h_n - self.h_x1);
+            let x = Self::h_inv(u, self.exponent);
+            let k = (x + 0.5).floor().max(1.0).min(self.lines as f64);
+            if k - x <= self.s
+                || u >= Self::h(k + 0.5, self.exponent) - k.powf(-self.exponent)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+impl AccessGenerator for Zipfian {
+    fn next_line(&mut self) -> LineAddr {
+        // Scramble ranks so hot lines are spread across the address space
+        // (and therefore across cache sets).
+        let rank = self.sample_rank() - 1;
+        let scrambled = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.lines;
+        LineAddr(self.base + scrambled)
+    }
+
+    fn footprint_lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+/// A cyclic scan with a non-unit stride: touches `base + (i·stride mod
+/// lines)` — the access pattern of column-major sweeps over row-major
+/// arrays. Under LRU it has exactly [`Scan`]'s cliff (every line is
+/// touched once per period), but stream prefetchers keyed on unit
+/// strides, like [`StreamPrefetcher`](crate::StreamPrefetcher), get no
+/// coverage — useful for separating "cliff removed by Talus" from
+/// "cliff hidden by the prefetcher".
+#[derive(Debug, Clone)]
+pub struct StridedScan {
+    base: u64,
+    lines: u64,
+    stride: u64,
+    pos: u64,
+}
+
+impl StridedScan {
+    /// Creates a strided scan. For full coverage `stride` should be
+    /// coprime with `lines`; the constructor nudges it up by one when it
+    /// is not (and documents so), keeping the footprint exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `stride` is zero.
+    pub fn new(base: u64, lines: u64, stride: u64) -> Self {
+        assert!(lines > 0, "scan footprint must be positive");
+        assert!(stride > 0, "stride must be positive");
+        let mut stride = stride % lines.max(2);
+        if stride == 0 {
+            stride = 1;
+        }
+        while gcd(stride, lines) != 1 {
+            stride += 1;
+        }
+        StridedScan { base, lines, stride, pos: 0 }
+    }
+
+    /// The (possibly adjusted) stride actually in use.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 { a } else { gcd(b, a % b) }
+}
+
+impl AccessGenerator for StridedScan {
+    fn next_line(&mut self) -> LineAddr {
+        let l = LineAddr(self.base + self.pos);
+        self.pos = (self.pos + self.stride) % self.lines;
+        l
+    }
+
+    fn footprint_lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+/// A pointer chase: walks a pseudo-random single-cycle permutation of the
+/// working set, so every line is touched exactly once per period (the
+/// same uniform reuse distance — and therefore the same LRU cliff — as a
+/// scan) but with no spatial locality whatsoever. The worst case for
+/// stream prefetchers and the classic latency-bound workload (linked
+/// lists, graph traversals).
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    base: u64,
+    lines: u64,
+    multiplier: u64,
+    pos: u64,
+}
+
+impl PointerChase {
+    /// Creates a pointer chase over `lines` lines starting at `base`.
+    ///
+    /// The permutation is `x → (a·x + 1) mod lines` with `a` chosen
+    /// coprime-ish from `seed`, which is a full cycle for any `lines`
+    /// when `a` satisfies the Hull–Dobell conditions; we fall back to
+    /// `a = 1` (a plain scan) when the conditions cannot be met.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn new(base: u64, lines: u64, seed: u64) -> Self {
+        assert!(lines > 0, "working set must be positive");
+        // Hull–Dobell: a ≡ 1 mod p for every prime p | lines, and
+        // a ≡ 1 mod 4 if 4 | lines. Take a = 1 + k·rad(lines) (times 2
+        // if needed), with k from the seed.
+        let mut rad = radical(lines);
+        if lines % 4 == 0 && rad % 4 != 0 {
+            rad *= 2;
+        }
+        let k = 1 + (seed % 61);
+        let multiplier = (1 + k * rad) % lines.max(1);
+        let multiplier = if multiplier == 0 { 1 } else { multiplier };
+        PointerChase { base, lines, multiplier, pos: 0 }
+    }
+}
+
+/// The radical of `n`: the product of its distinct prime factors.
+fn radical(mut n: u64) -> u64 {
+    let mut rad = 1;
+    let mut p = 2;
+    while p * p <= n {
+        if n % p == 0 {
+            rad *= p;
+            while n % p == 0 {
+                n /= p;
+            }
+        }
+        p += 1;
+    }
+    if n > 1 {
+        rad *= n;
+    }
+    rad
+}
+
+impl AccessGenerator for PointerChase {
+    fn next_line(&mut self) -> LineAddr {
+        let l = LineAddr(self.base + self.pos);
+        self.pos = (self.multiplier.wrapping_mul(self.pos) + 1) % self.lines;
+        l
+    }
+
+    fn footprint_lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+/// A weighted blend of generators: each access picks a component with
+/// probability proportional to its weight.
+#[derive(Debug)]
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn AccessGenerator>)>,
+    cumulative: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, generator)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or any weight is non-positive.
+    pub fn new(components: Vec<(f64, Box<dyn AccessGenerator>)>, seed: u64) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(
+            components.iter().all(|(w, _)| *w > 0.0) && total.is_finite(),
+            "weights must be positive and finite"
+        );
+        let mut acc = 0.0;
+        let cumulative = components
+            .iter()
+            .map(|(w, _)| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Mixture { components, cumulative, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl AccessGenerator for Mixture {
+    fn next_line(&mut self) -> LineAddr {
+        let u = self.rng.gen::<f64>();
+        let idx = self.cumulative.partition_point(|&c| c < u).min(self.components.len() - 1);
+        self.components[idx].1.next_line()
+    }
+
+    fn footprint_lines(&self) -> u64 {
+        self.components.iter().map(|(_, g)| g.footprint_lines()).sum()
+    }
+}
+
+/// Switches between generators on a fixed access schedule, looping forever.
+/// Used to stress Assumption 1 (miss-curve stability across intervals).
+#[derive(Debug)]
+pub struct Phased {
+    phases: Vec<(u64, Box<dyn AccessGenerator>)>,
+    current: usize,
+    remaining: u64,
+}
+
+impl Phased {
+    /// Creates a phased generator from `(accesses, generator)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase length is zero.
+    pub fn new(phases: Vec<(u64, Box<dyn AccessGenerator>)>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(phases.iter().all(|(n, _)| *n > 0), "phase lengths must be positive");
+        let remaining = phases[0].0;
+        Phased { phases, current: 0, remaining }
+    }
+}
+
+impl AccessGenerator for Phased {
+    fn next_line(&mut self) -> LineAddr {
+        if self.remaining == 0 {
+            self.current = (self.current + 1) % self.phases.len();
+            self.remaining = self.phases[self.current].0;
+        }
+        self.remaining -= 1;
+        self.phases[self.current].1.next_line()
+    }
+
+    fn footprint_lines(&self) -> u64 {
+        self.phases.iter().map(|(_, g)| g.footprint_lines()).sum()
+    }
+}
+
+/// Collects `n` accesses from a generator into a trace.
+pub fn collect_trace<G: AccessGenerator>(gen: &mut G, n: usize) -> Vec<LineAddr> {
+    (0..n).map(|_| gen.next_line()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn scan_cycles_in_order() {
+        let mut s = Scan::new(100, 4);
+        let got: Vec<u64> = (0..6).map(|_| s.next_line().value()).collect();
+        assert_eq!(got, vec![100, 101, 102, 103, 100, 101]);
+        assert_eq!(s.footprint_lines(), 4);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_covers() {
+        let mut g = UniformRandom::new(1000, 50, 7);
+        let mut seen = HashSet::new();
+        for _ in 0..5000 {
+            let l = g.next_line().value();
+            assert!((1000..1050).contains(&l));
+            seen.insert(l);
+        }
+        assert_eq!(seen.len(), 50, "should cover the whole working set");
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        // With exponent 1.0 over 1000 lines, the most common line should
+        // far exceed the median line's frequency.
+        let mut g = Zipfian::new(0, 1000, 1.0, 3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(g.next_line().value()).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(freqs[0] > 20 * freqs[freqs.len() / 2], "top {} median {}", freqs[0], freqs[freqs.len() / 2]);
+    }
+
+    #[test]
+    fn zipf_rank_one_frequency_matches_theory() {
+        // P(rank 1) with q=1, N=100 is 1/H_100 ≈ 0.1928.
+        let mut g = Zipfian::new(0, 100, 1.0, 11);
+        let hot = (0u64..100).map(|r| r.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 100).next().unwrap();
+        let mut hot_count = 0u32;
+        let n = 200_000;
+        for _ in 0..n {
+            if g.next_line().value() == hot {
+                hot_count += 1;
+            }
+        }
+        let p = hot_count as f64 / n as f64;
+        assert!((p - 0.1928).abs() < 0.01, "P(rank1) = {p}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let mut g = Zipfian::new(500, 64, 0.8, 5);
+        for _ in 0..10_000 {
+            let v = g.next_line().value();
+            assert!((500..564).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mixture_respects_weights() {
+        // 25% scan over lines 0..10, 75% random over 1000..1100.
+        let m = Mixture::new(
+            vec![
+                (1.0, Box::new(Scan::new(0, 10)) as Box<dyn AccessGenerator>),
+                (3.0, Box::new(UniformRandom::new(1000, 100, 1))),
+            ],
+            9,
+        );
+        let mut m = m;
+        let mut low = 0u32;
+        let n = 40_000;
+        for _ in 0..n {
+            if m.next_line().value() < 100 {
+                low += 1;
+            }
+        }
+        let frac = low as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "scan fraction {frac}");
+        assert_eq!(m.footprint_lines(), 110);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn mixture_rejects_zero_weight() {
+        Mixture::new(
+            vec![(0.0, Box::new(Scan::new(0, 1)) as Box<dyn AccessGenerator>)],
+            1,
+        );
+    }
+
+    #[test]
+    fn phased_switches_and_loops() {
+        let mut p = Phased::new(vec![
+            (2, Box::new(Scan::new(0, 10)) as Box<dyn AccessGenerator>),
+            (1, Box::new(Scan::new(100, 10))),
+        ]);
+        let got: Vec<u64> = (0..6).map(|_| p.next_line().value()).collect();
+        // Phase A: 0,1; phase B: 100; phase A: 2,3; phase B: 101.
+        assert_eq!(got, vec![0, 1, 100, 2, 3, 101]);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = Zipfian::new(0, 1000, 0.9, 42);
+        let mut b = Zipfian::new(0, 1000, 0.9, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_line(), b.next_line());
+        }
+    }
+
+    #[test]
+    fn collect_trace_length() {
+        let mut s = Scan::new(0, 3);
+        let t = collect_trace(&mut s, 7);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn strided_scan_covers_whole_footprint_each_period() {
+        let mut g = StridedScan::new(100, 12, 5);
+        let mut seen = HashSet::new();
+        for _ in 0..12 {
+            seen.insert(g.next_line().value());
+        }
+        assert_eq!(seen.len(), 12, "one full period covers every line");
+        // Second period repeats the same cycle.
+        assert_eq!(g.next_line().value(), 100);
+    }
+
+    #[test]
+    fn strided_scan_fixes_non_coprime_strides() {
+        let g = StridedScan::new(0, 12, 4); // gcd(4,12)=4 → nudged to 5
+        assert_eq!(g.stride(), 5);
+    }
+
+    #[test]
+    fn pointer_chase_is_a_full_cycle() {
+        for lines in [7u64, 12, 64, 100, 1024] {
+            let mut g = PointerChase::new(0, lines, 9);
+            let mut seen = HashSet::new();
+            for _ in 0..lines {
+                seen.insert(g.next_line().value());
+            }
+            assert_eq!(seen.len() as u64, lines, "full cycle over {lines} lines");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_has_no_unit_stride_runs() {
+        // The anti-prefetcher property: consecutive addresses are almost
+        // never consecutive lines.
+        let mut g = PointerChase::new(0, 4096, 3);
+        let mut prev = g.next_line().value();
+        let mut unit_steps = 0;
+        for _ in 0..4096 {
+            let cur = g.next_line().value();
+            if cur == prev + 1 {
+                unit_steps += 1;
+            }
+            prev = cur;
+        }
+        assert!(unit_steps < 100, "{unit_steps} unit strides out of 4096");
+    }
+}

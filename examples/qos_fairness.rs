@@ -1,0 +1,65 @@
+//! QoS and fairness: equal allocations that actually work (the paper's
+//! Fig. 13 scenario as an API demo).
+//!
+//! ```text
+//! cargo run -p talus-examples --release --example qos_fairness
+//! ```
+//!
+//! Eight copies of a cliff application share an LLC. Fair (equal)
+//! partitioning of plain LRU gives every copy a below-cliff share — nobody
+//! benefits. Lookahead helps throughput by giving one lucky copy
+//! everything — grossly unfair. Talus makes the fair split productive:
+//! every copy speeds up equally.
+
+use talus_examples::{banner, row};
+use talus_multicore::{
+    coefficient_of_variation, run_mix, AllocAlgo, RunConfig, SchemeKind, SystemConfig,
+};
+use talus_workloads::{profile, AppProfile};
+
+const SCALE: f64 = 1.0 / 16.0;
+
+fn main() {
+    let app = profile("omnetpp").expect("roster has omnetpp").scaled(SCALE);
+    let copies: Vec<AppProfile> = (0..8).map(|_| app.clone()).collect();
+    banner("scenario");
+    row("application", "8 x omnetpp (cliff at 2 MB paper-scale)");
+    row("shared LLC", "8 MB paper-scale: each fair share sits ON the cliff");
+
+    let mut system = SystemConfig::eight_core();
+    system.llc_mb = 8.0 * SCALE;
+    system.reconfig_accesses = 80_000;
+    let cfg = RunConfig::new(system).with_work(6e6).with_seed(11);
+
+    banner("results (lower CoV = fairer)");
+    println!(
+        "  {:<28} {:>12} {:>12} {:>14}",
+        "scheme", "mean IPC", "CoV of IPC", "slowest copy"
+    );
+    for scheme in [
+        SchemeKind::SharedLru,
+        SchemeKind::PartitionedLru(AllocAlgo::Fair),
+        SchemeKind::PartitionedLru(AllocAlgo::Lookahead),
+        SchemeKind::PartitionedLru(AllocAlgo::Imbalanced),
+        SchemeKind::TalusLru(AllocAlgo::Fair),
+    ] {
+        let r = run_mix(&copies, scheme, &cfg);
+        let ipcs = r.ipcs();
+        let mean = ipcs.iter().sum::<f64>() / ipcs.len() as f64;
+        let cov = coefficient_of_variation(&ipcs);
+        let worst = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {:<28} {:>12.3} {:>12.3} {:>14.3}",
+            scheme.label(),
+            mean,
+            cov,
+            worst
+        );
+    }
+
+    banner("the point");
+    row("Lookahead", "raises the mean by feeding a few copies — CoV explodes");
+    row("Talus + fair", "equal shares become productive: high mean, tiny CoV");
+    println!("\nWith convex miss curves, the fair allocation is also the utility-maximal one");
+    println!("(paper §II-D) — no imbalanced time-multiplexing tricks needed.");
+}

@@ -1,0 +1,13 @@
+//! Shared helpers for the runnable examples.
+
+#![forbid(unsafe_code)]
+
+/// Prints a two-column table row, aligned for terminal reading.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<44} {value}");
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,59 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use talus_sim::monitor::{MattsonMonitor, Monitor};
+use talus_sim::part::PartitionedCacheModel;
+use talus_sim::{AccessCtx, LineAddr, TalusCacheConfig, TalusSingleCache};
+use talus_workloads::{AccessGenerator, AppProfile};
+
+/// Test scale: shrink every profile footprint by this factor.
+pub const TEST_SCALE: f64 = 1.0 / 128.0;
+
+/// A scaled profile by name (panics if unknown — tests use known names).
+pub fn scaled_profile(name: &str) -> AppProfile {
+    talus_workloads::profile(name)
+        .unwrap_or_else(|| panic!("unknown profile {name}"))
+        .scaled(TEST_SCALE)
+}
+
+/// Measures a profile's exact LRU miss rate at one size (lines) with a
+/// Mattson monitor: `(miss_rate_at_size, accesses)`.
+pub fn lru_miss_rate(profile: &AppProfile, size_lines: u64, accesses: u64, seed: u64) -> f64 {
+    let mut gen = profile.generator(seed, 0);
+    let mut mon = MattsonMonitor::new(size_lines.max(1) * 2);
+    for _ in 0..accesses {
+        mon.record(gen.next_line());
+    }
+    mon.curve_on_grid(&[0, size_lines]).value_at(size_lines as f64)
+}
+
+/// Runs a Talus single-app cache over a profile and returns the achieved
+/// miss rate after warmup.
+pub fn talus_miss_rate<C: PartitionedCacheModel>(
+    cache: C,
+    profile: &AppProfile,
+    accesses: u64,
+    config: TalusCacheConfig,
+    seed: u64,
+) -> f64 {
+    let cap = cache.capacity_lines();
+    let mon = MattsonMonitor::new(cap * 4);
+    let mut talus = TalusSingleCache::new(cache, mon, (accesses / 8).max(20_000), config);
+    let mut gen = profile.generator(seed, 0);
+    let ctx = AccessCtx::new();
+    for _ in 0..accesses {
+        talus.access(gen.next_line(), &ctx);
+    }
+    talus.reset_stats();
+    let mut gen = profile.generator(seed.wrapping_add(1), 0);
+    for _ in 0..accesses {
+        talus.access(gen.next_line(), &ctx);
+    }
+    talus.stats().miss_rate()
+}
+
+/// A deterministic cyclic-scan trace of `len` accesses over `lines` lines.
+pub fn scan_trace(lines: u64, len: usize) -> Vec<LineAddr> {
+    (0..len as u64).map(|i| LineAddr(i % lines)).collect()
+}

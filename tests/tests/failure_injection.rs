@@ -1,0 +1,158 @@
+//! Failure injection: Talus's control loop must degrade gracefully when
+//! its inputs are hostile — empty monitors, garbage curves, flat curves,
+//! absurd targets — because in hardware a bad reconfiguration simply must
+//! not take the cache down.
+
+use proptest::prelude::*;
+use talus_core::{plan, MissCurve, TalusOptions};
+use talus_sim::monitor::Monitor;
+use talus_sim::part::IdealPartitioned;
+use talus_sim::{
+    AccessCtx, LineAddr, PartitionId, TalusCache, TalusCacheConfig, TalusSingleCache,
+};
+
+/// A monitor that reports pathological curves on demand.
+#[derive(Debug)]
+struct HostileMonitor {
+    mode: HostileMode,
+    recorded: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HostileMode {
+    /// Never sees any traffic: all-miss curve.
+    Cold,
+    /// A completely flat curve: capacity never helps.
+    Flat,
+    /// A rising curve (more cache = more misses — broken hardware).
+    Rising,
+    /// A single-point curve (degenerate domain).
+    SinglePoint,
+}
+
+impl Monitor for HostileMonitor {
+    fn record(&mut self, _line: LineAddr) {
+        self.recorded += 1;
+    }
+
+    fn curve(&self) -> MissCurve {
+        match self.mode {
+            HostileMode::Cold | HostileMode::Flat => {
+                MissCurve::from_samples(&[0.0, 4096.0, 16384.0], &[1.0, 1.0, 1.0])
+                    .expect("flat curve is valid")
+            }
+            HostileMode::Rising => {
+                MissCurve::from_samples(&[0.0, 4096.0, 16384.0], &[0.1, 0.5, 1.0])
+                    .expect("rising curve is valid")
+            }
+            HostileMode::SinglePoint => {
+                MissCurve::from_samples(&[0.0], &[1.0]).expect("single point is valid")
+            }
+        }
+    }
+
+    fn sampled_accesses(&self) -> u64 {
+        self.recorded
+    }
+
+    fn reset(&mut self) {
+        self.recorded = 0;
+    }
+}
+
+/// Whatever the monitor claims, accesses must keep flowing and stats must
+/// keep adding up — a bad curve can waste capacity but never wedge the
+/// cache.
+#[test]
+fn hostile_monitors_never_wedge_the_cache() {
+    for mode in [
+        HostileMode::Cold,
+        HostileMode::Flat,
+        HostileMode::Rising,
+        HostileMode::SinglePoint,
+    ] {
+        let cache = IdealPartitioned::new(2048, 2);
+        let monitor = HostileMonitor { mode, recorded: 0 };
+        let mut talus = TalusSingleCache::new(cache, monitor, 10_000, TalusCacheConfig::new());
+        let ctx = AccessCtx::new();
+        let n = 100_000u64;
+        for i in 0..n {
+            talus.access(LineAddr(i % 1024), &ctx);
+        }
+        let stats = talus.stats();
+        assert_eq!(stats.accesses(), n, "{mode:?}: accesses lost");
+        // The 1024-line working set fits in 2048 lines: even under a
+        // garbage plan at least the α partition holds a useful fraction.
+        assert!(stats.hit_rate() > 0.0, "{mode:?}: cache wedged");
+    }
+}
+
+/// Targets beyond the monitored curve run *unpartitioned* (there is
+/// nothing to bridge past the last vertex) instead of failing — the
+/// designed graceful degradation when a cache outgrows its monitor.
+#[test]
+fn beyond_curve_targets_run_unpartitioned() {
+    let cache = IdealPartitioned::new(4096, 2);
+    let mut talus = TalusCache::new(cache, 1, TalusCacheConfig::new());
+    let curve = MissCurve::from_samples(&[0.0, 1024.0, 2048.0], &[1.0, 0.6, 0.1])
+        .expect("valid curve");
+    let plans = talus.reconfigure(&[4096], &[curve]).expect("beyond-domain target degrades");
+    assert!(plans[0].shadow().is_none(), "no shadow bridge past the curve");
+    assert_eq!(talus.sampling_rate(PartitionId(0)), 1.0, "everything to alpha");
+}
+
+/// `plan` rejects non-finite and negative sizes without panicking, and
+/// treats absurdly large (but finite) sizes as beyond-domain
+/// unpartitioned plans.
+#[test]
+fn plan_rejects_bad_sizes() {
+    let curve =
+        MissCurve::from_samples(&[0.0, 100.0, 200.0], &[1.0, 0.5, 0.1]).expect("valid");
+    assert!(plan(&curve, -1.0, TalusOptions::new()).is_err());
+    assert!(plan(&curve, f64::NAN, TalusOptions::new()).is_err());
+    assert!(plan(&curve, f64::INFINITY, TalusOptions::new()).is_err());
+    let huge = plan(&curve, 1e18, TalusOptions::new()).expect("finite huge size degrades");
+    assert!(huge.shadow().is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reconfiguring with arbitrary monotone curves and arbitrary splits
+    /// always yields a sampler rate in [0, 1] and hardware requests that
+    /// never exceed capacity.
+    #[test]
+    fn reconfigure_invariants_hold_for_arbitrary_curves(
+        seed in any::<u64>(),
+        target_pct in 1u64..=100,
+    ) {
+        // Random monotone curve over [0, 2·capacity].
+        let capacity = 4096u64;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 8 + (next() % 24) as usize;
+        let mut sizes = Vec::with_capacity(n);
+        let mut misses = Vec::with_capacity(n);
+        let mut m = 50.0 + (next() % 100) as f64;
+        for i in 0..n {
+            sizes.push(i as f64 * (2.0 * capacity as f64) / (n - 1) as f64);
+            misses.push(m);
+            m = (m - (next() % 16) as f64).max(0.0);
+        }
+        let curve = MissCurve::from_samples(&sizes, &misses).expect("valid random curve");
+        let cache = IdealPartitioned::new(capacity, 2);
+        let mut talus = TalusCache::new(cache, 1, TalusCacheConfig::new());
+        let target = capacity * target_pct / 100;
+        let plans = talus.reconfigure(&[target], &[curve]).expect("target is in-domain");
+        let rate = talus.sampling_rate(PartitionId(0));
+        prop_assert!((0.0..=1.0).contains(&rate), "rate {rate}");
+        prop_assert_eq!(plans.len(), 1);
+        // The plan's expected misses can never exceed the all-miss rate.
+        prop_assert!(plans[0].expected_misses() <= 151.0);
+    }
+}

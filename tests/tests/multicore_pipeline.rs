@@ -1,0 +1,103 @@
+//! The full multicore pipeline: monitors → hulls → allocation → shadow
+//! partitions, exercised through the public `talus-multicore` API.
+
+use talus_integration::scaled_profile;
+use talus_multicore::{
+    coefficient_of_variation, run_mix, weighted_speedup, AllocAlgo, RunConfig, SchemeKind,
+    SystemConfig,
+};
+use talus_workloads::AppProfile;
+
+fn cfg(llc_scaled_mb: f64, cores: usize) -> RunConfig {
+    let mut system = SystemConfig::eight_core();
+    system.cores = cores;
+    system.llc_mb = llc_scaled_mb;
+    system.reconfig_accesses = 60_000;
+    RunConfig::new(system).with_work(4e6).with_seed(23)
+}
+
+/// The Fig. 13 mechanism end-to-end: 8 copies of a cliff app, fair Talus
+/// beats fair LRU for *every* copy while staying fair.
+#[test]
+fn fair_talus_makes_equal_shares_productive() {
+    let app = scaled_profile("omnetpp");
+    let copies: Vec<AppProfile> = (0..4).map(|_| app.clone()).collect();
+    // LLC sized so each fair share sits on the plateau below the cliff.
+    let c = cfg(4.0 * talus_integration::TEST_SCALE, 4);
+    let fair_lru = run_mix(&copies, SchemeKind::PartitionedLru(AllocAlgo::Fair), &c);
+    let fair_talus = run_mix(&copies, SchemeKind::TalusLru(AllocAlgo::Fair), &c);
+
+    let ws = weighted_speedup(&fair_talus.ipcs(), &fair_lru.ipcs());
+    assert!(ws > 1.1, "Talus should make the fair split productive: {ws:.3}");
+    let cov = coefficient_of_variation(&fair_talus.ipcs());
+    assert!(cov < 0.09, "fair Talus must stay fair: CoV {cov:.3}");
+    for (t, l) in fair_talus.ipcs().iter().zip(fair_lru.ipcs()) {
+        assert!(*t > l * 0.98, "no copy may lose: talus {t:.3} vs lru {l:.3}");
+    }
+}
+
+/// Lookahead on the same scenario trades fairness for throughput — the
+/// contrast Fig. 13 draws.
+#[test]
+fn lookahead_sacrifices_fairness_on_homogeneous_cliffs() {
+    let app = scaled_profile("omnetpp");
+    let copies: Vec<AppProfile> = (0..4).map(|_| app.clone()).collect();
+    let c = cfg(4.0 * talus_integration::TEST_SCALE, 4);
+    let lookahead = run_mix(&copies, SchemeKind::PartitionedLru(AllocAlgo::Lookahead), &c);
+    let talus = run_mix(&copies, SchemeKind::TalusLru(AllocAlgo::Fair), &c);
+    let cov_lookahead = coefficient_of_variation(&lookahead.ipcs());
+    let cov_talus = coefficient_of_variation(&talus.ipcs());
+    assert!(
+        cov_lookahead > 4.0 * cov_talus + 0.05,
+        "lookahead CoV {cov_lookahead:.3} should dwarf Talus CoV {cov_talus:.3}"
+    );
+}
+
+/// A heterogeneous mix runs end to end under every scheme, deterministic
+/// across repetitions, with all fixed work completed.
+#[test]
+fn heterogeneous_mix_runs_under_all_schemes() {
+    let mix: Vec<AppProfile> =
+        ["mcf", "gcc", "omnetpp", "hmmer"].iter().map(|n| scaled_profile(n)).collect();
+    let c = cfg(2.0 * talus_integration::TEST_SCALE, 4);
+    for scheme in [
+        SchemeKind::SharedLru,
+        SchemeKind::TaDrrip,
+        SchemeKind::PartitionedLru(AllocAlgo::Hill),
+        SchemeKind::PartitionedLru(AllocAlgo::Lookahead),
+        SchemeKind::TalusLru(AllocAlgo::Hill),
+    ] {
+        let a = run_mix(&mix, scheme, &c);
+        let b = run_mix(&mix, scheme, &c);
+        assert_eq!(a.apps.len(), 4);
+        for (x, y) in a.apps.iter().zip(&b.apps) {
+            assert!(x.instructions >= 4e6, "{}: fixed work incomplete", a.scheme);
+            assert_eq!(x.cycles, y.cycles, "{}: nondeterministic", a.scheme);
+        }
+        // IPCs are physical: bounded by each app's base IPC.
+        for (r, app) in a.apps.iter().zip(&mix) {
+            assert!(r.ipc() > 0.0 && r.ipc() <= app.base_ipc + 1e-9);
+        }
+    }
+}
+
+/// Talus with hill climbing must not lose to plain hill climbing on a
+/// cliff-heavy mix (the Fig. 12 ordering, in miniature).
+#[test]
+fn talus_hill_vs_plain_hill_on_cliff_mix() {
+    let mix: Vec<AppProfile> = vec![
+        scaled_profile("libquantum"),
+        scaled_profile("libquantum"),
+    ];
+    // LLC = one working set: hill climbing alone sees no gradient.
+    let c = cfg(32.0 * talus_integration::TEST_SCALE, 2);
+    let base = run_mix(&mix, SchemeKind::SharedLru, &c);
+    let hill = run_mix(&mix, SchemeKind::PartitionedLru(AllocAlgo::Hill), &c);
+    let talus = run_mix(&mix, SchemeKind::TalusLru(AllocAlgo::Hill), &c);
+    let ws_hill = weighted_speedup(&hill.ipcs(), &base.ipcs());
+    let ws_talus = weighted_speedup(&talus.ipcs(), &base.ipcs());
+    assert!(
+        ws_talus > ws_hill + 0.05,
+        "Talus hill ({ws_talus:.3}) should beat plain hill ({ws_hill:.3}) on pure cliffs"
+    );
+}
