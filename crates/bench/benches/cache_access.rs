@@ -29,15 +29,19 @@ fn bench_policies(c: &mut Criterion) {
         PolicyKind::Ship,
         PolicyKind::Random,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            let mut cache = SetAssocCache::new(CACHE_LINES, 16, kind.build(1), 2);
-            let ctx = AccessCtx::new();
-            b.iter(|| {
-                for &l in &stream {
-                    black_box(cache.access(LineAddr(l), &ctx));
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                let mut cache = SetAssocCache::new(CACHE_LINES, 16, kind.build(1), 2);
+                let ctx = AccessCtx::new();
+                b.iter(|| {
+                    for &l in &stream {
+                        black_box(cache.access(LineAddr(l), &ctx));
+                    }
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -96,7 +100,9 @@ fn bench_organisations(c: &mut Criterion) {
             &[1.0, 0.8, 0.8, 0.8, 0.2, 0.2],
         )
         .expect("static bench curve");
-        talus.reconfigure(&[CACHE_LINES], &[curve]).expect("reconfigure succeeds");
+        talus
+            .reconfigure(&[CACHE_LINES], &[curve])
+            .expect("reconfigure succeeds");
         b.iter(|| {
             for &l in &stream {
                 black_box(talus.access(PartitionId(0), LineAddr(l), &ctx));

@@ -42,7 +42,9 @@ fn bench_bypass_solver(c: &mut Criterion) {
 
 fn bench_talus_curve(c: &mut Criterion) {
     let curve = synthetic_curve(256, 42);
-    c.bench_function("talus_curve_256pt", |b| b.iter(|| talus_curve(black_box(&curve))));
+    c.bench_function("talus_curve_256pt", |b| {
+        b.iter(|| talus_curve(black_box(&curve)))
+    });
 }
 
 fn bench_theorem4_transform(c: &mut Criterion) {

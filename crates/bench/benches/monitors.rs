@@ -3,7 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use talus_bench::synthetic_stream;
-use talus_sim::monitor::{CurveSampler, MattsonMonitor, Monitor, ThreePointMonitor, Umon, UmonPair};
+use talus_sim::monitor::{
+    CurveSampler, MattsonMonitor, Monitor, ThreePointMonitor, Umon, UmonPair,
+};
 use talus_sim::policy::PolicyKind;
 use talus_sim::LineAddr;
 

@@ -8,7 +8,9 @@ use talus_core::MissCurve;
 use talus_partition::{hill_climb, imbalanced, lookahead, optimal_dp};
 
 fn curves(n: usize) -> Vec<MissCurve> {
-    (0..n).map(|i| synthetic_curve(64, 1000 + i as u64)).collect()
+    (0..n)
+        .map(|i| synthetic_curve(64, 1000 + i as u64))
+        .collect()
 }
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -43,8 +45,7 @@ fn bench_preprocessing(c: &mut Criterion) {
     let cs = curves(8);
     c.bench_function("preprocess_hulls_8x64pt", |b| {
         b.iter(|| {
-            let hulls: Vec<MissCurve> =
-                cs.iter().map(|c| c.convex_hull().to_curve()).collect();
+            let hulls: Vec<MissCurve> = cs.iter().map(|c| c.convex_hull().to_curve()).collect();
             black_box(hulls)
         })
     });

@@ -18,8 +18,7 @@ fn bench_full_interval_software(c: &mut Criterion) {
         let cache = VantageLike::new(LLC_LINES, 16, 16, 3);
         let mut talus = TalusCache::new(cache, 8, TalusCacheConfig::for_vantage());
         b.iter(|| {
-            let hulls: Vec<MissCurve> =
-                curves.iter().map(|c| c.convex_hull().to_curve()).collect();
+            let hulls: Vec<MissCurve> = curves.iter().map(|c| c.convex_hull().to_curve()).collect();
             let sizes = hill_climb(&hulls, LLC_LINES, LLC_LINES / 64);
             black_box(talus.reconfigure(&sizes, &curves).expect("valid plan"));
         })

@@ -37,7 +37,9 @@ pub fn synthetic_stream(len: usize, hot_lines: u64, scan_lines: u64, seed: u64) 
     let mut scan = 0u64;
     (0..len)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if state >> 63 == 0 {
                 (state >> 33) % hot_lines
             } else {

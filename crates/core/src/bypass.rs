@@ -93,7 +93,12 @@ pub fn optimal_bypass(curve: &MissCurve, size: f64) -> Result<BypassPlan, PlanEr
         let rho = size / p.size;
         let misses = rho * p.misses + (1.0 - rho) * m0;
         if misses < best.expected_misses {
-            best = BypassPlan { size, rho, emulated_size: p.size, expected_misses: misses };
+            best = BypassPlan {
+                size,
+                rho,
+                emulated_size: p.size,
+                expected_misses: misses,
+            };
         }
     }
     Ok(best)

@@ -33,13 +33,19 @@ pub struct TalusOptions {
 impl TalusOptions {
     /// Options matching the paper's evaluated configuration (5% margin).
     pub fn new() -> Self {
-        TalusOptions { safety_margin: 0.05, vertex_tolerance: 1e-9 }
+        TalusOptions {
+            safety_margin: 0.05,
+            vertex_tolerance: 1e-9,
+        }
     }
 
     /// Options with no safety margin: the exact textbook math. Useful for
     /// verifying the theory; real deployments should keep a margin.
     pub fn exact() -> Self {
-        TalusOptions { safety_margin: 0.0, vertex_tolerance: 1e-9 }
+        TalusOptions {
+            safety_margin: 0.0,
+            vertex_tolerance: 1e-9,
+        }
     }
 
     /// Sets the safety margin (e.g. `0.05` for 5%).
@@ -110,7 +116,10 @@ impl ShadowConfig {
     ///
     /// Panics if `s1_actual` or `s2_actual` is negative.
     pub fn coarsened(&self, s1_actual: f64, s2_actual: f64) -> ShadowConfig {
-        assert!(s1_actual >= 0.0 && s2_actual >= 0.0, "sizes must be non-negative");
+        assert!(
+            s1_actual >= 0.0 && s2_actual >= 0.0,
+            "sizes must be non-negative"
+        );
         let mut cfg = *self;
         cfg.s1 = s1_actual;
         cfg.s2 = s2_actual;
@@ -143,7 +152,9 @@ impl TalusPlan {
     /// Miss metric this plan expects to achieve (the hull value).
     pub fn expected_misses(&self) -> f64 {
         match self {
-            TalusPlan::Unpartitioned { expected_misses, .. } => *expected_misses,
+            TalusPlan::Unpartitioned {
+                expected_misses, ..
+            } => *expected_misses,
             TalusPlan::Shadow(cfg) => cfg.expected_misses,
         }
     }
@@ -209,7 +220,9 @@ pub fn plan_with_hull(
         return Err(PlanError::InvalidSize { size });
     }
     if !options.safety_margin.is_finite() || options.safety_margin < 0.0 {
-        return Err(PlanError::InvalidMargin { margin: options.safety_margin });
+        return Err(PlanError::InvalidMargin {
+            margin: options.safety_margin,
+        });
     }
     if size < hull.min_size() - options.vertex_tolerance {
         return Err(PlanError::SizeOutOfRange {
@@ -221,7 +234,10 @@ pub fn plan_with_hull(
     // At or beyond the last vertex, or exactly on any vertex: the policy is
     // already on its hull; run unpartitioned.
     if size >= hull.max_size() || hull.is_vertex(size, options.vertex_tolerance) {
-        return Ok(TalusPlan::Unpartitioned { size, expected_misses: hull.value_at(size) });
+        return Ok(TalusPlan::Unpartitioned {
+            size,
+            expected_misses: hull.value_at(size),
+        });
     }
     let (a, b) = hull
         .bracket(size)
@@ -234,8 +250,7 @@ pub fn plan_with_hull(
     let s1 = ideal_rho * alpha;
     let s2 = size - s1;
     // Eq. 5: linear interpolation of the endpoint miss rates.
-    let expected_misses =
-        ((beta - size) * a.misses + (size - alpha) * b.misses) / (beta - alpha);
+    let expected_misses = ((beta - size) * a.misses + (size - alpha) * b.misses) / (beta - alpha);
 
     // Safety margin (§VI-B): raise the *sampling rate* while keeping the
     // partition sizes, which shrinks the emulated alpha and grows the
@@ -268,8 +283,14 @@ pub fn plan_with_hull(
 ///
 /// Panics if `rho` is outside `[0, 1]` or `margin` is negative.
 pub fn apply_margin(rho: f64, margin: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1], got {rho}");
-    assert!(margin >= 0.0 && margin.is_finite(), "margin must be non-negative");
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "rho must be in [0, 1], got {rho}"
+    );
+    assert!(
+        margin >= 0.0 && margin.is_finite(),
+        "margin must be non-negative"
+    );
     (1.0 - (1.0 - rho) / (1.0 + margin)).clamp(rho, MAX_RHO)
 }
 
@@ -284,10 +305,24 @@ pub fn apply_margin(rho: f64, margin: f64) -> f64 {
 ///
 /// Panics if `rho` is outside `[0, 1]` or any size is negative.
 pub fn shadow_miss_rate(curve: &MissCurve, s1: f64, s2: f64, rho: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1], got {rho}");
-    assert!(s1 >= 0.0 && s2 >= 0.0, "partition sizes must be non-negative");
-    let part1 = if rho > 0.0 { rho * curve.value_at(s1 / rho) } else { 0.0 };
-    let part2 = if rho < 1.0 { (1.0 - rho) * curve.value_at(s2 / (1.0 - rho)) } else { 0.0 };
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "rho must be in [0, 1], got {rho}"
+    );
+    assert!(
+        s1 >= 0.0 && s2 >= 0.0,
+        "partition sizes must be non-negative"
+    );
+    let part1 = if rho > 0.0 {
+        rho * curve.value_at(s1 / rho)
+    } else {
+        0.0
+    };
+    let part2 = if rho < 1.0 {
+        (1.0 - rho) * curve.value_at(s2 / (1.0 - rho))
+    } else {
+        0.0
+    };
     part1 + part2
 }
 
@@ -349,7 +384,10 @@ mod tests {
         // alpha = 0: scaling rho itself would do nothing; the corrected
         // margin still grows the emulated beta by 5%.
         let c = MissCurve::from_samples(&[0.0, 1.0, 2.0, 3.0], &[10.0, 10.0, 10.0, 1.0]).unwrap();
-        let cfg = *plan(&c, 1.5, TalusOptions::new()).unwrap().shadow().unwrap();
+        let cfg = *plan(&c, 1.5, TalusOptions::new())
+            .unwrap()
+            .shadow()
+            .unwrap();
         assert_eq!(cfg.alpha, 0.0);
         assert!(cfg.rho > cfg.ideal_rho);
         assert!((cfg.emulated_beta() - 3.0 * 1.05).abs() < 1e-9);
@@ -377,7 +415,10 @@ mod tests {
         let p = plan(&fig3_curve(), 64.0, TalusOptions::new()).unwrap();
         assert_eq!(
             p,
-            TalusPlan::Unpartitioned { size: 64.0, expected_misses: 3.0 }
+            TalusPlan::Unpartitioned {
+                size: 64.0,
+                expected_misses: 3.0
+            }
         );
     }
 
@@ -405,11 +446,7 @@ mod tests {
     fn plan_below_first_nonzero_vertex_bypasses() {
         // Curve whose hull starts at (0, m0): sizes inside the first bridge
         // get alpha = 0, i.e. the first partition is a pure bypass.
-        let c = MissCurve::from_samples(
-            &[0.0, 1.0, 2.0, 3.0],
-            &[10.0, 10.0, 10.0, 1.0],
-        )
-        .unwrap();
+        let c = MissCurve::from_samples(&[0.0, 1.0, 2.0, 3.0], &[10.0, 10.0, 10.0, 1.0]).unwrap();
         let p = plan(&c, 1.5, TalusOptions::exact()).unwrap();
         let cfg = p.shadow().unwrap();
         assert_eq!(cfg.alpha, 0.0);
@@ -470,7 +507,10 @@ mod tests {
     #[test]
     fn coarsened_with_zero_alpha_keeps_rho() {
         let c = MissCurve::from_samples(&[0.0, 1.0, 2.0, 3.0], &[10.0, 10.0, 10.0, 1.0]).unwrap();
-        let cfg = *plan(&c, 1.5, TalusOptions::exact()).unwrap().shadow().unwrap();
+        let cfg = *plan(&c, 1.5, TalusOptions::exact())
+            .unwrap()
+            .shadow()
+            .unwrap();
         let coarse = cfg.coarsened(0.0, 2.0);
         assert_eq!(coarse.rho, cfg.rho);
         assert_eq!(coarse.total, 2.0);
@@ -490,7 +530,10 @@ mod tests {
 
     #[test]
     fn expected_misses_accessor() {
-        let p = TalusPlan::Unpartitioned { size: 1.0, expected_misses: 7.0 };
+        let p = TalusPlan::Unpartitioned {
+            size: 1.0,
+            expected_misses: 7.0,
+        };
         assert_eq!(p.expected_misses(), 7.0);
         assert!(p.shadow().is_none());
     }

@@ -94,10 +94,16 @@ impl MissCurve {
         }
         for (i, p) in points.iter().enumerate() {
             if !p.size.is_finite() || p.size < 0.0 {
-                return Err(CurveError::InvalidSize { index: i, value: p.size });
+                return Err(CurveError::InvalidSize {
+                    index: i,
+                    value: p.size,
+                });
             }
             if !p.misses.is_finite() || p.misses < 0.0 {
-                return Err(CurveError::InvalidMissValue { index: i, value: p.misses });
+                return Err(CurveError::InvalidMissValue {
+                    index: i,
+                    value: p.misses,
+                });
             }
             if i > 0 && points[i - 1].size >= p.size {
                 return Err(CurveError::NonIncreasingSizes { index: i });
@@ -133,7 +139,10 @@ impl MissCurve {
     /// or any value is invalid.
     pub fn from_uniform(step: f64, misses: &[f64]) -> Result<Self, CurveError> {
         if !(step > 0.0) || !step.is_finite() {
-            return Err(CurveError::InvalidSize { index: 0, value: step });
+            return Err(CurveError::InvalidSize {
+                index: 0,
+                value: step,
+            });
         }
         Self::new(
             misses
@@ -441,7 +450,13 @@ mod tests {
     #[test]
     fn from_samples_rejects_length_mismatch() {
         let err = MissCurve::from_samples(&[0.0, 1.0], &[3.0]).unwrap_err();
-        assert_eq!(err, CurveError::LengthMismatch { sizes: 2, misses: 1 });
+        assert_eq!(
+            err,
+            CurveError::LengthMismatch {
+                sizes: 2,
+                misses: 1
+            }
+        );
     }
 
     #[test]

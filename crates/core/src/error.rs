@@ -43,7 +43,10 @@ impl fmt::Display for CurveError {
         match self {
             CurveError::Empty => write!(f, "miss curve has no points"),
             CurveError::NonIncreasingSizes { index } => {
-                write!(f, "curve sizes are not strictly increasing at index {index}")
+                write!(
+                    f,
+                    "curve sizes are not strictly increasing at index {index}"
+                )
             }
             CurveError::InvalidMissValue { index, value } => {
                 write!(f, "invalid miss value {value} at index {index}")
@@ -52,7 +55,10 @@ impl fmt::Display for CurveError {
                 write!(f, "invalid size {value} at index {index}")
             }
             CurveError::LengthMismatch { sizes, misses } => {
-                write!(f, "size slice has {sizes} entries but miss slice has {misses}")
+                write!(
+                    f,
+                    "size slice has {sizes} entries but miss slice has {misses}"
+                )
             }
         }
     }
@@ -88,7 +94,10 @@ impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::SizeOutOfRange { size, min, max } => {
-                write!(f, "size {size} lies outside the curve domain [{min}, {max}]")
+                write!(
+                    f,
+                    "size {size} lies outside the curve domain [{min}, {max}]"
+                )
             }
             PlanError::InvalidSize { size } => write!(f, "invalid target size {size}"),
             PlanError::InvalidMargin { margin } => {
@@ -109,10 +118,23 @@ mod tests {
         let errs: Vec<Box<dyn Error>> = vec![
             Box::new(CurveError::Empty),
             Box::new(CurveError::NonIncreasingSizes { index: 3 }),
-            Box::new(CurveError::InvalidMissValue { index: 1, value: -1.0 }),
-            Box::new(CurveError::InvalidSize { index: 0, value: f64::NAN }),
-            Box::new(CurveError::LengthMismatch { sizes: 2, misses: 3 }),
-            Box::new(PlanError::SizeOutOfRange { size: 9.0, min: 0.0, max: 4.0 }),
+            Box::new(CurveError::InvalidMissValue {
+                index: 1,
+                value: -1.0,
+            }),
+            Box::new(CurveError::InvalidSize {
+                index: 0,
+                value: f64::NAN,
+            }),
+            Box::new(CurveError::LengthMismatch {
+                sizes: 2,
+                misses: 3,
+            }),
+            Box::new(PlanError::SizeOutOfRange {
+                size: 9.0,
+                min: 0.0,
+                max: 4.0,
+            }),
             Box::new(PlanError::InvalidSize { size: -2.0 }),
             Box::new(PlanError::InvalidMargin { margin: -0.1 }),
         ];

@@ -63,8 +63,8 @@ impl ConvexHull {
                 let b = hull[hull.len() - 1];
                 // Cross product of (b - a) x (p - a); b is kept only if it
                 // lies strictly below the chord a->p.
-                let cross =
-                    (b.size - a.size) * (p.misses - a.misses) - (b.misses - a.misses) * (p.size - a.size);
+                let cross = (b.size - a.size) * (p.misses - a.misses)
+                    - (b.misses - a.misses) * (p.size - a.size);
                 if cross <= 0.0 {
                     hull.pop();
                 } else {
@@ -153,8 +153,7 @@ impl ConvexHull {
     /// pre-processing step (paper §VI-A): guaranteed convex, so convex
     /// optimisation (hill climbing) is exact on it.
     pub fn to_curve(&self) -> MissCurve {
-        MissCurve::new(self.vertices.iter().copied())
-            .expect("hull vertices are valid curve points")
+        MissCurve::new(self.vertices.iter().copied()).expect("hull vertices are valid curve points")
     }
 
     /// Converts the hull into a [`MissCurve`] sampled on the given grid.
@@ -306,11 +305,8 @@ mod tests {
 
     #[test]
     fn hull_of_noisy_nonmonotone_curve() {
-        let c = MissCurve::from_samples(
-            &[0.0, 1.0, 2.0, 3.0, 4.0],
-            &[10.0, 8.5, 9.0, 4.0, 4.2],
-        )
-        .unwrap();
+        let c = MissCurve::from_samples(&[0.0, 1.0, 2.0, 3.0, 4.0], &[10.0, 8.5, 9.0, 4.0, 4.2])
+            .unwrap();
         let hull = c.convex_hull();
         assert!(hull.to_curve().is_convex(1e-12));
         for p in c.points() {

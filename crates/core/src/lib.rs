@@ -63,8 +63,8 @@ mod error;
 mod hull;
 
 pub use config::{
-    apply_margin, plan, plan_with_hull, shadow_miss_rate, talus_curve, ShadowConfig,
-    TalusOptions, TalusPlan,
+    apply_margin, plan, plan_with_hull, shadow_miss_rate, talus_curve, ShadowConfig, TalusOptions,
+    TalusPlan,
 };
 pub use curve::{CurvePoint, MissCurve};
 pub use error::{CurveError, PlanError};

@@ -6,9 +6,7 @@
 
 use proptest::prelude::*;
 use talus_core::bypass::{optimal_bypass, optimal_bypass_curve};
-use talus_core::{
-    plan, shadow_miss_rate, talus_curve, MissCurve, TalusOptions, TalusPlan,
-};
+use talus_core::{plan, shadow_miss_rate, talus_curve, MissCurve, TalusOptions, TalusPlan};
 
 /// Strategy: an arbitrary valid miss curve with 2..=40 points, sizes on an
 /// integer-ish grid, non-negative miss values. Optionally forced monotone
@@ -38,7 +36,11 @@ fn arb_curve(monotone: bool) -> impl Strategy<Value = MissCurve> {
                 m = (m - drop).max(0.0);
             } else {
                 // Mostly decreasing with occasional bumps (measurement noise).
-                let bump = if next() % 5 == 0 { (next() % 8) as f64 } else { 0.0 };
+                let bump = if next() % 5 == 0 {
+                    (next() % 8) as f64
+                } else {
+                    0.0
+                };
                 m = (m - drop + bump).max(0.0);
             }
         }

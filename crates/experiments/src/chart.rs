@@ -12,7 +12,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.into(), points }
+        Series {
+            name: name.into(),
+            points,
+        }
     }
 }
 
@@ -23,16 +26,30 @@ const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
 /// # Panics
 ///
 /// Panics if `width`/`height` are tiny (< 8).
-pub fn render(title: &str, xlabel: &str, ylabel: &str, series: &[Series], width: usize, height: usize) -> String {
+pub fn render(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
     assert!(width >= 8 && height >= 8, "chart too small");
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         return format!("{title}\n  (no data)\n");
     }
     let xmin = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
     let xmax = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
     let ymin = 0.0f64.min(pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min));
-    let ymax = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).max(1e-9);
+    let ymax = pts
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-9);
     let xspan = (xmax - xmin).max(1e-9);
     let yspan = (ymax - ymin).max(1e-9);
 
@@ -57,7 +74,9 @@ pub fn render(title: &str, xlabel: &str, ylabel: &str, series: &[Series], width:
         if sorted.len() == 1 {
             let (x, y) = sorted[0];
             let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
-            let row = height - 1 - ((((y - ymin) / yspan) * (height - 1) as f64).round() as usize).min(height - 1);
+            let row = height
+                - 1
+                - ((((y - ymin) / yspan) * (height - 1) as f64).round() as usize).min(height - 1);
             grid[row][col.min(width - 1)] = glyph;
         }
     }
@@ -72,7 +91,11 @@ pub fn render(title: &str, xlabel: &str, ylabel: &str, series: &[Series], width:
     out.push_str(&format!("  [{}]\n", legend.join("  ")));
     for (r, row) in grid.iter().enumerate() {
         let yv = ymax - (r as f64 / (height - 1) as f64) * yspan;
-        let label = if r % 4 == 0 { format!("{yv:8.2}") } else { " ".repeat(8) };
+        let label = if r % 4 == 0 {
+            format!("{yv:8.2}")
+        } else {
+            " ".repeat(8)
+        };
         out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
     }
     out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));

@@ -58,7 +58,11 @@ fn safety_margin(scale: &Scale) {
         println!("  margin {margin:>5.2}: {mpki:6.2} MPKI (hull ≈ 16.5)");
         rows.push(vec![format!("{margin}"), format!("{mpki:.3}")]);
     }
-    write_csv(&results_dir().join("ablate_margin.csv"), "margin,mpki", &rows);
+    write_csv(
+        &results_dir().join("ablate_margin.csv"),
+        "margin,mpki",
+        &rows,
+    );
     println!("  expectation: 0 margin is fragile (above hull); ≈5% matches the hull; larger margins drift slowly upward.");
 }
 
@@ -111,7 +115,11 @@ fn unmanaged_fraction(scale: &Scale) {
         println!("  unmanaged {unmanaged:>5.2}: {mpki:6.2} MPKI");
         rows.push(vec![format!("{unmanaged}"), format!("{mpki:.3}")]);
     }
-    write_csv(&results_dir().join("ablate_unmanaged.csv"), "unmanaged,mpki", &rows);
+    write_csv(
+        &results_dir().join("ablate_unmanaged.csv"),
+        "unmanaged,mpki",
+        &rows,
+    );
     println!("  expectation: larger unmanaged regions push Talus+V further above the hull (paper Fig. 8's deviation).");
 }
 
@@ -157,12 +165,30 @@ fn monitor_design(scale: &Scale) {
     for (label, mpki) in [
         run(
             "UMON pair (64-pt, 4x)",
-            Box::new(|| measure(UmonPair::new(lines, 13), lines, interval, &scaled, &app, scale, &ctx)),
+            Box::new(|| {
+                measure(
+                    UmonPair::new(lines, 13),
+                    lines,
+                    interval,
+                    &scaled,
+                    &app,
+                    scale,
+                    &ctx,
+                )
+            }),
         ),
         run(
             "3-point (coverage 1x)",
             Box::new(|| {
-                measure(ThreePointMonitor::new(lines, 13), lines, interval, &scaled, &app, scale, &ctx)
+                measure(
+                    ThreePointMonitor::new(lines, 13),
+                    lines,
+                    interval,
+                    &scaled,
+                    &app,
+                    scale,
+                    &ctx,
+                )
             }),
         ),
         run(
@@ -182,8 +208,14 @@ fn monitor_design(scale: &Scale) {
     ] {
         rows.push(vec![label, format!("{mpki:.3}")]);
     }
-    write_csv(&results_dir().join("ablate_monitor.csv"), "monitor,mpki", &rows);
-    println!("  expectation: CRUISE-style 1x coverage cannot see the 32 MB cliff (stays at LRU's ~33);");
+    write_csv(
+        &results_dir().join("ablate_monitor.csv"),
+        "monitor,mpki",
+        &rows,
+    );
+    println!(
+        "  expectation: CRUISE-style 1x coverage cannot see the 32 MB cliff (stays at LRU's ~33);"
+    );
     println!("  4x coverage bridges it crudely; the UMON pair traces the hull (~16.5).");
 }
 
@@ -219,14 +251,20 @@ fn adaptive_monitor(scale: &Scale) {
         vec![label.to_string(), format!("{mpki:.3}"), cost.to_string()]
     };
     let fixed_sizes = |points: u64| -> Vec<u64> {
-        (1..=points).map(|i| (i * span / points / 32).max(1) * 32).collect::<Vec<_>>()
+        (1..=points)
+            .map(|i| (i * span / points / 32).max(1) * 32)
+            .collect::<Vec<_>>()
     };
     let mut rows = Vec::new();
     for points in [64u64, 16] {
         let sizes = fixed_sizes(points);
         let bank = CurveSampler::new(PolicyKind::Srrip, &sizes, 1024.min(lines), 16, 5);
         let cost = bank.monitor_lines_total();
-        rows.push(measure(&format!("fixed {points}-monitor bank"), Box::new(bank), cost));
+        rows.push(measure(
+            &format!("fixed {points}-monitor bank"),
+            Box::new(bank),
+            cost,
+        ));
     }
     let adaptive = AdaptiveCurveSampler::new(
         |_s| Box::new(Srrip::new()) as Box<dyn ReplacementPolicy>,
@@ -243,7 +281,9 @@ fn adaptive_monitor(scale: &Scale) {
         "monitor,mpki,monitor_lines",
         &rows,
     );
-    println!("  expectation: the adaptive bank tracks the 64-monitor bank's MPKI at ~1/8 the state;");
+    println!(
+        "  expectation: the adaptive bank tracks the 64-monitor bank's MPKI at ~1/8 the state;"
+    );
     println!("  the fixed 16-monitor bank sits between (resolution-limited near the cliff).");
 }
 
@@ -260,8 +300,14 @@ fn futility_vs_vantage(scale: &Scale) {
     let mut rows = Vec::new();
     for paper_mb in [8.0, 16.0, 24.0] {
         let lines = (scale.mb_to_lines(paper_mb) / 16) * 16;
-        let vantage =
-            measure_talus_vantage(&app, paper_mb, scale, TalusCacheConfig::for_vantage(), 0.10, interval);
+        let vantage = measure_talus_vantage(
+            &app,
+            paper_mb,
+            scale,
+            TalusCacheConfig::for_vantage(),
+            0.10,
+            interval,
+        );
         let futility = {
             let cache = FutilityScaled::new(lines, 16, 2, 7);
             let mon = UmonPair::new(lines, 13);
@@ -320,7 +366,11 @@ fn interval_length(scale: &Scale) {
         );
         rows.push(vec![interval.to_string(), format!("{mpki:.3}")]);
     }
-    write_csv(&results_dir().join("ablate_interval.csv"), "interval,mpki", &rows);
+    write_csv(
+        &results_dir().join("ablate_interval.csv"),
+        "interval,mpki",
+        &rows,
+    );
     println!("  expectation: stable curves tolerate long intervals; very short intervals add sampling noise.");
 }
 

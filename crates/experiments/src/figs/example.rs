@@ -32,12 +32,24 @@ pub fn example_profile() -> AppProfile {
         components: vec![
             // Random working set: half the accesses; fits by ≈2 MB once
             // interleaved scan/stream lines are counted.
-            Component { kind: ComponentKind::Random, mb: 0.75, weight: 0.5 },
+            Component {
+                kind: ComponentKind::Random,
+                mb: 0.75,
+                weight: 0.5,
+            },
             // Sequential scan: stack distance ≈ 2.8 MB + interleaved lines
             // ⇒ the cliff completes just below 5 MB.
-            Component { kind: ComponentKind::Scan, mb: 2.8, weight: 0.375 },
+            Component {
+                kind: ComponentKind::Scan,
+                mb: 2.8,
+                weight: 0.375,
+            },
             // Endless background stream: the 3 MPKI floor.
-            Component { kind: ComponentKind::Scan, mb: 256.0, weight: 0.125 },
+            Component {
+                kind: ComponentKind::Scan,
+                mb: 256.0,
+                weight: 0.125,
+            },
         ],
     }
 }
@@ -64,7 +76,9 @@ pub fn fig2(scale: &Scale) {
     // vertices differ slightly).
     let (_, curve) = measured_example_curve(scale);
     let talus_plan = plan(&curve, 4.0, TalusOptions::new()).expect("4 MB is in range");
-    let cfg = talus_plan.shadow().expect("4 MB sits on the example plateau");
+    let cfg = talus_plan
+        .shadow()
+        .expect("4 MB sits on the example plateau");
     println!(
         "  Talus plan at 4 MB: alpha {:.1} MB, beta {:.1} MB, rho {:.2}, s1 {:.2} MB (paper: 2, 5, 1/3, 2/3)",
         cfg.alpha, cfg.beta, cfg.rho, cfg.s1
@@ -98,11 +112,11 @@ pub fn fig2(scale: &Scale) {
         let s0 = cache.partition_stats(PartitionId(0));
         let s1 = cache.partition_stats(PartitionId(1));
         let n = (s0.accesses() + s1.accesses()) as f64;
-        let (a0, a1) = (apki * s0.accesses() as f64 / n, apki * s1.accesses() as f64 / n);
-        let (m0, m1) = (
-            apki * s0.misses() as f64 / n,
-            apki * s1.misses() as f64 / n,
+        let (a0, a1) = (
+            apki * s0.accesses() as f64 / n,
+            apki * s1.accesses() as f64 / n,
         );
+        let (m0, m1) = (apki * s0.misses() as f64 / n, apki * s1.misses() as f64 / n);
         println!(
             "  {label}: top {:4.1} APKI / {:4.2} MPKI   bottom {:4.1} APKI / {:4.2} MPKI   total {:5.2} MPKI",
             a0, m0, a1, m1, m0 + m1
@@ -136,8 +150,7 @@ pub fn fig3(scale: &Scale) {
     println!("== Fig. 3: example miss curve with a cliff at 5 MB ==");
     let (pts, curve) = measured_example_curve(scale);
     let hull = curve.convex_hull();
-    let hull_pts: Vec<(f64, f64)> =
-        pts.iter().map(|&(mb, _)| (mb, hull.value_at(mb))).collect();
+    let hull_pts: Vec<(f64, f64)> = pts.iter().map(|&(mb, _)| (mb, hull.value_at(mb))).collect();
     let chart = render_default(
         "Fig. 3: example app, LRU vs Talus (hull)",
         "Cache size (MB)",
@@ -156,9 +169,15 @@ pub fn fig3(scale: &Scale) {
     let rows: Vec<Vec<String>> = pts
         .iter()
         .zip(&hull_pts)
-        .map(|(&(mb, lru), &(_, t))| vec![format!("{mb:.2}"), format!("{lru:.3}"), format!("{t:.3}")])
+        .map(|(&(mb, lru), &(_, t))| {
+            vec![format!("{mb:.2}"), format!("{lru:.3}"), format!("{t:.3}")]
+        })
         .collect();
-    write_csv(&results_dir().join("fig03_example_curve.csv"), "mb,lru_mpki,talus_mpki", &rows);
+    write_csv(
+        &results_dir().join("fig03_example_curve.csv"),
+        "mb,lru_mpki,talus_mpki",
+        &rows,
+    );
 }
 
 /// Fig. 5: optimal bypassing at 4 MB, decomposed.
@@ -177,7 +196,10 @@ pub fn fig5(scale: &Scale) {
         plan5.expected_misses
     );
     let talus = plan(&curve, 4.0, TalusOptions::exact()).expect("plan at 4 MB");
-    println!("  Talus at 4 MB: {:.2} MPKI (paper: 6) — bypassing cannot beat the hull", talus.expected_misses());
+    println!(
+        "  Talus at 4 MB: {:.2} MPKI (paper: 6) — bypassing cannot beat the hull",
+        talus.expected_misses()
+    );
     // Decomposition across sizes for the plot: admitted + bypassed of the
     // per-size optimal plan.
     let mut rows = Vec::new();
@@ -220,8 +242,10 @@ pub fn fig6(scale: &Scale) {
     let hull = curve.convex_hull();
     let bypass = optimal_bypass_curve(&curve);
     let talus_pts: Vec<(f64, f64)> = pts.iter().map(|&(mb, _)| (mb, hull.value_at(mb))).collect();
-    let bypass_pts: Vec<(f64, f64)> =
-        pts.iter().map(|&(mb, _)| (mb, bypass.value_at(mb))).collect();
+    let bypass_pts: Vec<(f64, f64)> = pts
+        .iter()
+        .map(|&(mb, _)| (mb, bypass.value_at(mb)))
+        .collect();
     let chart = render_default(
         "Fig. 6: Talus (hull) vs optimal bypassing",
         "Cache size (MB)",
@@ -241,13 +265,21 @@ pub fn fig6(scale: &Scale) {
             println!("  ordering violated at {mb} MB: talus {t:.2} bypass {b:.2} lru {orig:.2}");
         }
     }
-    println!("  hull ≤ bypass ≤ original at every size: {}", if ok { "yes" } else { "NO" });
+    println!(
+        "  hull ≤ bypass ≤ original at every size: {}",
+        if ok { "yes" } else { "NO" }
+    );
     let rows: Vec<Vec<String>> = pts
         .iter()
         .zip(&talus_pts)
         .zip(&bypass_pts)
         .map(|((&(mb, o), &(_, t)), &(_, b))| {
-            vec![format!("{mb:.2}"), format!("{o:.3}"), format!("{t:.3}"), format!("{b:.3}")]
+            vec![
+                format!("{mb:.2}"),
+                format!("{o:.3}"),
+                format!("{t:.3}"),
+                format!("{b:.3}"),
+            ]
         })
         .collect();
     write_csv(

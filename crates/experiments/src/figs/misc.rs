@@ -28,9 +28,15 @@ pub fn overheads(_scale: &Scale) {
     let r = OverheadReport::vantage(lines, 8);
     let rows = vec![
         vec!["partition_id_tag_bits".into(), r.tag_bits_bytes.to_string()],
-        vec!["vantage_partition_state".into(), r.partition_state_bytes.to_string()],
+        vec![
+            "vantage_partition_state".into(),
+            r.partition_state_bytes.to_string(),
+        ],
         vec!["sampling_functions".into(), r.sampler_bytes.to_string()],
-        vec!["talus_monitors_(sampled_umon)".into(), r.monitor_bytes.to_string()],
+        vec![
+            "talus_monitors_(sampled_umon)".into(),
+            r.monitor_bytes.to_string(),
+        ],
         vec!["total_talus_specific".into(), r.total_bytes().to_string()],
         vec![
             "conventional_umons_(not_counted)".into(),
@@ -45,7 +51,11 @@ pub fn overheads(_scale: &Scale) {
         r.total_bytes() as f64 / 1024.0,
         100.0 * r.fraction_of_llc(lines)
     );
-    write_csv(&results_dir().join("overheads.csv"), "component,bytes", &rows);
+    write_csv(
+        &results_dir().join("overheads.csv"),
+        "component,bytes",
+        &rows,
+    );
 }
 
 /// Corollary 7: optimal replacement (Belady's MIN) is convex. The paper
@@ -90,7 +100,10 @@ pub fn corollary7(scale: &Scale) {
         "Corollary 7: LRU vs Belady MIN on the example app",
         "LLC size (MB)",
         "MPKI",
-        &[Series::new("LRU", lru_pts.clone()), Series::new("MIN", min_pts.clone())],
+        &[
+            Series::new("LRU", lru_pts.clone()),
+            Series::new("MIN", min_pts.clone()),
+        ],
     );
     println!("{chart}");
     // Quantify non-convexity: worst gap between the measured curve and
@@ -100,19 +113,32 @@ pub fn corollary7(scale: &Scale) {
         let hull = curve.convex_hull();
         let range = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max)
             - pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
-        pts.iter().map(|&(s, m)| m - hull.value_at(s)).fold(0.0f64, f64::max) / range.max(1e-9)
+        pts.iter()
+            .map(|&(s, m)| m - hull.value_at(s))
+            .fold(0.0f64, f64::max)
+            / range.max(1e-9)
     };
     let lru_gap = gap_of(&lru_pts);
     let min_gap = gap_of(&min_pts);
-    println!("  worst hull gap, relative to curve range: LRU {:.1}%, MIN {:.1}%", lru_gap * 100.0, min_gap * 100.0);
+    println!(
+        "  worst hull gap, relative to curve range: LRU {:.1}%, MIN {:.1}%",
+        lru_gap * 100.0,
+        min_gap * 100.0
+    );
     let rows: Vec<Vec<String>> = grid
         .iter()
         .enumerate()
         .map(|(i, &mb)| {
-            vec![format!("{mb:.3}"), format!("{:.4}", lru_pts[i].1), format!("{:.4}", min_pts[i].1)]
+            vec![
+                format!("{mb:.3}"),
+                format!("{:.4}", lru_pts[i].1),
+                format!("{:.4}", min_pts[i].1),
+            ]
         })
         .collect();
     write_csv(&results_dir().join("corollary7.csv"), "mb,lru,min", &rows);
     println!("  expectation: LRU shows a pronounced cliff (large hull gap); MIN's curve is");
-    println!("  convex up to simulation noise — the Corollary-7 claim the paper proves via Theorem 6.");
+    println!(
+        "  convex up to simulation noise — the Corollary-7 claim the paper proves via Theorem 6."
+    );
 }

@@ -11,8 +11,22 @@ use crate::Scale;
 
 /// All experiment names, in `all` execution order.
 pub const ALL: &[&str] = &[
-    "table1", "fig1", "fig2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "overheads", "ablate", "prefetch", "corollary7",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "overheads",
+    "ablate",
+    "prefetch",
+    "corollary7",
 ];
 
 /// Runs one experiment by name. Returns `false` for unknown names.

@@ -23,7 +23,10 @@ fn scaled_run_config(scale: &Scale, llc_paper_mb: f64, cores: usize) -> RunConfi
 /// Fig. 12: weighted and harmonic speedup quantile curves over random
 /// 8-app mixes of the 18 most memory-intensive profiles.
 pub fn fig12(scale: &Scale) {
-    println!("== Fig. 12: {} random 8-app mixes on an 8-core, 8 MB LLC ==", scale.mixes);
+    println!(
+        "== Fig. 12: {} random 8-app mixes on an 8-core, 8 MB LLC ==",
+        scale.mixes
+    );
     let pool = memory_intensive();
     let schemes = [
         SchemeKind::TalusLru(AllocAlgo::Hill),
@@ -44,8 +47,12 @@ pub fn fig12(scale: &Scale) {
         let base = run_mix(&mix, SchemeKind::SharedLru, &cfg);
         for (si, &scheme) in schemes.iter().enumerate() {
             let r = run_mix(&mix, scheme, &cfg);
-            weighted[si].1.push(weighted_speedup(&r.ipcs(), &base.ipcs()));
-            harmonic[si].1.push(harmonic_speedup(&r.ipcs(), &base.ipcs()));
+            weighted[si]
+                .1
+                .push(weighted_speedup(&r.ipcs(), &base.ipcs()));
+            harmonic[si]
+                .1
+                .push(harmonic_speedup(&r.ipcs(), &base.ipcs()));
         }
         print!(".");
         use std::io::Write;
@@ -54,19 +61,24 @@ pub fn fig12(scale: &Scale) {
     println!();
     for (metric, data) in [("weighted", &mut weighted), ("harmonic", &mut harmonic)] {
         let mut series = Vec::new();
-        let mut rows: Vec<Vec<String>> = (0..scale.mixes)
-            .map(|i| vec![format!("{i}")])
-            .collect();
+        let mut rows: Vec<Vec<String>> = (0..scale.mixes).map(|i| vec![format!("{i}")]).collect();
         for (name, vals) in data.iter_mut() {
             vals.sort_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
             series.push(Series::new(
                 name.clone(),
-                vals.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+                vals.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (i as f64, v))
+                    .collect(),
             ));
             for (i, v) in vals.iter().enumerate() {
                 rows[i].push(format!("{v:.4}"));
             }
-            println!("  {metric} gmean {:24} {:+.1}%", name, (gmean(vals) - 1.0) * 100.0);
+            println!(
+                "  {metric} gmean {:24} {:+.1}%",
+                name,
+                (gmean(vals) - 1.0) * 100.0
+            );
         }
         let chart = render_default(
             &format!("Fig. 12: {metric} speedup over LRU (sorted mixes)"),
@@ -104,7 +116,9 @@ pub fn fig13(scale: &Scale) {
         SchemeKind::PartitionedLru(AllocAlgo::Imbalanced),
     ];
     for (name, sizes) in cases {
-        let app = profile(name).expect("roster has the app").scaled(scale.footprint);
+        let app = profile(name)
+            .expect("roster has the app")
+            .scaled(scale.footprint);
         let mix: Vec<AppProfile> = (0..8).map(|_| app.clone()).collect();
         // Baseline: unpartitioned LRU at the smallest size in the sweep.
         let base_cfg = scaled_run_config(scale, 1.0, 8);

@@ -19,9 +19,7 @@ use crate::{results_dir, write_csv, Scale};
 use talus_sim::monitor::UmonPair;
 use talus_sim::part::IdealPartitioned;
 use talus_sim::policy::Lru;
-use talus_sim::{
-    AccessCtx, CacheModel, SetAssocCache, TalusCacheConfig, TalusSingleCache,
-};
+use talus_sim::{AccessCtx, CacheModel, SetAssocCache, TalusCacheConfig, TalusSingleCache};
 use talus_workloads::{profile, AppProfile, StreamPrefetcher};
 
 /// Demand-miss MPKI of plain LRU fed through the stream prefetcher.
@@ -164,7 +162,10 @@ mod tests {
             pf < plain * 0.7,
             "prefetching should cover much of a scan: {pf:.1} vs {plain:.1} MPKI"
         );
-        assert!(pf > plain * 0.05, "default coverage is imperfect: {pf:.1} vs {plain:.1}");
+        assert!(
+            pf > plain * 0.05,
+            "default coverage is imperfect: {pf:.1} vs {plain:.1}"
+        );
     }
 
     #[test]

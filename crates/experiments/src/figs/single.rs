@@ -11,21 +11,40 @@ use talus_workloads::{all_profiles, profile};
 pub fn fig1(scale: &Scale) {
     println!("== Fig. 1: libquantum, LRU vs Talus ==");
     let app = profile("libquantum").expect("roster has libquantum");
-    let grid = vec![1.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 31.0, 32.0, 33.0, 36.0, 40.0];
+    let grid = vec![
+        1.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 31.0, 32.0, 33.0, 36.0, 40.0,
+    ];
     let lru = policy_curve(&app, PolicyKind::Lru, &grid, scale, 1);
     let talus = talus_curve(&app, TalusScheme::VantageLru, &grid, scale, 1);
     let chart = render_default(
         "Fig. 1: libquantum MPKI vs LLC size",
         "Cache size (MB)",
         "MPKI",
-        &[Series::new("LRU", lru.clone()), Series::new("Talus", talus.clone())],
+        &[
+            Series::new("LRU", lru.clone()),
+            Series::new("Talus", talus.clone()),
+        ],
     );
     println!("{chart}");
-    let lru16 = lru.iter().find(|p| p.0 == 16.0).expect("16 MB is on the grid").1;
-    let t16 = talus.iter().find(|p| p.0 == 16.0).expect("16 MB is on the grid").1;
-    println!("  at 16 MB: LRU {lru16:.1} MPKI (paper ≈ 33, flat), Talus {t16:.1} (paper ≈ 16, half)");
+    let lru16 = lru
+        .iter()
+        .find(|p| p.0 == 16.0)
+        .expect("16 MB is on the grid")
+        .1;
+    let t16 = talus
+        .iter()
+        .find(|p| p.0 == 16.0)
+        .expect("16 MB is on the grid")
+        .1;
+    println!(
+        "  at 16 MB: LRU {lru16:.1} MPKI (paper ≈ 33, flat), Talus {t16:.1} (paper ≈ 16, half)"
+    );
     let rows = zip_rows(&grid, &[("lru", &lru), ("talus", &talus)]);
-    write_csv(&results_dir().join("fig01_libquantum.csv"), "mb,lru,talus", &rows);
+    write_csv(
+        &results_dir().join("fig01_libquantum.csv"),
+        "mb,lru,talus",
+        &rows,
+    );
 }
 
 fn zip_rows(grid: &[f64], series: &[(&str, &Vec<(f64, f64)>)]) -> Vec<Vec<String>> {
@@ -67,8 +86,10 @@ pub fn fig8(scale: &Scale) {
             ],
         );
         println!("{chart}");
-        let rows =
-            zip_rows(&grid, &[("lru", &lru), ("v", &v), ("f", &f), ("w", &w), ("i", &i)]);
+        let rows = zip_rows(
+            &grid,
+            &[("lru", &lru), ("v", &v), ("f", &f), ("w", &w), ("i", &i)],
+        );
         write_csv(
             &results_dir().join(format!("fig08_{name}.csv")),
             "mb,lru,talus_vantage,talus_futility,talus_way,talus_ideal",
@@ -92,7 +113,10 @@ pub fn fig9(scale: &Scale) {
             &format!("Fig. 9: {name}"),
             "LLC size (MB)",
             "MPKI",
-            &[Series::new("SRRIP", srrip.clone()), Series::new("Talus+W/SRRIP", talus.clone())],
+            &[
+                Series::new("SRRIP", srrip.clone()),
+                Series::new("Talus+W/SRRIP", talus.clone()),
+            ],
         );
         println!("{chart}");
         let rows = zip_rows(&grid, &[("srrip", &srrip), ("talus", &talus)]);
@@ -117,7 +141,14 @@ fn fig10_policies() -> Vec<(String, PolicyKind)> {
 /// Fig. 10: MPKI from 128 KB to 16 MB for six benchmarks × five policies.
 pub fn fig10(scale: &Scale) {
     println!("== Fig. 10: Talus+V/LRU vs high-performance policies ==");
-    let apps = ["perlbench", "mcf", "cactusADM", "libquantum", "lbm", "xalancbmk"];
+    let apps = [
+        "perlbench",
+        "mcf",
+        "cactusADM",
+        "libquantum",
+        "lbm",
+        "xalancbmk",
+    ];
     let grid = vec![0.125, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0];
     for name in apps {
         let app = profile(name).expect("roster has the app");
@@ -134,8 +165,12 @@ pub fn fig10(scale: &Scale) {
             series.push(Series::new(label.clone(), c.clone()));
             named.push((label.to_lowercase(), c));
         }
-        let chart =
-            render_default(&format!("Fig. 10: {name}"), "LLC size (MB)", "MPKI", &series);
+        let chart = render_default(
+            &format!("Fig. 10: {name}"),
+            "LLC size (MB)",
+            "MPKI",
+            &series,
+        );
         println!("{chart}");
         let refs: Vec<(&str, &Vec<(f64, f64)>)> =
             named.iter().map(|(n, c)| (n.as_str(), c)).collect();

@@ -11,9 +11,16 @@ use talus_experiments::{figs, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let names: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     if names.is_empty() {
-        eprintln!("usage: experiments [--full] <all | {}>", figs::ALL.join(" | "));
+        eprintln!(
+            "usage: experiments [--full] <all | {}>",
+            figs::ALL.join(" | ")
+        );
         std::process::exit(2);
     }
     let scale = if full { Scale::full() } else { Scale::quick() };
@@ -23,12 +30,19 @@ fn main() {
         scale.footprint,
         scale.accesses
     );
-    let list: Vec<&str> = if names == ["all"] { figs::ALL.to_vec() } else { names };
+    let list: Vec<&str> = if names == ["all"] {
+        figs::ALL.to_vec()
+    } else {
+        names
+    };
     let total = Instant::now();
     for name in list {
         let t = Instant::now();
         if !figs::run(name, &scale) {
-            eprintln!("unknown experiment: {name} (known: all {})", figs::ALL.join(" "));
+            eprintln!(
+                "unknown experiment: {name} (known: all {})",
+                figs::ALL.join(" ")
+            );
             std::process::exit(2);
         }
         println!("  [{name} done in {:.1}s]\n", t.elapsed().as_secs_f64());

@@ -7,9 +7,7 @@ use talus_sim::part::{
     FutilityScaled, IdealPartitioned, PartitionedCacheModel, VantageLike, WayPartitioned,
 };
 use talus_sim::policy::{PolicyKind, Srrip};
-use talus_sim::{
-    AccessCtx, CacheModel, SetAssocCache, TalusCacheConfig, TalusSingleCache,
-};
+use talus_sim::{AccessCtx, CacheModel, SetAssocCache, TalusCacheConfig, TalusSingleCache};
 use talus_workloads::{AccessGenerator, AppProfile};
 
 /// A measured curve point: paper-scale megabytes and MPKI.
@@ -25,7 +23,10 @@ pub fn lru_curve(
 ) -> Vec<CurvePointMb> {
     let scaled = profile.scaled(scale.footprint);
     let mut gen = scaled.generator(seed, 0);
-    let grid_lines: Vec<u64> = grid_paper_mb.iter().map(|&mb| scale.mb_to_lines(mb)).collect();
+    let grid_lines: Vec<u64> = grid_paper_mb
+        .iter()
+        .map(|&mb| scale.mb_to_lines(mb))
+        .collect();
     let cap = *grid_lines.iter().max().expect("non-empty grid");
     let mut mon = MattsonMonitor::new(cap);
     for _ in 0..scale.warmup {
@@ -125,7 +126,15 @@ pub fn talus_curve(
                     let lines = scale.mb_to_lines(mb);
                     let cache = IdealPartitioned::new(lines, 2);
                     let mon = UmonPair::new(lines, seed ^ 0x111);
-                    run_talus_point(cache, mon, interval, TalusCacheConfig::new(), &scaled, scale, seed)
+                    run_talus_point(
+                        cache,
+                        mon,
+                        interval,
+                        TalusCacheConfig::new(),
+                        &scaled,
+                        scale,
+                        seed,
+                    )
                 }
                 TalusScheme::VantageLru => {
                     let lines = round_to(scale.mb_to_lines(mb), 16);
@@ -146,7 +155,15 @@ pub fn talus_curve(
                     let cache = FutilityScaled::new(lines, 16, 2, seed ^ 0x888);
                     let mon = UmonPair::new(lines, seed ^ 0x999);
                     // Full planning scale: the whole cache is managed.
-                    run_talus_point(cache, mon, interval, TalusCacheConfig::new(), &scaled, scale, seed)
+                    run_talus_point(
+                        cache,
+                        mon,
+                        interval,
+                        TalusCacheConfig::new(),
+                        &scaled,
+                        scale,
+                        seed,
+                    )
                 }
                 TalusScheme::WayLru => {
                     let lines = round_to(scale.mb_to_lines(mb), 32);
@@ -158,13 +175,29 @@ pub fn talus_curve(
                         seed ^ 0x444,
                     );
                     let mon = UmonPair::new(lines, seed ^ 0x555);
-                    run_talus_point(cache, mon, interval, TalusCacheConfig::new(), &scaled, scale, seed)
+                    run_talus_point(
+                        cache,
+                        mon,
+                        interval,
+                        TalusCacheConfig::new(),
+                        &scaled,
+                        scale,
+                        seed,
+                    )
                 }
                 TalusScheme::WaySrrip => {
                     let lines = round_to(scale.mb_to_lines(mb), 32);
                     let cache = WayPartitioned::new(lines, 32, 2, Srrip::new(), seed ^ 0x666);
                     let mon = srrip_monitor(lines, scale, seed ^ 0x777);
-                    run_talus_point(cache, mon, interval, TalusCacheConfig::new(), &scaled, scale, seed)
+                    run_talus_point(
+                        cache,
+                        mon,
+                        interval,
+                        TalusCacheConfig::new(),
+                        &scaled,
+                        scale,
+                        seed,
+                    )
                 }
             };
             (mb, profile.mpki(miss_rate))
@@ -271,7 +304,10 @@ mod tests {
         let s = test_scale();
         let talus = talus_curve(&p, TalusScheme::FutilityLru, &[16.0], &s, 1);
         let mid = talus[0].1;
-        assert!(mid < 28.0, "Talus+F at 16 MB should be well below 33: {mid}");
+        assert!(
+            mid < 28.0,
+            "Talus+F at 16 MB should be well below 33: {mid}"
+        );
         assert!(mid > 8.0, "Talus+F at 16 MB can't beat the hull: {mid}");
     }
 

@@ -58,8 +58,15 @@ impl SystemConfig {
 
 impl fmt::Display for SystemConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Cores      {} OOO cores (analytic model; per-app base IPC)", self.cores)?;
-        writeln!(f, "L1/L2      folded into each profile's APKI (LLC accesses/kilo-instr)")?;
+        writeln!(
+            f,
+            "Cores      {} OOO cores (analytic model; per-app base IPC)",
+            self.cores
+        )?;
+        writeln!(
+            f,
+            "L1/L2      folded into each profile's APKI (LLC accesses/kilo-instr)"
+        )?;
         writeln!(
             f,
             "L3 cache   shared, {} MB, {}-way hashed array, partitioned",
@@ -67,7 +74,11 @@ impl fmt::Display for SystemConfig {
         )?;
         writeln!(f, "Lines      64 B")?;
         writeln!(f, "Main mem   {} cycles", self.mem_latency_cycles)?;
-        write!(f, "Reconfig   every {} LLC accesses (~10 ms)", self.reconfig_accesses)
+        write!(
+            f,
+            "Reconfig   every {} LLC accesses (~10 ms)",
+            self.reconfig_accesses
+        )
     }
 }
 

@@ -30,7 +30,10 @@ pub struct CoreModel {
 impl CoreModel {
     /// The default model: 200-cycle memory, 0.7 blocking factor.
     pub fn new() -> Self {
-        CoreModel { mem_latency_cycles: 200.0, blocking_factor: 0.7 }
+        CoreModel {
+            mem_latency_cycles: 200.0,
+            blocking_factor: 0.7,
+        }
     }
 
     /// Model with an explicit memory latency.
@@ -78,7 +81,10 @@ impl Default for CoreModel {
 pub fn weighted_speedup(ipcs: &[f64], baseline: &[f64]) -> f64 {
     assert_eq!(ipcs.len(), baseline.len(), "need matching IPC vectors");
     assert!(!ipcs.is_empty(), "need at least one app");
-    assert!(baseline.iter().all(|&b| b > 0.0), "baseline IPCs must be positive");
+    assert!(
+        baseline.iter().all(|&b| b > 0.0),
+        "baseline IPCs must be positive"
+    );
     let sum: f64 = ipcs.iter().zip(baseline).map(|(i, b)| i / b).sum();
     sum / ipcs.len() as f64
 }
@@ -120,7 +126,10 @@ pub fn coefficient_of_variation(ipcs: &[f64]) -> f64 {
 /// Panics if `values` is empty or contains non-positive entries.
 pub fn gmean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "need at least one value");
-    assert!(values.iter().all(|&v| v > 0.0), "gmean needs positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "gmean needs positive values"
+    );
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 

@@ -129,11 +129,7 @@ pub fn run_mix(apps: &[AppProfile], scheme: SchemeKind, cfg: &RunConfig) -> RunR
 }
 
 /// Runs `apps` on an already-built system (for custom schemes/ablations).
-pub fn run_mix_on(
-    apps: &[AppProfile],
-    system: &mut dyn LlcSystem,
-    cfg: &RunConfig,
-) -> RunResult {
+pub fn run_mix_on(apps: &[AppProfile], system: &mut dyn LlcSystem, cfg: &RunConfig) -> RunResult {
     let stall = cfg.core_model.mem_latency_cycles * cfg.core_model.blocking_factor;
     let mut runs: Vec<AppRun> = apps
         .iter()
@@ -272,7 +268,11 @@ mod tests {
     fn homogeneous_copies_have_low_cov_under_fair_talus() {
         use crate::system::AllocAlgo;
         let apps = vec![small("omnetpp"), small("omnetpp")];
-        let r = run_mix(&apps, SchemeKind::TalusLru(AllocAlgo::Fair), &tiny_cfg(1.0 / 32.0));
+        let r = run_mix(
+            &apps,
+            SchemeKind::TalusLru(AllocAlgo::Fair),
+            &tiny_cfg(1.0 / 32.0),
+        );
         let cov = coefficient_of_variation(&r.ipcs());
         assert!(cov < 0.12, "CoV {cov}");
     }

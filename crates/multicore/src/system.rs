@@ -186,7 +186,11 @@ impl PartitionedLlc {
             cache,
             monitors: (0..apps)
                 .map(|a| {
-                    UmonPair::with_sets(llc_lines, umon_sets(llc_lines), seed.wrapping_add(100 + a as u64))
+                    UmonPair::with_sets(
+                        llc_lines,
+                        umon_sets(llc_lines),
+                        seed.wrapping_add(100 + a as u64),
+                    )
                 })
                 .collect(),
             algo,
@@ -209,13 +213,18 @@ fn weighted_curves(monitors: &[UmonPair], interval_accesses: &[u64]) -> Vec<Miss
 impl LlcSystem for PartitionedLlc {
     fn access(&mut self, app: usize, line: LineAddr) -> AccessResult {
         self.monitors[app].record(line);
-        self.cache.access(PartitionId(app as u32), line, &AccessCtx::new())
+        self.cache
+            .access(PartitionId(app as u32), line, &AccessCtx::new())
     }
 
     fn reconfigure(&mut self, interval_accesses: &[u64]) {
         let curves = weighted_curves(&self.monitors, interval_accesses);
-        let sizes =
-            self.algo.allocate(&curves, self.cache.capacity_lines(), self.grain, self.rounds);
+        let sizes = self.algo.allocate(
+            &curves,
+            self.cache.capacity_lines(),
+            self.grain,
+            self.rounds,
+        );
         self.rounds += 1;
         self.cache.set_partition_sizes(&sizes);
         for m in &mut self.monitors {
@@ -261,7 +270,11 @@ impl TalusLlc {
             talus,
             monitors: (0..apps)
                 .map(|a| {
-                    UmonPair::with_sets(llc_lines, umon_sets(llc_lines), seed.wrapping_add(200 + a as u64))
+                    UmonPair::with_sets(
+                        llc_lines,
+                        umon_sets(llc_lines),
+                        seed.wrapping_add(200 + a as u64),
+                    )
                 })
                 .collect(),
             algo,
@@ -275,7 +288,8 @@ impl TalusLlc {
 impl LlcSystem for TalusLlc {
     fn access(&mut self, app: usize, line: LineAddr) -> AccessResult {
         self.monitors[app].record(line);
-        self.talus.access(PartitionId(app as u32), line, &AccessCtx::new())
+        self.talus
+            .access(PartitionId(app as u32), line, &AccessCtx::new())
     }
 
     fn reconfigure(&mut self, interval_accesses: &[u64]) {
@@ -283,7 +297,8 @@ impl LlcSystem for TalusLlc {
         // Pre-processing (§VI-A): the algorithm sees convex hulls only.
         let hulls: Vec<MissCurve> = raw.iter().map(|c| c.convex_hull().to_curve()).collect();
         let sizes =
-            self.algo.allocate(&hulls, self.talus.capacity_lines(), self.grain, self.rounds);
+            self.algo
+                .allocate(&hulls, self.talus.capacity_lines(), self.grain, self.rounds);
         self.rounds += 1;
         // Post-processing: shadow partition sizes and sampling rates.
         let _ = self.talus.reconfigure(&sizes, &raw);
@@ -325,21 +340,31 @@ impl TalusLlc {
                 "  app {p}: rate {:.3} plan {:?}",
                 self.talus.sampling_rate(pid),
                 plan.map(|pl| match pl {
-                    talus_core::TalusPlan::Unpartitioned { size, expected_misses } =>
-                        format!("unpart size {size} exp {expected_misses:.3}"),
+                    talus_core::TalusPlan::Unpartitioned {
+                        size,
+                        expected_misses,
+                    } => format!("unpart size {size} exp {expected_misses:.3}"),
                     talus_core::TalusPlan::Shadow(c) => format!(
                         "shadow a {:.0} b {:.0} rho {:.3} s1 {:.0} s2 {:.0} exp {:.3}",
                         c.alpha, c.beta, c.rho, c.s1, c.s2, c.expected_misses
                     ),
                 })
             );
-            let a = self.talus.inner().partition_stats(PartitionId(2 * p as u32));
-            let b = self.talus.inner().partition_stats(PartitionId(2 * p as u32 + 1));
+            let a = self
+                .talus
+                .inner()
+                .partition_stats(PartitionId(2 * p as u32));
+            let b = self
+                .talus
+                .inner()
+                .partition_stats(PartitionId(2 * p as u32 + 1));
             println!(
                 "    shadow alpha: acc {} hr {:.3} occ {} | shadow beta: acc {} hr {:.3} occ {}",
-                a.accesses(), a.hit_rate(),
+                a.accesses(),
+                a.hit_rate(),
                 self.talus.inner().occupancy(PartitionId(2 * p as u32)),
-                b.accesses(), b.hit_rate(),
+                b.accesses(),
+                b.hit_rate(),
                 self.talus.inner().occupancy(PartitionId(2 * p as u32 + 1)),
             );
         }
@@ -394,8 +419,14 @@ mod tests {
     fn labels_match_paper_legends() {
         assert_eq!(SchemeKind::SharedLru.label(), "LRU");
         assert_eq!(SchemeKind::TaDrrip.label(), "TA-DRRIP");
-        assert_eq!(SchemeKind::PartitionedLru(AllocAlgo::Lookahead).label(), "Lookahead/LRU");
-        assert_eq!(SchemeKind::TalusLru(AllocAlgo::Hill).label(), "Talus+V/LRU (Hill)");
+        assert_eq!(
+            SchemeKind::PartitionedLru(AllocAlgo::Lookahead).label(),
+            "Lookahead/LRU"
+        );
+        assert_eq!(
+            SchemeKind::TalusLru(AllocAlgo::Hill).label(),
+            "Talus+V/LRU (Hill)"
+        );
     }
 
     #[test]

@@ -3,9 +3,7 @@
 //! identities on arbitrary inputs.
 
 use proptest::prelude::*;
-use talus_multicore::{
-    coefficient_of_variation, gmean, harmonic_speedup, weighted_speedup,
-};
+use talus_multicore::{coefficient_of_variation, gmean, harmonic_speedup, weighted_speedup};
 
 /// Positive, finite IPC vectors.
 fn arb_ipcs() -> impl Strategy<Value = Vec<f64>> {

@@ -44,7 +44,11 @@ use talus_core::MissCurve;
 /// Panics if the slices differ in length.
 pub fn total_misses(curves: &[MissCurve], alloc: &[u64]) -> f64 {
     assert_eq!(curves.len(), alloc.len(), "one allocation per curve");
-    curves.iter().zip(alloc).map(|(c, &s)| c.value_at(s as f64)).sum()
+    curves
+        .iter()
+        .zip(alloc)
+        .map(|(c, &s)| c.value_at(s as f64))
+        .sum()
 }
 
 fn check_inputs(curves: &[MissCurve], capacity: u64, grain: u64) -> u64 {
@@ -199,7 +203,10 @@ pub fn fair(n: usize, capacity: u64, grain: u64) -> Vec<u64> {
 pub fn imbalanced(curves: &[MissCurve], capacity: u64, grain: u64, favored: usize) -> Vec<u64> {
     let grains = check_inputs(curves, capacity, grain);
     let n = curves.len();
-    assert!(favored < n, "favored partition {favored} out of range (n = {n})");
+    assert!(
+        favored < n,
+        "favored partition {favored} out of range (n = {n})"
+    );
     let mut alloc = vec![0u64; n];
     if grains == 0 {
         return alloc;
@@ -296,16 +303,20 @@ mod tests {
     fn convex(knee: f64, floor: f64) -> MissCurve {
         // Exponential-ish decay sampled on a grid: strictly convex.
         let sizes: Vec<f64> = (0..=16).map(|i| i as f64 * 64.0).collect();
-        let misses: Vec<f64> =
-            sizes.iter().map(|&s| floor + 30.0 * (-s / knee).exp()).collect();
+        let misses: Vec<f64> = sizes
+            .iter()
+            .map(|&s| floor + 30.0 * (-s / knee).exp())
+            .collect();
         MissCurve::from_samples(&sizes, &misses).unwrap()
     }
 
     fn cliff(at: f64, high: f64, low: f64) -> MissCurve {
         // Flat at `high` until `at`, then `low` (libquantum shape).
         let sizes: Vec<f64> = (0..=16).map(|i| i as f64 * 64.0).collect();
-        let misses: Vec<f64> =
-            sizes.iter().map(|&s| if s < at { high } else { low }).collect();
+        let misses: Vec<f64> = sizes
+            .iter()
+            .map(|&s| if s < at { high } else { low })
+            .collect();
         MissCurve::from_samples(&sizes, &misses).unwrap()
     }
 
@@ -330,10 +341,15 @@ mod tests {
         let la = lookahead(&curves, 512, 64);
         // Hill climbing sees zero marginal gain everywhere and splits
         // evenly — nobody crosses their cliff.
-        assert!(total_misses(&curves, &hc) > total_misses(&curves, &la),
-            "hill climbing should lose to lookahead on cliffs");
+        assert!(
+            total_misses(&curves, &hc) > total_misses(&curves, &la),
+            "hill climbing should lose to lookahead on cliffs"
+        );
         // Lookahead gives everything to one app.
-        assert!(la.contains(&512) && la.contains(&0), "lookahead alloc: {la:?}");
+        assert!(
+            la.contains(&512) && la.contains(&0),
+            "lookahead alloc: {la:?}"
+        );
     }
 
     #[test]
@@ -363,12 +379,19 @@ mod tests {
     fn hill_climb_on_hulls_matches_dp_on_hulls() {
         // Talus's pitch: convexify first, then trivial hill climbing is
         // optimal. Compare on the *hulls*.
-        let raw = [cliff(512.0, 15.0, 2.0), cliff(320.0, 9.0, 1.0), convex(200.0, 1.0)];
+        let raw = [
+            cliff(512.0, 15.0, 2.0),
+            cliff(320.0, 9.0, 1.0),
+            convex(200.0, 1.0),
+        ];
         let hulls: Vec<MissCurve> = raw.iter().map(|c| c.convex_hull().to_curve()).collect();
         let hc = hill_climb(&hulls, 1024, 64);
         let dp = optimal_dp(&hulls, 1024, 64);
         let diff = total_misses(&hulls, &hc) - total_misses(&hulls, &dp);
-        assert!(diff.abs() < 1e-9, "hill climb on hulls must be optimal: {diff}");
+        assert!(
+            diff.abs() < 1e-9,
+            "hill climb on hulls must be optimal: {diff}"
+        );
     }
 
     #[test]
@@ -461,7 +484,10 @@ mod tests {
                 *t += a;
             }
         }
-        assert_eq!(totals[0], totals[1], "time-multiplexing evens out: {totals:?}");
+        assert_eq!(
+            totals[0], totals[1],
+            "time-multiplexing evens out: {totals:?}"
+        );
     }
 
     #[test]
@@ -472,7 +498,11 @@ mod tests {
 
     #[test]
     fn imbalanced_respects_capacity_and_grain() {
-        let curves = vec![cliff(448.0, 12.0, 1.5), convex(250.0, 0.8), convex(100.0, 2.0)];
+        let curves = vec![
+            cliff(448.0, 12.0, 1.5),
+            convex(250.0, 0.8),
+            convex(100.0, 2.0),
+        ];
         let alloc = imbalanced(&curves, 960, 64, 0);
         assert!(alloc.iter().sum::<u64>() <= 960);
         assert!(alloc.iter().all(|a| a % 64 == 0), "{alloc:?}");

@@ -131,7 +131,10 @@ impl<P: ReplacementPolicy> CacheModel for SetAssocCache<P> {
     fn access(&mut self, line: LineAddr, ctx: &AccessCtx) -> AccessResult {
         let set = self.set_of(line);
         let tag = line.value();
-        debug_assert_ne!(tag, INVALID_TAG, "line address collides with the invalid tag");
+        debug_assert_ne!(
+            tag, INVALID_TAG,
+            "line address collides with the invalid tag"
+        );
         let ctx = &ctx.with_line(line); // signature-based policies need the address
         let result = if let Some(way) = self.find(set, tag) {
             self.policy.on_hit(set, way, ctx);
@@ -278,11 +281,19 @@ impl CacheModel for FullyAssocLru {
                 }
                 let idx = match self.free.pop() {
                     Some(i) => {
-                        self.nodes[i] = Node { line, prev: NIL, next: NIL };
+                        self.nodes[i] = Node {
+                            line,
+                            prev: NIL,
+                            next: NIL,
+                        };
                         i
                     }
                     None => {
-                        self.nodes.push(Node { line, prev: NIL, next: NIL });
+                        self.nodes.push(Node {
+                            line,
+                            prev: NIL,
+                            next: NIL,
+                        });
                         self.nodes.len() - 1
                     }
                 };
@@ -446,7 +457,9 @@ mod tests {
         let mut sa = SetAssocCache::with_geometry(1, 8, Lru::new(), 1);
         let mut state = 12345u64;
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let line = LineAddr((state >> 33) % 24);
             assert_eq!(fa.access(line, &ctx()), sa.access(line, &ctx()));
         }

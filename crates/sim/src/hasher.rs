@@ -37,7 +37,10 @@ impl H3Hasher {
     ///
     /// Panics if `bits` is 0 or greater than 64.
     pub fn new(bits: u32, seed: u64) -> Self {
-        assert!((1..=64).contains(&bits), "H3 output width must be 1..=64 bits");
+        assert!(
+            (1..=64).contains(&bits),
+            "H3 output width must be 1..=64 bits"
+        );
         let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
         let mut masks = Vec::with_capacity(bits as usize);
         for _ in 0..bits {
@@ -48,7 +51,11 @@ impl H3Hasher {
             let mask = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
             // A zero mask would make an output bit constant; extremely
             // unlikely, but guard anyway.
-            masks.push(if mask == 0 { 0xDEAD_BEEF_CAFE_F00D } else { mask });
+            masks.push(if mask == 0 {
+                0xDEAD_BEEF_CAFE_F00D
+            } else {
+                mask
+            });
         }
         H3Hasher { masks }
     }
@@ -103,7 +110,10 @@ pub struct ShadowSampler {
 impl ShadowSampler {
     /// Creates a sampler with rate 0 (everything to β) seeded from `seed`.
     pub fn new(seed: u64) -> Self {
-        ShadowSampler { hasher: H3Hasher::new(8, seed), limit: 0 }
+        ShadowSampler {
+            hasher: H3Hasher::new(8, seed),
+            limit: 0,
+        }
     }
 
     /// Sets the α sampling rate. The rate is quantised to 1/256 steps, as
@@ -113,7 +123,10 @@ impl ShadowSampler {
     ///
     /// Panics if `rho` is not in `[0, 1]`.
     pub fn set_rate(&mut self, rho: f64) {
-        assert!((0.0..=1.0).contains(&rho), "sampling rate must be in [0, 1], got {rho}");
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "sampling rate must be in [0, 1], got {rho}"
+        );
         self.limit = (rho * 256.0).round() as u16;
     }
 
@@ -144,7 +157,10 @@ impl SampleFilter {
     /// Panics if `ratio` is zero.
     pub fn new(ratio: u64, seed: u64) -> Self {
         assert!(ratio > 0, "sampling ratio must be positive");
-        SampleFilter { hasher: H3Hasher::new(32, seed), ratio }
+        SampleFilter {
+            hasher: H3Hasher::new(32, seed),
+            ratio,
+        }
     }
 
     /// Whether this line is in the sample.

@@ -100,8 +100,14 @@ impl AdaptiveCurveSampler {
     where
         F: Fn(u64) -> Box<dyn ReplacementPolicy> + 'static,
     {
-        assert!(num_monitors >= 4, "need at least 4 monitors (2 endpoints + 2 interior)");
-        assert!(span_lines >= num_monitors as u64, "span too small for the bank");
+        assert!(
+            num_monitors >= 4,
+            "need at least 4 monitors (2 endpoints + 2 interior)"
+        );
+        assert!(
+            span_lines >= num_monitors as u64,
+            "span too small for the bank"
+        );
         let factory: PolicyFactory = Box::new(factory);
         let sizes = geometric_ladder(span_lines, num_monitors, ways as u64);
         let bank = CurveSampler::with_policy(&factory, &sizes, monitor_lines, ways, seed);
@@ -180,8 +186,13 @@ impl AdaptiveCurveSampler {
         rounded.sort_unstable();
         rounded.dedup();
         self.seed = self.seed.wrapping_add(0x9E37_79B9);
-        self.bank =
-            CurveSampler::with_policy(&self.factory, &rounded, self.monitor_lines, self.ways, self.seed);
+        self.bank = CurveSampler::with_policy(
+            &self.factory,
+            &rounded,
+            self.monitor_lines,
+            self.ways,
+            self.seed,
+        );
     }
 }
 
@@ -259,7 +270,10 @@ mod tests {
             .map(|&s| (s as i64 - 3000).unsigned_abs())
             .min()
             .unwrap();
-        assert!(nearest < 600, "no monitor near the 3000-line cliff: {sizes:?}");
+        assert!(
+            nearest < 600,
+            "no monitor near the 3000-line cliff: {sizes:?}"
+        );
         // Coverage endpoint survives adaptation.
         assert_eq!(*sizes.last().unwrap(), 8192);
     }

@@ -25,7 +25,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     fn add(&mut self, mut i: usize, delta: i32) {
@@ -172,7 +174,11 @@ impl Monitor for MattsonMonitor {
                 // Distinct lines touched in (prev, now): each has its latest
                 // access marked in the Fenwick tree after prev.
                 let upto_prev = self.fenwick.prefix(prev);
-                let upto_now = if self.now == 0 { 0 } else { self.fenwick.prefix(self.now - 1) };
+                let upto_now = if self.now == 0 {
+                    0
+                } else {
+                    self.fenwick.prefix(self.now - 1)
+                };
                 let distance = (upto_now - upto_prev) as usize + 1; // include the line itself
                 if distance <= self.cap {
                     self.hist[distance] += 1;
@@ -235,7 +241,9 @@ mod tests {
         for &l in &uniform_stream(200, 50_000, 3) {
             m.record(l);
         }
-        assert!(m.curve_on_grid(&(0..=128).collect::<Vec<_>>()).is_monotone(1e-12));
+        assert!(m
+            .curve_on_grid(&(0..=128).collect::<Vec<_>>())
+            .is_monotone(1e-12));
     }
 
     #[test]

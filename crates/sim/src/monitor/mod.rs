@@ -83,7 +83,9 @@ pub(crate) mod test_support {
         let mut state = seed | 1;
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 LineAddr((state >> 33) % lines)
             })
             .collect()

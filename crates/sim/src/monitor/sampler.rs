@@ -63,7 +63,13 @@ impl CurveSampler {
         ways: usize,
         seed: u64,
     ) -> Self {
-        Self::with_policy(|s| policy.build(s), modeled_sizes, monitor_lines, ways, seed)
+        Self::with_policy(
+            |s| policy.build(s),
+            modeled_sizes,
+            monitor_lines,
+            ways,
+            seed,
+        )
     }
 
     /// Like [`new`](Self::new), but for *custom* policies: `factory` is
@@ -116,7 +122,10 @@ impl CurveSampler {
                 }
             })
             .collect();
-        CurveSampler { points, accesses: 0 }
+        CurveSampler {
+            points,
+            accesses: 0,
+        }
     }
 
     /// Number of monitors (curve points, excluding the origin).
@@ -152,7 +161,11 @@ impl Monitor for CurveSampler {
         let mut misses = vec![1.0f64];
         for p in &self.points {
             let s = p.cache.stats();
-            let rate = if s.accesses() == 0 { 1.0 } else { s.miss_rate() };
+            let rate = if s.accesses() == 0 {
+                1.0
+            } else {
+                s.miss_rate()
+            };
             // Guard against duplicate modelled sizes after rounding.
             if sizes.last().copied() != Some(p.modeled_lines as f64) {
                 sizes.push(p.modeled_lines as f64);

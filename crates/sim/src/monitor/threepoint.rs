@@ -72,7 +72,10 @@ impl ThreePointMonitor {
     /// Panics if `capacity_lines` is zero or `coverage` is not positive.
     pub fn with_coverage(capacity_lines: u64, coverage: f64, seed: u64) -> Self {
         assert!(capacity_lines > 0, "capacity must be positive");
-        assert!(coverage > 0.0 && coverage.is_finite(), "coverage must be positive");
+        assert!(
+            coverage > 0.0 && coverage.is_finite(),
+            "coverage must be positive"
+        );
         let modeled_full = ((capacity_lines as f64 * coverage) as u64).max(2);
         let ratio = modeled_full.div_ceil(MAX_MONITOR_LINES).max(1);
         let full_lines = (modeled_full / ratio).max(2);
@@ -113,7 +116,11 @@ impl Monitor for ThreePointMonitor {
             (h.max(f), f)
         };
         MissCurve::from_samples(
-            &[0.0, self.modeled_full as f64 / 2.0, self.modeled_full as f64],
+            &[
+                0.0,
+                self.modeled_full as f64 / 2.0,
+                self.modeled_full as f64,
+            ],
             &[1.0f64.max(half_rate), half_rate, full_rate],
         )
         .expect("three-point sizes are strictly increasing")
@@ -190,7 +197,11 @@ mod tests {
         }
         let c = m.curve();
         assert!(c.value_at(1024.0) > 0.9);
-        assert!(c.value_at(2048.0) > 0.9, "flat at full: {}", c.value_at(2048.0));
+        assert!(
+            c.value_at(2048.0) > 0.9,
+            "flat at full: {}",
+            c.value_at(2048.0)
+        );
         // With 2x coverage the same monitor budget sees the cliff.
         let mut wide = ThreePointMonitor::with_coverage(2048, 2.0, 1);
         for l in scan_stream(4096, 100_000) {

@@ -59,7 +59,10 @@ impl Umon {
     /// Panics if any argument is zero.
     pub fn new(modeled_lines: u64, monitor_sets: usize, ways: usize, seed: u64) -> Self {
         assert!(modeled_lines > 0, "modelled capacity must be positive");
-        assert!(monitor_sets > 0 && ways > 0, "monitor geometry must be positive");
+        assert!(
+            monitor_sets > 0 && ways > 0,
+            "monitor geometry must be positive"
+        );
         let entries = (monitor_sets * ways) as u64;
         let ratio = modeled_lines.div_ceil(entries);
         Umon {
@@ -93,7 +96,10 @@ impl Umon {
         let mut hits = 0u64;
         for k in 0..self.ways {
             hits += self.way_hits[k];
-            points.push(((k as u64 + 1) * self.lines_per_way(), (self.sampled - hits) as f64 / total));
+            points.push((
+                (k as u64 + 1) * self.lines_per_way(),
+                (self.sampled - hits) as f64 / total,
+            ));
         }
         points
     }
@@ -123,10 +129,8 @@ impl Monitor for Umon {
     }
 
     fn curve(&self) -> MissCurve {
-        MissCurve::new(
-            self.curve_points().into_iter().map(|(s, m)| (s as f64, m)),
-        )
-        .expect("way-granularity points are sorted")
+        MissCurve::new(self.curve_points().into_iter().map(|(s, m)| (s as f64, m)))
+            .expect("way-granularity points are sorted")
     }
 
     fn sampled_accesses(&self) -> u64 {
@@ -299,8 +303,16 @@ mod tests {
         }
         let c = p.curve();
         assert!(c.max_size() >= 16384.0);
-        assert!(c.value_at(4096.0) > 0.9, "below the cliff: {}", c.value_at(4096.0));
-        assert!(c.value_at(16000.0) < 0.15, "past the cliff: {}", c.value_at(16000.0));
+        assert!(
+            c.value_at(4096.0) > 0.9,
+            "below the cliff: {}",
+            c.value_at(4096.0)
+        );
+        assert!(
+            c.value_at(16000.0) < 0.15,
+            "past the cliff: {}",
+            c.value_at(16000.0)
+        );
     }
 
     #[test]

@@ -55,10 +55,8 @@ impl OverheadReport {
         // H3 masks (8 × 8-bit treated as 8 bytes) + 1-byte limit register.
         let sampler_bytes = cores * (8 + 1);
         // Talus-specific: the extra sampled UMON plus its way counters.
-        let monitor_bytes =
-            cores * (SAMPLED_UMON_ENTRIES * MONITOR_TAG_BITS / 8 + 16 * 4);
-        let baseline_monitor_bytes =
-            cores * (UMON_ENTRIES * MONITOR_TAG_BITS / 8 + 64 * 4);
+        let monitor_bytes = cores * (SAMPLED_UMON_ENTRIES * MONITOR_TAG_BITS / 8 + 16 * 4);
+        let baseline_monitor_bytes = cores * (UMON_ENTRIES * MONITOR_TAG_BITS / 8 + 64 * 4);
         OverheadReport {
             tag_bits_bytes,
             partition_state_bytes,

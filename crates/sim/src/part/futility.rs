@@ -82,7 +82,10 @@ impl FutilityScaled {
         assert!(capacity_lines > 0, "capacity must be positive");
         assert!(ways > 0, "associativity must be positive");
         assert!(partitions > 0, "partition count must be positive");
-        assert!(capacity_lines.is_multiple_of(ways as u64), "capacity must be a multiple of ways");
+        assert!(
+            capacity_lines.is_multiple_of(ways as u64),
+            "capacity must be a multiple of ways"
+        );
         let rows = (capacity_lines / ways as u64) as usize;
         let slots = rows * ways;
         FutilityScaled {
@@ -161,7 +164,11 @@ impl PartitionedCacheModel for FutilityScaled {
     }
 
     fn set_partition_sizes(&mut self, lines: &[u64]) -> Vec<u64> {
-        assert_eq!(lines.len(), self.num_partitions(), "one request per partition");
+        assert_eq!(
+            lines.len(),
+            self.num_partitions(),
+            "one request per partition"
+        );
         let capacity = self.capacity_lines();
         let requested: u64 = lines.iter().sum();
         let granted: Vec<u64> = if requested <= capacity {
@@ -323,7 +330,10 @@ mod tests {
             c.access(p, LineAddr(l % 16384), &ctx());
         }
         let o0 = c.occupancy(PartitionId(0)) as f64;
-        assert!((o0 - 512.0).abs() < 512.0 * 0.25, "partition 0 holds {o0} lines (target 512)");
+        assert!(
+            (o0 - 512.0).abs() < 512.0 * 0.25,
+            "partition 0 holds {o0} lines (target 512)"
+        );
     }
 
     #[test]
@@ -339,7 +349,11 @@ mod tests {
         }
         let o0 = c.occupancy(PartitionId(0)) as f64;
         let o1 = c.occupancy(PartitionId(1)) as f64;
-        assert!((o0 / (o0 + o1) - 0.25).abs() < 0.05, "split {}", o0 / (o0 + o1));
+        assert!(
+            (o0 / (o0 + o1) - 0.25).abs() < 0.05,
+            "split {}",
+            o0 / (o0 + o1)
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ impl PartitionedCacheModel for IdealPartitioned {
     }
 
     fn set_partition_sizes(&mut self, lines: &[u64]) -> Vec<u64> {
-        assert_eq!(lines.len(), self.num_partitions(), "one request per partition");
+        assert_eq!(
+            lines.len(),
+            self.num_partitions(),
+            "one request per partition"
+        );
         // Exact grants, scaled down proportionally only if oversubscribed.
         let requested: u64 = lines.iter().sum();
         let granted: Vec<u64> = if requested <= self.capacity {

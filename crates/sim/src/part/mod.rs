@@ -87,7 +87,10 @@ pub trait PartitionedCacheModel {
 /// exceeds `total_units`.
 pub(crate) fn apportion(requests: &[u64], unit_lines: u64, total_units: u64) -> Vec<u64> {
     debug_assert!(unit_lines > 0);
-    let raw: Vec<f64> = requests.iter().map(|&r| r as f64 / unit_lines as f64).collect();
+    let raw: Vec<f64> = requests
+        .iter()
+        .map(|&r| r as f64 / unit_lines as f64)
+        .collect();
     let mut units: Vec<u64> = raw.iter().map(|&x| x.floor() as u64).collect();
     // Cap at the available total (proportional scale-down if oversubscribed).
     let mut used: u64 = units.iter().sum();

@@ -39,11 +39,20 @@ impl<P: ReplacementPolicy> SetPartitioned<P> {
     ///
     /// Panics if the capacity is not a positive multiple of `ways` or
     /// `partitions` is zero.
-    pub fn new(capacity_lines: u64, ways: usize, partitions: usize, mut policy: P, seed: u64) -> Self {
+    pub fn new(
+        capacity_lines: u64,
+        ways: usize,
+        partitions: usize,
+        mut policy: P,
+        seed: u64,
+    ) -> Self {
         assert!(capacity_lines > 0, "capacity must be positive");
         assert!(ways > 0, "associativity must be positive");
         assert!(partitions > 0, "partition count must be positive");
-        assert!(capacity_lines.is_multiple_of(ways as u64), "capacity must be a multiple of ways");
+        assert!(
+            capacity_lines.is_multiple_of(ways as u64),
+            "capacity must be a multiple of ways"
+        );
         let sets = (capacity_lines / ways as u64) as usize;
         policy.attach(sets, ways);
         SetPartitioned {
@@ -69,7 +78,11 @@ impl<P: ReplacementPolicy> PartitionedCacheModel for SetPartitioned<P> {
     }
 
     fn set_partition_sizes(&mut self, lines: &[u64]) -> Vec<u64> {
-        assert_eq!(lines.len(), self.num_partitions(), "one request per partition");
+        assert_eq!(
+            lines.len(),
+            self.num_partitions(),
+            "one request per partition"
+        );
         let sets_per = apportion(lines, self.ways as u64, self.sets as u64);
         let mut base = 0usize;
         for (p, &quota) in sets_per.iter().enumerate() {

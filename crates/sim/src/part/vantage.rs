@@ -106,7 +106,10 @@ impl VantageLike {
         assert!(capacity_lines > 0, "capacity must be positive");
         assert!(ways > 0, "associativity must be positive");
         assert!(partitions > 0, "partition count must be positive");
-        assert!(capacity_lines.is_multiple_of(ways as u64), "capacity must be a multiple of ways");
+        assert!(
+            capacity_lines.is_multiple_of(ways as u64),
+            "capacity must be a multiple of ways"
+        );
         assert!(
             (0.0..=0.9).contains(&unmanaged_fraction),
             "unmanaged fraction must be in [0, 0.9]"
@@ -183,7 +186,11 @@ impl PartitionedCacheModel for VantageLike {
     }
 
     fn set_partition_sizes(&mut self, lines: &[u64]) -> Vec<u64> {
-        assert_eq!(lines.len(), self.num_partitions(), "one request per partition");
+        assert_eq!(
+            lines.len(),
+            self.num_partitions(),
+            "one request per partition"
+        );
         let capacity = self.capacity_lines();
         let requested: u64 = lines.iter().sum();
         // Grants are exact (line granularity) unless oversubscribed.
@@ -198,7 +205,11 @@ impl PartitionedCacheModel for VantageLike {
         // Vantage can only guarantee the managed region: effective targets
         // are scaled down, and the slack floats between partitions.
         let scale = 1.0 - self.unmanaged_fraction;
-        self.targets = self.granted.iter().map(|&g| (g as f64 * scale) as u64).collect();
+        self.targets = self
+            .granted
+            .iter()
+            .map(|&g| (g as f64 * scale) as u64)
+            .collect();
         self.granted.clone()
     }
 

@@ -61,7 +61,13 @@ impl<P: ReplacementPolicy> WayPartitioned<P> {
     ///
     /// Panics if the capacity is not a positive multiple of `ways`, or if
     /// `partitions` is zero.
-    pub fn new(capacity_lines: u64, ways: usize, partitions: usize, mut policy: P, seed: u64) -> Self {
+    pub fn new(
+        capacity_lines: u64,
+        ways: usize,
+        partitions: usize,
+        mut policy: P,
+        seed: u64,
+    ) -> Self {
         assert!(capacity_lines > 0, "capacity must be positive");
         assert!(ways > 0, "associativity must be positive");
         assert!(partitions > 0, "partition count must be positive");
@@ -103,7 +109,11 @@ impl<P: ReplacementPolicy> PartitionedCacheModel for WayPartitioned<P> {
     }
 
     fn set_partition_sizes(&mut self, lines: &[u64]) -> Vec<u64> {
-        assert_eq!(lines.len(), self.num_partitions(), "one request per partition");
+        assert_eq!(
+            lines.len(),
+            self.num_partitions(),
+            "one request per partition"
+        );
         let ways_per = apportion(lines, self.sets as u64, self.ways as u64);
         // Reassign way ownership: walk ways in order, handing each
         // partition its quota. Stable so small reallocations move few ways.
@@ -136,7 +146,10 @@ impl<P: ReplacementPolicy> PartitionedCacheModel for WayPartitioned<P> {
             // Zero ways: bypass partition.
             AccessResult::Miss
         } else {
-            let way = match self.own_ways[p].iter().copied().find(|&w| self.tags[base + w] == INVALID_TAG)
+            let way = match self.own_ways[p]
+                .iter()
+                .copied()
+                .find(|&w| self.tags[base + w] == INVALID_TAG)
             {
                 Some(w) => w,
                 None => self.policy.choose_victim(set, &self.own_ways[p]),

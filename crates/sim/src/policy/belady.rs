@@ -87,8 +87,17 @@ mod tests {
 
     #[test]
     fn annotate_simple_trace() {
-        let t = [LineAddr(5), LineAddr(6), LineAddr(5), LineAddr(6), LineAddr(7)];
-        assert_eq!(annotate_next_uses(&t), vec![2, 3, NEVER_USED, NEVER_USED, NEVER_USED]);
+        let t = [
+            LineAddr(5),
+            LineAddr(6),
+            LineAddr(5),
+            LineAddr(6),
+            LineAddr(7),
+        ];
+        assert_eq!(
+            annotate_next_uses(&t),
+            vec![2, 3, NEVER_USED, NEVER_USED, NEVER_USED]
+        );
     }
 
     #[test]

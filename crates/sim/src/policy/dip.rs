@@ -65,7 +65,10 @@ pub struct Bip {
 impl Bip {
     /// Creates a BIP policy; `seed` offsets the bimodal phase.
     pub fn new(seed: u64) -> Self {
-        Bip { table: StampTable::default(), miss_count: seed % BIP_EPSILON }
+        Bip {
+            table: StampTable::default(),
+            miss_count: seed % BIP_EPSILON,
+        }
     }
 }
 
@@ -107,7 +110,11 @@ pub struct Dip {
 impl Dip {
     /// Creates a DIP policy with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        Dip { table: StampTable::default(), bip_phase: seed % BIP_EPSILON, psel: PSEL_INIT }
+        Dip {
+            table: StampTable::default(),
+            bip_phase: seed % BIP_EPSILON,
+            psel: PSEL_INIT,
+        }
     }
 
     fn bip_insert(&mut self, set: usize, way: usize) {

@@ -48,12 +48,20 @@ pub struct AccessCtx {
 impl AccessCtx {
     /// Context for a single-threaded access with no oracle information.
     pub fn new() -> Self {
-        AccessCtx { thread: ThreadId(0), next_use: NEVER_USED, line: LineAddr(0) }
+        AccessCtx {
+            thread: ThreadId(0),
+            next_use: NEVER_USED,
+            line: LineAddr(0),
+        }
     }
 
     /// Context for an access from the given thread.
     pub fn from_thread(thread: ThreadId) -> Self {
-        AccessCtx { thread, next_use: NEVER_USED, line: LineAddr(0) }
+        AccessCtx {
+            thread,
+            next_use: NEVER_USED,
+            line: LineAddr(0),
+        }
     }
 
     /// Attaches oracle next-use information (for [`Belady`]).

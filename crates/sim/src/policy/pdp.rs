@@ -147,10 +147,9 @@ impl ReplacementPolicy for Pdp {
         let mut mru: Option<(u64, usize)> = None;
         for &w in candidates {
             let age = self.age(set, w);
-            if age >= self.pd
-                && best_unprot.is_none_or(|(a, _)| age > a) {
-                    best_unprot = Some((age, w));
-                }
+            if age >= self.pd && best_unprot.is_none_or(|(a, _)| age > a) {
+                best_unprot = Some((age, w));
+            }
             if mru.is_none_or(|(a, _)| age < a) {
                 mru = Some((age, w));
             }
@@ -218,7 +217,7 @@ mod tests {
         p.on_hit(0, 0, &ctx()); // tick 3; way0 re-protected at 3
         p.tick(0); // ticks 4
         p.tick(0); // 5
-        // Ages: way0 = 2 (protected, pd=3), way1 = 3 (unprotected).
+                   // Ages: way0 = 2 (protected, pd=3), way1 = 3 (unprotected).
         assert_eq!(p.choose_victim(0, &[0, 1]), 1);
     }
 

@@ -121,7 +121,10 @@ impl Brrip {
     /// Creates a BRRIP policy; `seed` offsets the bimodal phase so
     /// replicated caches do not insert in lockstep.
     pub fn new(seed: u64) -> Self {
-        Brrip { table: RrpvTable::default(), miss_count: seed % BRRIP_EPSILON }
+        Brrip {
+            table: RrpvTable::default(),
+            miss_count: seed % BRRIP_EPSILON,
+        }
     }
 
     fn insertion_value(&mut self) -> u8 {
@@ -177,7 +180,11 @@ pub struct Drrip {
 impl Drrip {
     /// Creates a DRRIP policy with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        Drrip { table: RrpvTable::default(), brrip_phase: seed % BRRIP_EPSILON, psel: PSEL_INIT }
+        Drrip {
+            table: RrpvTable::default(),
+            brrip_phase: seed % BRRIP_EPSILON,
+            psel: PSEL_INIT,
+        }
     }
 
     fn role(set: usize) -> DuelRole {
@@ -342,8 +349,8 @@ mod tests {
             p.on_insert(0, w, &ctx()); // all at RRPV_LONG = 2
         }
         p.on_hit(0, 1, &ctx()); // way 1 -> 0
-        // No distant lines: aging bumps everyone until some hit RRPV_MAX.
-        // Ways 0, 2, 3 (at 2) reach 3 first; lowest index wins.
+                                // No distant lines: aging bumps everyone until some hit RRPV_MAX.
+                                // Ways 0, 2, 3 (at 2) reach 3 first; lowest index wins.
         assert_eq!(p.choose_victim(0, &[0, 1, 2, 3]), 0);
     }
 
@@ -365,7 +372,7 @@ mod tests {
         p.on_hit(0, 0, &ctx()); // rrpv 0
         p.on_hit(0, 1, &ctx());
         p.on_hit(0, 1, &ctx()); // still 0
-        // way 2 at RRPV_LONG ages to max first.
+                                // way 2 at RRPV_LONG ages to max first.
         assert_eq!(p.choose_victim(0, &[0, 1, 2]), 2);
     }
 

@@ -136,7 +136,11 @@ impl ReplacementPolicy for Ship {
         // Otherwise insert at long, like SRRIP.
         let value = if self.shct[sig as usize] == 0 {
             self.explore_phase += 1;
-            if self.explore_phase.is_multiple_of(EXPLORE_EPSILON) { RRPV_LONG } else { RRPV_MAX }
+            if self.explore_phase.is_multiple_of(EXPLORE_EPSILON) {
+                RRPV_LONG
+            } else {
+                RRPV_MAX
+            }
         } else {
             RRPV_LONG
         };
@@ -171,7 +175,10 @@ mod tests {
         let v = p.choose_victim(0, &[0, 1]);
         let _ = v;
         let after = p.predicted_reuse(scan_line);
-        assert!(after < before, "dead eviction must train SHCT down: {before} -> {after}");
+        assert!(
+            after < before,
+            "dead eviction must train SHCT down: {before} -> {after}"
+        );
     }
 
     #[test]

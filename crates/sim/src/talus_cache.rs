@@ -36,13 +36,20 @@ pub struct TalusCacheConfig {
 impl TalusCacheConfig {
     /// Default configuration: 5% safety margin, full planning scale.
     pub fn new() -> Self {
-        TalusCacheConfig { options: TalusOptions::new(), planning_scale: 1.0, seed: 0xD1CE }
+        TalusCacheConfig {
+            options: TalusOptions::new(),
+            planning_scale: 1.0,
+            seed: 0xD1CE,
+        }
     }
 
     /// Configuration for Vantage-like schemes (plans over 90% of each
     /// allocation).
     pub fn for_vantage() -> Self {
-        TalusCacheConfig { planning_scale: 0.9, ..Self::new() }
+        TalusCacheConfig {
+            planning_scale: 0.9,
+            ..Self::new()
+        }
     }
 
     /// Replaces the planner options.
@@ -101,7 +108,12 @@ impl<C: PartitionedCacheModel> TalusCache<C> {
                 s
             })
             .collect();
-        TalusCache { cache, samplers, plans: vec![None; logical_partitions], config }
+        TalusCache {
+            cache,
+            samplers,
+            plans: vec![None; logical_partitions],
+            config,
+        }
     }
 
     /// Number of logical partitions.
@@ -146,8 +158,16 @@ impl<C: PartitionedCacheModel> TalusCache<C> {
         targets: &[u64],
         curves: &[MissCurve],
     ) -> Result<Vec<TalusPlan>, PlanError> {
-        assert_eq!(targets.len(), self.logical_partitions(), "one target per partition");
-        assert_eq!(curves.len(), self.logical_partitions(), "one curve per partition");
+        assert_eq!(
+            targets.len(),
+            self.logical_partitions(),
+            "one target per partition"
+        );
+        assert_eq!(
+            curves.len(),
+            self.logical_partitions(),
+            "one curve per partition"
+        );
         let scale = self.config.planning_scale;
         let mut requests = vec![0u64; 2 * targets.len()];
         let mut plans = Vec::with_capacity(targets.len());
@@ -210,7 +230,11 @@ impl<C: PartitionedCacheModel> TalusCache<C> {
     /// all accesses routed to it. Used at startup, before any miss curve
     /// has been observed.
     pub fn set_unpartitioned(&mut self, targets: &[u64]) {
-        assert_eq!(targets.len(), self.logical_partitions(), "one target per partition");
+        assert_eq!(
+            targets.len(),
+            self.logical_partitions(),
+            "one target per partition"
+        );
         let mut requests = vec![0u64; 2 * targets.len()];
         for (p, &t) in targets.iter().enumerate() {
             requests[2 * p] = t;
@@ -227,9 +251,18 @@ impl<C: PartitionedCacheModel> TalusCache<C> {
     }
 
     /// Performs one access on behalf of logical partition `logical`.
-    pub fn access(&mut self, logical: PartitionId, line: LineAddr, ctx: &AccessCtx) -> AccessResult {
+    pub fn access(
+        &mut self,
+        logical: PartitionId,
+        line: LineAddr,
+        ctx: &AccessCtx,
+    ) -> AccessResult {
         let p = logical.index();
-        let shadow = if self.samplers[p].goes_to_alpha(line) { 2 * p } else { 2 * p + 1 };
+        let shadow = if self.samplers[p].goes_to_alpha(line) {
+            2 * p
+        } else {
+            2 * p + 1
+        };
         self.cache.access(PartitionId(shadow as u32), line, ctx)
     }
 
@@ -386,8 +419,7 @@ mod tests {
         let cache = IdealPartitioned::new(1000, 2);
         let mut t = TalusCache::new(cache, 1, TalusCacheConfig::new());
         // Convex curve: no cliff, plan is unpartitioned at every size.
-        let curve =
-            MissCurve::from_samples(&[0.0, 500.0, 1000.0], &[1.0, 0.4, 0.1]).unwrap();
+        let curve = MissCurve::from_samples(&[0.0, 500.0, 1000.0], &[1.0, 0.4, 0.1]).unwrap();
         t.reconfigure(&[1000], &[curve]).unwrap();
         assert_eq!(t.sampling_rate(PartitionId(0)), 1.0);
         for i in 0..100u64 {
@@ -415,7 +447,11 @@ mod tests {
         }
         let a = t.inner().partition_stats(PartitionId(0)).accesses() as f64;
         let b = t.inner().partition_stats(PartitionId(1)).accesses() as f64;
-        assert!((a / (a + b) - rho).abs() < 0.02, "alpha got {}", a / (a + b));
+        assert!(
+            (a / (a + b) - rho).abs() < 0.02,
+            "alpha got {}",
+            a / (a + b)
+        );
     }
 
     #[test]
@@ -429,8 +465,7 @@ mod tests {
             &[1.0, 0.5, 0.5, 0.05, 0.05],
         )
         .unwrap();
-        let convex =
-            MissCurve::from_samples(&[0.0, 2048.0, 4096.0], &[1.0, 0.3, 0.1]).unwrap();
+        let convex = MissCurve::from_samples(&[0.0, 2048.0, 4096.0], &[1.0, 0.3, 0.1]).unwrap();
         t.reconfigure(&[4096, 4096], &[cliff, convex]).unwrap();
         assert!(t.plan(PartitionId(0)).unwrap().shadow().is_some());
         assert!(t.plan(PartitionId(1)).unwrap().shadow().is_none());

@@ -56,7 +56,11 @@ impl Scan {
     /// Panics if `lines` is zero.
     pub fn new(base: u64, lines: u64) -> Self {
         assert!(lines > 0, "scan footprint must be positive");
-        Scan { base, lines, pos: 0 }
+        Scan {
+            base,
+            lines,
+            pos: 0,
+        }
     }
 }
 
@@ -88,7 +92,11 @@ impl UniformRandom {
     /// Panics if `lines` is zero.
     pub fn new(base: u64, lines: u64, seed: u64) -> Self {
         assert!(lines > 0, "working set must be positive");
-        UniformRandom { base, lines, rng: SmallRng::seed_from_u64(seed) }
+        UniformRandom {
+            base,
+            lines,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -133,7 +141,15 @@ impl Zipfian {
         let h_x1 = Self::h(1.5, exponent) - 1.0;
         let h_n = Self::h(n + 0.5, exponent);
         let s = 2.0 - Self::h_inv(Self::h(2.5, exponent) - 2.0f64.powf(-exponent), exponent);
-        Zipfian { base, lines, exponent, rng: SmallRng::seed_from_u64(seed), h_x1, h_n, s }
+        Zipfian {
+            base,
+            lines,
+            exponent,
+            rng: SmallRng::seed_from_u64(seed),
+            h_x1,
+            h_n,
+            s,
+        }
     }
 
     /// Integral of the Zipf density envelope: H(x) = (x^(1-q) - 1)/(1-q),
@@ -159,9 +175,7 @@ impl Zipfian {
             let u = self.h_x1 + self.rng.gen::<f64>() * (self.h_n - self.h_x1);
             let x = Self::h_inv(u, self.exponent);
             let k = (x + 0.5).floor().max(1.0).min(self.lines as f64);
-            if k - x <= self.s
-                || u >= Self::h(k + 0.5, self.exponent) - k.powf(-self.exponent)
-            {
+            if k - x <= self.s || u >= Self::h(k + 0.5, self.exponent) - k.powf(-self.exponent) {
                 return k as u64;
             }
         }
@@ -215,7 +229,12 @@ impl StridedScan {
         while gcd(stride, lines) != 1 {
             stride += 1;
         }
-        StridedScan { base, lines, stride, pos: 0 }
+        StridedScan {
+            base,
+            lines,
+            stride,
+            pos: 0,
+        }
     }
 
     /// The (possibly adjusted) stride actually in use.
@@ -225,7 +244,11 @@ impl StridedScan {
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 impl AccessGenerator for StridedScan {
@@ -277,7 +300,12 @@ impl PointerChase {
         let k = 1 + (seed % 61);
         let multiplier = (1 + k * rad) % lines.max(1);
         let multiplier = if multiplier == 0 { 1 } else { multiplier };
-        PointerChase { base, lines, multiplier, pos: 0 }
+        PointerChase {
+            base,
+            lines,
+            multiplier,
+            pos: 0,
+        }
     }
 }
 
@@ -328,7 +356,10 @@ impl Mixture {
     ///
     /// Panics if `components` is empty or any weight is non-positive.
     pub fn new(components: Vec<(f64, Box<dyn AccessGenerator>)>, seed: u64) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
         assert!(
             components.iter().all(|(w, _)| *w > 0.0) && total.is_finite(),
@@ -342,19 +373,29 @@ impl Mixture {
                 acc
             })
             .collect();
-        Mixture { components, cumulative, rng: SmallRng::seed_from_u64(seed) }
+        Mixture {
+            components,
+            cumulative,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
 impl AccessGenerator for Mixture {
     fn next_line(&mut self) -> LineAddr {
         let u = self.rng.gen::<f64>();
-        let idx = self.cumulative.partition_point(|&c| c < u).min(self.components.len() - 1);
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.components.len() - 1);
         self.components[idx].1.next_line()
     }
 
     fn footprint_lines(&self) -> u64 {
-        self.components.iter().map(|(_, g)| g.footprint_lines()).sum()
+        self.components
+            .iter()
+            .map(|(_, g)| g.footprint_lines())
+            .sum()
     }
 }
 
@@ -375,9 +416,16 @@ impl Phased {
     /// Panics if `phases` is empty or any phase length is zero.
     pub fn new(phases: Vec<(u64, Box<dyn AccessGenerator>)>) -> Self {
         assert!(!phases.is_empty(), "need at least one phase");
-        assert!(phases.iter().all(|(n, _)| *n > 0), "phase lengths must be positive");
+        assert!(
+            phases.iter().all(|(n, _)| *n > 0),
+            "phase lengths must be positive"
+        );
         let remaining = phases[0].0;
-        Phased { phases, current: 0, remaining }
+        Phased {
+            phases,
+            current: 0,
+            remaining,
+        }
     }
 }
 
@@ -437,14 +485,22 @@ mod tests {
         }
         let mut freqs: Vec<u32> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
-        assert!(freqs[0] > 20 * freqs[freqs.len() / 2], "top {} median {}", freqs[0], freqs[freqs.len() / 2]);
+        assert!(
+            freqs[0] > 20 * freqs[freqs.len() / 2],
+            "top {} median {}",
+            freqs[0],
+            freqs[freqs.len() / 2]
+        );
     }
 
     #[test]
     fn zipf_rank_one_frequency_matches_theory() {
         // P(rank 1) with q=1, N=100 is 1/H_100 ≈ 0.1928.
         let mut g = Zipfian::new(0, 100, 1.0, 11);
-        let hot = (0u64..100).map(|r| r.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 100).next().unwrap();
+        let hot = (0u64..100)
+            .map(|r| r.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 100)
+            .next()
+            .unwrap();
         let mut hot_count = 0u32;
         let n = 200_000;
         for _ in 0..n {

@@ -133,7 +133,10 @@ impl<G: AccessGenerator> StreamPrefetcher<G> {
     ///
     /// Panics if `coverage` is outside `[0, 1]`.
     pub fn with_coverage(mut self, coverage: f64) -> Self {
-        assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "coverage must be in [0, 1]"
+        );
         self.coverage = coverage;
         self
     }
@@ -245,7 +248,10 @@ mod tests {
             }
         }
         let coverage = covered as f64 / demands as f64;
-        assert!(coverage > 0.9, "steady scan should be nearly fully covered: {coverage}");
+        assert!(
+            coverage > 0.9,
+            "steady scan should be nearly fully covered: {coverage}"
+        );
     }
 
     #[test]
@@ -255,7 +261,10 @@ mod tests {
             pf.next_tagged();
         }
         let rate = pf.issued() as f64 / pf.demands() as f64;
-        assert!(rate < 0.02, "random accesses shouldn't look like streams: {rate}");
+        assert!(
+            rate < 0.02,
+            "random accesses shouldn't look like streams: {rate}"
+        );
     }
 
     #[test]
@@ -269,7 +278,10 @@ mod tests {
             pf.next_tagged();
         }
         let rate = pf.issued() as f64 / pf.demands() as f64;
-        assert!(rate < 0.02, "pointer chases must not look like streams: {rate}");
+        assert!(
+            rate < 0.02,
+            "pointer chases must not look like streams: {rate}"
+        );
     }
 
     #[test]
@@ -284,8 +296,7 @@ mod tests {
     #[test]
     fn coverage_controls_issue_rate() {
         let run = |coverage: f64| {
-            let mut pf =
-                StreamPrefetcher::new(Scan::new(0, 100_000), 1).with_coverage(coverage);
+            let mut pf = StreamPrefetcher::new(Scan::new(0, 100_000), 1).with_coverage(coverage);
             for _ in 0..40_000 {
                 pf.next_tagged();
             }
@@ -293,8 +304,14 @@ mod tests {
         };
         let high = run(1.0);
         let low = run(0.5);
-        assert!(high > 0.9, "full coverage issues ≈1 prefetch per demand: {high}");
-        assert!((low / high - 0.5).abs() < 0.1, "half coverage issues ≈half: {low} vs {high}");
+        assert!(
+            high > 0.9,
+            "full coverage issues ≈1 prefetch per demand: {high}"
+        );
+        assert!(
+            (low / high - 0.5).abs() < 0.1,
+            "half coverage issues ≈half: {low} vs {high}"
+        );
     }
 
     #[test]
@@ -308,7 +325,10 @@ mod tests {
             }
         }
         let dups = seen.values().filter(|&&c| c > 1).count();
-        assert_eq!(dups, 0, "frontier tracking must prevent duplicate prefetches");
+        assert_eq!(
+            dups, 0,
+            "frontier tracking must prevent duplicate prefetches"
+        );
     }
 
     #[test]
@@ -333,7 +353,11 @@ mod tests {
                 self.a.footprint_lines() + self.b.footprint_lines()
             }
         }
-        let gen = TwoScans { a: Scan::new(0, 30_000), b: Scan::new(1 << 30, 30_000), flip: false };
+        let gen = TwoScans {
+            a: Scan::new(0, 30_000),
+            b: Scan::new(1 << 30, 30_000),
+            flip: false,
+        };
         let mut pf = StreamPrefetcher::new(gen, 1).with_coverage(1.0);
         let mut prefetched = std::collections::HashSet::new();
         let (mut covered, mut demands) = (0u64, 0u64);

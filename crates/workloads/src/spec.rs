@@ -69,9 +69,11 @@ impl AppProfile {
                 let lines = mb_to_lines(c.mb).max(1);
                 let g: Box<dyn AccessGenerator> = match c.kind {
                     ComponentKind::Scan => Box::new(Scan::new(offset, lines)),
-                    ComponentKind::Random => {
-                        Box::new(UniformRandom::new(offset, lines, seed.wrapping_add(i as u64)))
-                    }
+                    ComponentKind::Random => Box::new(UniformRandom::new(
+                        offset,
+                        lines,
+                        seed.wrapping_add(i as u64),
+                    )),
                     ComponentKind::Zipf(q) => {
                         Box::new(Zipfian::new(offset, lines, q, seed.wrapping_add(i as u64)))
                     }
@@ -96,7 +98,10 @@ impl AppProfile {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn scaled(&self, factor: f64) -> AppProfile {
-        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive"
+        );
         AppProfile {
             name: self.name,
             apki: self.apki,
@@ -104,7 +109,10 @@ impl AppProfile {
             components: self
                 .components
                 .iter()
-                .map(|c| Component { mb: c.mb * factor, ..*c })
+                .map(|c| Component {
+                    mb: c.mb * factor,
+                    ..*c
+                })
                 .collect(),
         }
     }
@@ -141,59 +149,137 @@ macro_rules! profile {
 pub fn all_profiles() -> Vec<AppProfile> {
     vec![
         profile!("libquantum", 33.0, 1.2, [(ScanK, 32.0, 1.0)]),
-        profile!("omnetpp", 35.0, 0.9, [(ScanK, 1.9, 0.85), (Zipf(0.7), 16.0, 0.15)]),
+        profile!(
+            "omnetpp",
+            35.0,
+            0.9,
+            [(ScanK, 1.9, 0.85), (Zipf(0.7), 16.0, 0.15)]
+        ),
         profile!(
             "xalancbmk",
             30.0,
             1.0,
-            [(Zipf(1.0), 0.5, 0.35), (ScanK, 5.5, 0.55), (Zipf(0.6), 24.0, 0.10)]
+            [
+                (Zipf(1.0), 0.5, 0.35),
+                (ScanK, 5.5, 0.55),
+                (Zipf(0.6), 24.0, 0.10)
+            ]
         ),
         profile!(
             "mcf",
             40.0,
             0.6,
-            [(Zipf(1.0), 8.0, 0.5), (Random, 24.0, 0.3), (Zipf(0.7), 1.0, 0.2)]
+            [
+                (Zipf(1.0), 8.0, 0.5),
+                (Random, 24.0, 0.3),
+                (Zipf(0.7), 1.0, 0.2)
+            ]
         ),
-        profile!("lbm", 32.0, 1.0, [(ScanK, 256.0, 0.92), (Random, 0.5, 0.08)]),
-        profile!("perlbench", 3.0, 1.6, [(Zipf(1.0), 0.75, 0.70), (ScanK, 4.5, 0.30)]),
+        profile!(
+            "lbm",
+            32.0,
+            1.0,
+            [(ScanK, 256.0, 0.92), (Random, 0.5, 0.08)]
+        ),
+        profile!(
+            "perlbench",
+            3.0,
+            1.6,
+            [(Zipf(1.0), 0.75, 0.70), (ScanK, 4.5, 0.30)]
+        ),
         profile!(
             "cactusADM",
             12.0,
             1.0,
-            [(ScanK, 9.0, 0.60), (Zipf(0.8), 1.0, 0.25), (ScanK, 64.0, 0.15)]
+            [
+                (ScanK, 9.0, 0.60),
+                (Zipf(0.8), 1.0, 0.25),
+                (ScanK, 64.0, 0.15)
+            ]
         ),
         profile!(
             "GemsFDTD",
             18.0,
             0.8,
-            [(ScanK, 12.0, 0.55), (Zipf(0.8), 2.0, 0.35), (Random, 48.0, 0.10)]
+            [
+                (ScanK, 12.0, 0.55),
+                (Zipf(0.8), 2.0, 0.35),
+                (Random, 48.0, 0.10)
+            ]
         ),
-        profile!("sphinx3", 15.0, 1.1, [(Random, 8.0, 0.5), (Zipf(0.9), 2.0, 0.5)]),
+        profile!(
+            "sphinx3",
+            15.0,
+            1.1,
+            [(Random, 8.0, 0.5), (Zipf(0.9), 2.0, 0.5)]
+        ),
         profile!(
             "soplex",
             25.0,
             0.8,
-            [(Zipf(0.9), 4.0, 0.45), (Random, 12.0, 0.35), (ScanK, 48.0, 0.20)]
+            [
+                (Zipf(0.9), 4.0, 0.45),
+                (Random, 12.0, 0.35),
+                (ScanK, 48.0, 0.20)
+            ]
         ),
-        profile!("hmmer", 4.0, 1.8, [(Random, 0.4, 0.9), (Zipf(0.8), 2.0, 0.1)]),
-        profile!("h264ref", 3.0, 1.7, [(Zipf(1.1), 0.5, 0.8), (Random, 2.0, 0.2)]),
+        profile!(
+            "hmmer",
+            4.0,
+            1.8,
+            [(Random, 0.4, 0.9), (Zipf(0.8), 2.0, 0.1)]
+        ),
+        profile!(
+            "h264ref",
+            3.0,
+            1.7,
+            [(Zipf(1.1), 0.5, 0.8), (Random, 2.0, 0.2)]
+        ),
         profile!("gcc", 6.0, 1.4, [(Zipf(0.9), 1.0, 0.6), (Random, 4.0, 0.4)]),
         profile!(
             "zeusmp",
             10.0,
             1.1,
-            [(Random, 2.0, 0.5), (ScanK, 32.0, 0.3), (Zipf(0.8), 0.5, 0.2)]
+            [
+                (Random, 2.0, 0.5),
+                (ScanK, 32.0, 0.3),
+                (Zipf(0.8), 0.5, 0.2)
+            ]
         ),
         profile!("astar", 12.0, 0.9, [(Zipf(0.8), 16.0, 1.0)]),
-        profile!("bwaves", 20.0, 0.9, [(ScanK, 96.0, 0.7), (Random, 1.5, 0.3)]),
-        profile!("milc", 16.0, 0.9, [(ScanK, 128.0, 0.95), (Random, 0.25, 0.05)]),
-        profile!("dealII", 7.0, 1.5, [(Zipf(1.0), 2.0, 0.8), (Random, 6.0, 0.2)]),
-        profile!("calculix", 2.0, 1.8, [(Zipf(1.0), 0.5, 0.9), (Random, 1.5, 0.1)]),
+        profile!(
+            "bwaves",
+            20.0,
+            0.9,
+            [(ScanK, 96.0, 0.7), (Random, 1.5, 0.3)]
+        ),
+        profile!(
+            "milc",
+            16.0,
+            0.9,
+            [(ScanK, 128.0, 0.95), (Random, 0.25, 0.05)]
+        ),
+        profile!(
+            "dealII",
+            7.0,
+            1.5,
+            [(Zipf(1.0), 2.0, 0.8), (Random, 6.0, 0.2)]
+        ),
+        profile!(
+            "calculix",
+            2.0,
+            1.8,
+            [(Zipf(1.0), 0.5, 0.9), (Random, 1.5, 0.1)]
+        ),
         profile!(
             "gobmk",
             3.0,
             1.4,
-            [(Zipf(1.0), 0.25, 0.75), (Random, 1.5, 0.20), (Zipf(0.7), 8.0, 0.05)]
+            [
+                (Zipf(1.0), 0.25, 0.75),
+                (Random, 1.5, 0.20),
+                (Zipf(0.7), 8.0, 0.05)
+            ]
         ),
         profile!("povray", 0.3, 2.0, [(Zipf(1.1), 0.25, 1.0)]),
         profile!("tonto", 0.4, 1.9, [(Zipf(1.0), 0.5, 1.0)]),

@@ -25,7 +25,9 @@ const WARMUP: u64 = 150_000;
 const MEASURE: u64 = 300_000;
 
 fn main() {
-    let app = profile("libquantum").expect("roster has libquantum").scaled(SCALE);
+    let app = profile("libquantum")
+        .expect("roster has libquantum")
+        .scaled(SCALE);
     let apki = app.apki;
     banner("libquantum: a 32 MB scan (16x scaled) swept over LLC sizes");
     println!(
@@ -76,5 +78,8 @@ fn main() {
     banner("reading the table");
     row("LRU", "flat ~33 MPKI until 32 MB, then ~0 (the cliff)");
     row("Talus", "declines roughly linearly along the hull");
-    row("residual gap vs hull", "Vantage's unmanaged region + margins");
+    row(
+        "residual gap vs hull",
+        "Vantage's unmanaged region + margins",
+    );
 }

@@ -102,9 +102,18 @@ fn main() {
         sampler.record(workload(i, &mut state3));
     }
     let curve = sampler.curve();
-    row("measured miss rate at 2048", format!("{:.3}", curve.value_at(2048.0)));
-    row("measured miss rate at 4096", format!("{:.3}", curve.value_at(4096.0)));
-    row("measured miss rate at 8192", format!("{:.3}", curve.value_at(8192.0)));
+    row(
+        "measured miss rate at 2048",
+        format!("{:.3}", curve.value_at(2048.0)),
+    );
+    row(
+        "measured miss rate at 4096",
+        format!("{:.3}", curve.value_at(4096.0)),
+    );
+    row(
+        "measured miss rate at 8192",
+        format!("{:.3}", curve.value_at(8192.0)),
+    );
 
     banner("Talus on FIFO");
     // Same FIFO policy, now under Talus with way partitioning. The
@@ -129,7 +138,10 @@ fn main() {
     }
     let talus_miss = talus.stats().miss_rate();
     row("Talus+W/FIFO miss rate", format!("{talus_miss:.3}"));
-    row("improvement over FIFO", format!("{:.0}%", (1.0 - talus_miss / fifo_miss) * 100.0));
+    row(
+        "improvement over FIFO",
+        format!("{:.0}%", (1.0 - talus_miss / fifo_miss) * 100.0),
+    );
 
     banner("Takeaway");
     println!("  Talus never needed to know the policy was FIFO — only its miss curve.");

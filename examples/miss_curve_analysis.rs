@@ -21,8 +21,12 @@ fn main() {
     // A curve like the paper's Fig. 3: measured MPKI for a workload with
     // ~2 MB of random-access data plus a 3 MB sequential buffer. Sizes in
     // MB, values in MPKI — talus-core is unit-agnostic.
-    let sizes = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 6.0, 8.0, 10.0];
-    let mpki = [24.0, 21.0, 18.0, 15.0, 12.0, 12.0, 12.0, 12.0, 12.0, 12.0, 3.0, 3.0, 3.0, 3.0];
+    let sizes = [
+        0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 6.0, 8.0, 10.0,
+    ];
+    let mpki = [
+        24.0, 21.0, 18.0, 15.0, 12.0, 12.0, 12.0, 12.0, 12.0, 12.0, 3.0, 3.0, 3.0, 3.0,
+    ];
     let curve = MissCurve::from_samples(&sizes, &mpki).expect("measured curve is valid");
 
     banner("1. Cliffs and the convex hull");
@@ -30,7 +34,10 @@ fn main() {
     row("curve points", curve.len());
     row("hull vertices", hull.vertices().len());
     for v in hull.vertices() {
-        row(&format!("  hull vertex at {:>4.1} MB", v.size), format!("{:.1} MPKI", v.misses));
+        row(
+            &format!("  hull vertex at {:>4.1} MB", v.size),
+            format!("{:.1} MPKI", v.misses),
+        );
     }
     row("is the raw curve convex?", curve.is_convex(1e-9));
     row("largest hull gap (the cliff)", {
@@ -45,11 +52,27 @@ fn main() {
     let p = plan(&curve, 4.0, TalusOptions::exact()).expect("4 MB is inside the curve");
     match &p {
         TalusPlan::Shadow(cfg) => {
-            row("alpha (emulated small cache)", format!("{:.1} MB", cfg.alpha));
+            row(
+                "alpha (emulated small cache)",
+                format!("{:.1} MB", cfg.alpha),
+            );
             row("beta (emulated large cache)", format!("{:.1} MB", cfg.beta));
-            row("rho (fraction of accesses to alpha)", format!("{:.3}", cfg.rho));
-            row("shadow sizes s1 + s2", format!("{:.2} + {:.2} MB", cfg.s1, cfg.s2));
-            row("expected MPKI", format!("{:.1} (down from {:.1})", cfg.expected_misses, curve.value_at(4.0)));
+            row(
+                "rho (fraction of accesses to alpha)",
+                format!("{:.3}", cfg.rho),
+            );
+            row(
+                "shadow sizes s1 + s2",
+                format!("{:.2} + {:.2} MB", cfg.s1, cfg.s2),
+            );
+            row(
+                "expected MPKI",
+                format!(
+                    "{:.1} (down from {:.1})",
+                    cfg.expected_misses,
+                    curve.value_at(4.0)
+                ),
+            );
         }
         TalusPlan::Unpartitioned { .. } => unreachable!("4 MB sits on a plateau"),
     }
@@ -58,20 +81,33 @@ fn main() {
     let b = optimal_bypass(&curve, 4.0).expect("4 MB is inside the curve");
     row("optimal bypass fraction", format!("{:.3}", 1.0 - b.rho));
     row("bypassing MPKI", format!("{:.1}", b.expected_misses));
-    row("Talus MPKI (always <= bypassing)", format!("{:.1}", p.expected_misses()));
+    row(
+        "Talus MPKI (always <= bypassing)",
+        format!("{:.1}", p.expected_misses()),
+    );
     let bypass_curve = optimal_bypass_curve(&curve);
     let gap = sizes
         .iter()
         .map(|&s| bypass_curve.value_at(s) - hull.value_at(s))
         .fold(0.0f64, f64::max);
-    row("max bypassing excess over hull", format!("{gap:.1} MPKI (Corollary 8)"));
+    row(
+        "max bypassing excess over hull",
+        format!("{gap:.1} MPKI (Corollary 8)"),
+    );
 
     banner("4. The full predicted Talus curve");
     let predicted = talus_curve(&curve);
     println!("  size(MB)   LRU(MPKI)   Talus(MPKI)");
     for &s in &sizes {
-        println!("  {s:>7.1}   {:>9.1}   {:>11.1}", curve.value_at(s), predicted.value_at(s));
+        println!(
+            "  {s:>7.1}   {:>9.1}   {:>11.1}",
+            curve.value_at(s),
+            predicted.value_at(s)
+        );
     }
-    assert!(predicted.is_convex(1e-9), "Theorem 6: the Talus curve is convex");
+    assert!(
+        predicted.is_convex(1e-9),
+        "Theorem 6: the Talus curve is convex"
+    );
     println!("\n  The Talus curve is convex — no cliffs — and touches LRU at hull vertices.");
 }

@@ -20,11 +20,16 @@ use talus_workloads::{profile, AppProfile};
 const SCALE: f64 = 1.0 / 16.0;
 
 fn main() {
-    let app = profile("omnetpp").expect("roster has omnetpp").scaled(SCALE);
+    let app = profile("omnetpp")
+        .expect("roster has omnetpp")
+        .scaled(SCALE);
     let copies: Vec<AppProfile> = (0..8).map(|_| app.clone()).collect();
     banner("scenario");
     row("application", "8 x omnetpp (cliff at 2 MB paper-scale)");
-    row("shared LLC", "8 MB paper-scale: each fair share sits ON the cliff");
+    row(
+        "shared LLC",
+        "8 MB paper-scale: each fair share sits ON the cliff",
+    );
 
     let mut system = SystemConfig::eight_core();
     system.llc_mb = 8.0 * SCALE;
@@ -58,8 +63,14 @@ fn main() {
     }
 
     banner("the point");
-    row("Lookahead", "raises the mean by feeding a few copies — CoV explodes");
-    row("Talus + fair", "equal shares become productive: high mean, tiny CoV");
+    row(
+        "Lookahead",
+        "raises the mean by feeding a few copies — CoV explodes",
+    );
+    row(
+        "Talus + fair",
+        "equal shares become productive: high mean, tiny CoV",
+    );
     println!("\nWith convex miss curves, the fair allocation is also the utility-maximal one");
     println!("(paper §II-D) — no imbalanced time-multiplexing tricks needed.");
 }

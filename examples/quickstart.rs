@@ -31,7 +31,10 @@ fn main() {
         &[1.0, 1.0, 1.0, 1.0, 0.0, 0.0],
     )
     .expect("example curve is valid");
-    row("miss rate at 4096 lines (LRU)", curve.value_at(cache_lines as f64));
+    row(
+        "miss rate at 4096 lines (LRU)",
+        curve.value_at(cache_lines as f64),
+    );
 
     banner("Step 3: convexify and plan");
     let talus_plan = plan(&curve, cache_lines as f64, TalusOptions::new())
@@ -40,8 +43,14 @@ fn main() {
     row("hull vertex alpha (lines)", cfg.alpha);
     row("hull vertex beta (lines)", cfg.beta);
     row("sampling rate rho (to alpha)", format!("{:.3}", cfg.rho));
-    row("shadow partition sizes", format!("{:.0} + {:.0}", cfg.s1, cfg.s2));
-    row("expected miss rate on the hull", format!("{:.3}", cfg.expected_misses));
+    row(
+        "shadow partition sizes",
+        format!("{:.0} + {:.0}", cfg.s1, cfg.s2),
+    );
+    row(
+        "expected miss rate on the hull",
+        format!("{:.3}", cfg.expected_misses),
+    );
 
     banner("Step 4: run it on simulated hardware");
     // TalusSingleCache wires a monitor + planner + partitioned cache
@@ -70,6 +79,8 @@ fn main() {
         achieved < 0.5,
         "Talus should convert a 100%-miss cliff into roughly proportional hits"
     );
-    println!("\nTalus turned a 100%-miss plateau into ~{:.0}% hits — the convex hull in action.",
-        (1.0 - achieved) * 100.0);
+    println!(
+        "\nTalus turned a 100%-miss plateau into ~{:.0}% hits — the convex hull in action.",
+        (1.0 - achieved) * 100.0
+    );
 }

@@ -25,7 +25,14 @@ fn main() {
         .collect();
     banner("mix");
     for app in &mix {
-        row(app.name, format!("APKI {:.0}, footprint {:.2} MB (scaled)", app.apki, app.footprint_mb()));
+        row(
+            app.name,
+            format!(
+                "APKI {:.0}, footprint {:.2} MB (scaled)",
+                app.apki,
+                app.footprint_mb()
+            ),
+        );
     }
 
     let mut system = SystemConfig::eight_core();
@@ -61,7 +68,16 @@ fn main() {
     }
 
     banner("what to look for");
-    row("Hill/LRU vs Lookahead/LRU", "plain hill climbing can stall on cliffy curves");
-    row("Talus+V/LRU (Hill)", "hill climbing on hulls — simple AND effective");
-    row("TA-DRRIP", "good throughput, but hardware-fixed: no QoS control");
+    row(
+        "Hill/LRU vs Lookahead/LRU",
+        "plain hill climbing can stall on cliffy curves",
+    );
+    row(
+        "Talus+V/LRU (Hill)",
+        "hill climbing on hulls — simple AND effective",
+    );
+    row(
+        "TA-DRRIP",
+        "good throughput, but hardware-fixed: no QoS control",
+    );
 }

@@ -25,7 +25,8 @@ pub fn lru_miss_rate(profile: &AppProfile, size_lines: u64, accesses: u64, seed:
     for _ in 0..accesses {
         mon.record(gen.next_line());
     }
-    mon.curve_on_grid(&[0, size_lines]).value_at(size_lines as f64)
+    mon.curve_on_grid(&[0, size_lines])
+        .value_at(size_lines as f64)
 }
 
 /// Runs a Talus single-app cache over a profile and returns the achieved

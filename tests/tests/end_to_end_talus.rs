@@ -48,15 +48,15 @@ fn talus_is_agnostic_to_partitioning_scheme() {
             rate < 0.75,
             "Talus+{name} should remove most of the cliff: {rate}"
         );
-        assert!(
-            rate > 0.40,
-            "Talus+{name} cannot beat the hull: {rate}"
-        );
+        assert!(rate > 0.40, "Talus+{name} cannot beat the hull: {rate}");
     }
     // Schemes agree within a loose tolerance (Fig. 8's visual claim).
     let max = ideal.max(way).max(vantage);
     let min = ideal.min(way).min(vantage);
-    assert!(max - min < 0.2, "schemes diverge: ideal {ideal}, way {way}, vantage {vantage}");
+    assert!(
+        max - min < 0.2,
+        "schemes diverge: ideal {ideal}, way {way}, vantage {vantage}"
+    );
 }
 
 /// Talus must never do noticeably worse than LRU on an already-convex

@@ -98,7 +98,10 @@ fn talus_adapts_across_phase_changes() {
     let phase_len = 8 * interval;
     let gen = || {
         Phased::new(vec![
-            (phase_len, Box::new(Scan::new(0, 3072)) as Box<dyn AccessGenerator>),
+            (
+                phase_len,
+                Box::new(Scan::new(0, 3072)) as Box<dyn AccessGenerator>,
+            ),
             (phase_len, Box::new(UniformRandom::new(1 << 20, 1024, 7))),
         ])
     };
@@ -122,7 +125,11 @@ fn talus_adapts_across_phase_changes() {
     // (scan plan applied to the random phase wastes half the cache and
     // vice versa).
     assert!(hit > 0.6, "phase-adaptive hit rate {hit}");
-    assert!(talus.reconfigurations() >= 8, "reconfigured {}", talus.reconfigurations());
+    assert!(
+        talus.reconfigurations() >= 8,
+        "reconfigured {}",
+        talus.reconfigurations()
+    );
 }
 
 /// Corollary 7 in miniature: the offline MIN oracle's measured miss

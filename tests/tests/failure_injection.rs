@@ -7,9 +7,7 @@ use proptest::prelude::*;
 use talus_core::{plan, MissCurve, TalusOptions};
 use talus_sim::monitor::Monitor;
 use talus_sim::part::IdealPartitioned;
-use talus_sim::{
-    AccessCtx, LineAddr, PartitionId, TalusCache, TalusCacheConfig, TalusSingleCache,
-};
+use talus_sim::{AccessCtx, LineAddr, PartitionId, TalusCache, TalusCacheConfig, TalusSingleCache};
 
 /// A monitor that reports pathological curves on demand.
 #[derive(Debug)]
@@ -94,11 +92,20 @@ fn hostile_monitors_never_wedge_the_cache() {
 fn beyond_curve_targets_run_unpartitioned() {
     let cache = IdealPartitioned::new(4096, 2);
     let mut talus = TalusCache::new(cache, 1, TalusCacheConfig::new());
-    let curve = MissCurve::from_samples(&[0.0, 1024.0, 2048.0], &[1.0, 0.6, 0.1])
-        .expect("valid curve");
-    let plans = talus.reconfigure(&[4096], &[curve]).expect("beyond-domain target degrades");
-    assert!(plans[0].shadow().is_none(), "no shadow bridge past the curve");
-    assert_eq!(talus.sampling_rate(PartitionId(0)), 1.0, "everything to alpha");
+    let curve =
+        MissCurve::from_samples(&[0.0, 1024.0, 2048.0], &[1.0, 0.6, 0.1]).expect("valid curve");
+    let plans = talus
+        .reconfigure(&[4096], &[curve])
+        .expect("beyond-domain target degrades");
+    assert!(
+        plans[0].shadow().is_none(),
+        "no shadow bridge past the curve"
+    );
+    assert_eq!(
+        talus.sampling_rate(PartitionId(0)),
+        1.0,
+        "everything to alpha"
+    );
 }
 
 /// `plan` rejects non-finite and negative sizes without panicking, and
@@ -106,8 +113,7 @@ fn beyond_curve_targets_run_unpartitioned() {
 /// unpartitioned plans.
 #[test]
 fn plan_rejects_bad_sizes() {
-    let curve =
-        MissCurve::from_samples(&[0.0, 100.0, 200.0], &[1.0, 0.5, 0.1]).expect("valid");
+    let curve = MissCurve::from_samples(&[0.0, 100.0, 200.0], &[1.0, 0.5, 0.1]).expect("valid");
     assert!(plan(&curve, -1.0, TalusOptions::new()).is_err());
     assert!(plan(&curve, f64::NAN, TalusOptions::new()).is_err());
     assert!(plan(&curve, f64::INFINITY, TalusOptions::new()).is_err());

@@ -28,11 +28,17 @@ fn fair_talus_makes_equal_shares_productive() {
     let fair_talus = run_mix(&copies, SchemeKind::TalusLru(AllocAlgo::Fair), &c);
 
     let ws = weighted_speedup(&fair_talus.ipcs(), &fair_lru.ipcs());
-    assert!(ws > 1.1, "Talus should make the fair split productive: {ws:.3}");
+    assert!(
+        ws > 1.1,
+        "Talus should make the fair split productive: {ws:.3}"
+    );
     let cov = coefficient_of_variation(&fair_talus.ipcs());
     assert!(cov < 0.09, "fair Talus must stay fair: CoV {cov:.3}");
     for (t, l) in fair_talus.ipcs().iter().zip(fair_lru.ipcs()) {
-        assert!(*t > l * 0.98, "no copy may lose: talus {t:.3} vs lru {l:.3}");
+        assert!(
+            *t > l * 0.98,
+            "no copy may lose: talus {t:.3} vs lru {l:.3}"
+        );
     }
 }
 
@@ -43,7 +49,11 @@ fn lookahead_sacrifices_fairness_on_homogeneous_cliffs() {
     let app = scaled_profile("omnetpp");
     let copies: Vec<AppProfile> = (0..4).map(|_| app.clone()).collect();
     let c = cfg(4.0 * talus_integration::TEST_SCALE, 4);
-    let lookahead = run_mix(&copies, SchemeKind::PartitionedLru(AllocAlgo::Lookahead), &c);
+    let lookahead = run_mix(
+        &copies,
+        SchemeKind::PartitionedLru(AllocAlgo::Lookahead),
+        &c,
+    );
     let talus = run_mix(&copies, SchemeKind::TalusLru(AllocAlgo::Fair), &c);
     let cov_lookahead = coefficient_of_variation(&lookahead.ipcs());
     let cov_talus = coefficient_of_variation(&talus.ipcs());
@@ -57,8 +67,10 @@ fn lookahead_sacrifices_fairness_on_homogeneous_cliffs() {
 /// across repetitions, with all fixed work completed.
 #[test]
 fn heterogeneous_mix_runs_under_all_schemes() {
-    let mix: Vec<AppProfile> =
-        ["mcf", "gcc", "omnetpp", "hmmer"].iter().map(|n| scaled_profile(n)).collect();
+    let mix: Vec<AppProfile> = ["mcf", "gcc", "omnetpp", "hmmer"]
+        .iter()
+        .map(|n| scaled_profile(n))
+        .collect();
     let c = cfg(2.0 * talus_integration::TEST_SCALE, 4);
     for scheme in [
         SchemeKind::SharedLru,
@@ -85,10 +97,7 @@ fn heterogeneous_mix_runs_under_all_schemes() {
 /// cliff-heavy mix (the Fig. 12 ordering, in miniature).
 #[test]
 fn talus_hill_vs_plain_hill_on_cliff_mix() {
-    let mix: Vec<AppProfile> = vec![
-        scaled_profile("libquantum"),
-        scaled_profile("libquantum"),
-    ];
+    let mix: Vec<AppProfile> = vec![scaled_profile("libquantum"), scaled_profile("libquantum")];
     // LLC = one working set: hill climbing alone sees no gradient.
     let c = cfg(32.0 * talus_integration::TEST_SCALE, 2);
     let base = run_mix(&mix, SchemeKind::SharedLru, &c);

@@ -1,0 +1,301 @@
+//! Vendored, dependency-free stand-in for the crates.io [`rand`] crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the *small* slice of the `rand` 0.8 API it actually
+//! uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`], and
+//! [`seq::SliceRandom::choose_multiple`].
+//!
+//! The generator is a fixed [xoshiro256\*\*] so simulation results are
+//! deterministic across platforms and toolchain upgrades — a property the
+//! experiments rely on and which the real `SmallRng` explicitly does *not*
+//! promise.
+//!
+//! [`rand`]: https://docs.rs/rand/0.8
+//! [xoshiro256\*\*]: https://prng.di.unimi.it/
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let u: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&u));
+//! let k = rng.gen_range(0u64..10);
+//! assert!(k < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A random number generator core: the minimal trait every RNG implements.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// An RNG that can be seeded from a `u64` (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an RNG's raw bits
+/// (stand-in for `rand::distributions::Standard` sampling).
+pub trait SampleStandard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire's widening-multiply mapping; the worst-case bias is
+                // span / 2^64, far below anything a simulation can observe.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end - start) as u64 + 1;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`]
+/// (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over their range).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete RNG implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic RNG (xoshiro256\*\*).
+    ///
+    /// Unlike the real `rand::rngs::SmallRng`, the algorithm is fixed, so
+    /// seeded streams are reproducible forever.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as rand does.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling (subset of `rand::seq`).
+
+    use super::{Rng, RngCore};
+
+    /// Extension methods for slices (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// The element type of the sequence.
+        type Item;
+
+        /// Chooses `amount` distinct elements uniformly at random, in
+        /// random order. If the slice has fewer than `amount` elements,
+        /// all of them are returned.
+        fn choose_multiple<'a, R: RngCore>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a Self::Item>;
+
+        /// Chooses one element uniformly at random, or `None` if empty.
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose_multiple<'a, R: RngCore>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a T> {
+            // Partial Fisher–Yates over an index vector.
+            let amount = amount.min(self.len());
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = i + rng.gen_range(0..(idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_and_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let k = rng.gen_range(0u64..10);
+            assert!(k < 10);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_sized() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pool: Vec<u32> = (0..20).collect();
+        let picked: Vec<&u32> = pool.choose_multiple(&mut rng, 8).collect();
+        assert_eq!(picked.len(), 8);
+        let mut sorted: Vec<u32> = picked.iter().map(|&&x| x).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "choose_multiple must not repeat elements");
+    }
+
+    #[test]
+    fn choose_multiple_truncates_to_len() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pool = [1u8, 2, 3];
+        assert_eq!(pool.choose_multiple(&mut rng, 8).count(), 3);
+    }
+}
