@@ -21,7 +21,9 @@
 //!   solver, including the paper's §VI safety margin and way-partitioning
 //!   coarsening correction;
 //! - [`bypass`]: the optimal-bypassing model of §V-C, which Talus provably
-//!   dominates (Corollary 8).
+//!   dominates (Corollary 8);
+//! - [`source`]: the [`CurveSource`] seam separating curve producers
+//!   (monitors, models, replays) from curve consumers (planners, services).
 //!
 //! ## Quickstart
 //!
@@ -61,6 +63,7 @@ mod config;
 mod curve;
 mod error;
 mod hull;
+pub mod source;
 
 pub use config::{
     apply_margin, plan, plan_with_hull, shadow_miss_rate, talus_curve, ShadowConfig, TalusOptions,
@@ -69,3 +72,4 @@ pub use config::{
 pub use curve::{CurvePoint, MissCurve};
 pub use error::{CurveError, PlanError};
 pub use hull::ConvexHull;
+pub use source::{CurveSource, ReplaySource};

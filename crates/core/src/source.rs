@@ -1,0 +1,133 @@
+//! Where miss curves come from: the [`CurveSource`] seam.
+//!
+//! Talus planning consumes miss curves but does not care who produced
+//! them: a hardware utility monitor, a stack-distance simulation, an
+//! analytic model, or a replay of previously recorded profiles. This
+//! module defines the one-method trait that separates curve *producers*
+//! from curve *consumers* (the planner, the partitioning algorithms, the
+//! online reconfiguration service).
+//!
+//! `talus-core` itself provides only the pure producers — a fixed curve
+//! and a scripted replay. The `talus-sim` crate implements the trait for
+//! monitor-fed streams (`MonitorSource`), and the `talus-serve` service
+//! pulls from any source when ingesting per-tenant updates.
+//!
+//! ```
+//! use talus_core::{CurveSource, MissCurve, ReplaySource};
+//!
+//! let epoch1 = MissCurve::from_samples(&[0.0, 4.0], &[10.0, 2.0])?;
+//! let epoch2 = MissCurve::from_samples(&[0.0, 4.0], &[8.0, 1.0])?;
+//! let mut source = ReplaySource::new(vec![epoch1, epoch2]);
+//!
+//! // The consumer drains updates until the source is exhausted.
+//! let mut seen = 0;
+//! while let Some(curve) = source.next_curve() {
+//!     assert_eq!(curve.len(), 2);
+//!     seen += 1;
+//! }
+//! assert_eq!(seen, 2);
+//! # Ok::<(), talus_core::CurveError>(())
+//! ```
+
+use crate::curve::MissCurve;
+use std::collections::VecDeque;
+
+/// A producer of miss-curve estimates.
+///
+/// Each call to [`next_curve`](CurveSource::next_curve) yields the next
+/// estimate — typically one per monitoring interval — or `None` once the
+/// source has nothing further to report (a finite trace ran out, a replay
+/// finished). Infinite sources (live monitors, fixed curves) simply never
+/// return `None`.
+///
+/// Curves follow the conventions of [`MissCurve`]: non-negative sizes in
+/// ascending order, and they should include a size-0 point so planners can
+/// consider bypass partitions.
+pub trait CurveSource {
+    /// Produces the next miss-curve estimate, or `None` when exhausted.
+    fn next_curve(&mut self) -> Option<MissCurve>;
+}
+
+/// A fixed curve is an infinite source of itself: useful for tests and for
+/// tenants whose behaviour is known analytically rather than monitored.
+impl CurveSource for MissCurve {
+    fn next_curve(&mut self) -> Option<MissCurve> {
+        Some(self.clone())
+    }
+}
+
+/// A scripted, finite sequence of curve updates, yielded oldest-first.
+///
+/// This is the pure-replay producer: feed it the per-interval curves of a
+/// recorded run and a consumer sees exactly the update stream the live
+/// system saw. Exhausts (returns `None`) after the last update.
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySource {
+    updates: VecDeque<MissCurve>,
+}
+
+impl ReplaySource {
+    /// A source that replays `updates` in order.
+    pub fn new(updates: impl IntoIterator<Item = MissCurve>) -> Self {
+        ReplaySource {
+            updates: updates.into_iter().collect(),
+        }
+    }
+
+    /// Updates not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Appends another update to the end of the script.
+    pub fn push(&mut self, curve: MissCurve) {
+        self.updates.push_back(curve);
+    }
+}
+
+impl CurveSource for ReplaySource {
+    fn next_curve(&mut self) -> Option<MissCurve> {
+        self.updates.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(top: f64) -> MissCurve {
+        MissCurve::from_samples(&[0.0, 8.0], &[top, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn fixed_curve_never_exhausts() {
+        let mut c = curve(10.0);
+        for _ in 0..5 {
+            let got = c.next_curve().expect("fixed source is infinite");
+            assert_eq!(got.value_at(0.0), 10.0);
+        }
+    }
+
+    #[test]
+    fn replay_yields_in_order_then_exhausts() {
+        let mut s = ReplaySource::new(vec![curve(10.0), curve(20.0)]);
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.next_curve().unwrap().value_at(0.0), 10.0);
+        s.push(curve(30.0));
+        assert_eq!(s.next_curve().unwrap().value_at(0.0), 20.0);
+        assert_eq!(s.next_curve().unwrap().value_at(0.0), 30.0);
+        assert!(s.next_curve().is_none());
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut sources: Vec<Box<dyn CurveSource>> = vec![
+            Box::new(curve(5.0)),
+            Box::new(ReplaySource::new(vec![curve(7.0)])),
+        ];
+        assert_eq!(sources[0].next_curve().unwrap().value_at(0.0), 5.0);
+        assert_eq!(sources[1].next_curve().unwrap().value_at(0.0), 7.0);
+        assert!(sources[1].next_curve().is_none());
+    }
+}

@@ -2,16 +2,41 @@
 //! swept over cache sizes.
 
 use crate::Scale;
-use talus_sim::monitor::{CurveSampler, MattsonMonitor, Monitor, UmonPair};
+use talus_sim::monitor::{CurveSampler, MattsonMonitor, Monitor, MonitorSource, UmonPair};
 use talus_sim::part::{
     FutilityScaled, IdealPartitioned, PartitionedCacheModel, VantageLike, WayPartitioned,
 };
 use talus_sim::policy::{PolicyKind, Srrip};
+use talus_sim::LineAddr;
 use talus_sim::{AccessCtx, CacheModel, SetAssocCache, TalusCacheConfig, TalusSingleCache};
 use talus_workloads::{AccessGenerator, AppProfile};
 
 /// A measured curve point: paper-scale megabytes and MPKI.
 pub type CurvePointMb = (f64, f64);
+
+/// A warmed-up, Mattson-backed [`CurveSource`](talus_core::CurveSource)
+/// for a profile: each `next_curve` simulates `scale.accesses` further
+/// references and yields the updated exact-LRU curve (lines →
+/// misses/access, resolving capacities up to `cap_lines`).
+///
+/// This is the profile-to-curve producer the sweeps are built on; the
+/// online reconfiguration service consumes the same shape of source when
+/// replaying synthetic tenants.
+pub fn profile_curve_source(
+    profile: &AppProfile,
+    cap_lines: u64,
+    scale: &Scale,
+    seed: u64,
+) -> MonitorSource<MattsonMonitor, impl FnMut() -> LineAddr> {
+    let scaled = profile.scaled(scale.footprint);
+    let mut gen = scaled.generator(seed, 0);
+    let mut source =
+        MonitorSource::new(MattsonMonitor::new(cap_lines), scale.accesses, move || {
+            gen.next_line()
+        });
+    source.warm_up(scale.warmup);
+    source
+}
 
 /// Exact LRU miss curve via one Mattson stack-distance pass, evaluated on
 /// a grid of paper-scale megabyte sizes.
@@ -21,22 +46,18 @@ pub fn lru_curve(
     scale: &Scale,
     seed: u64,
 ) -> Vec<CurvePointMb> {
-    let scaled = profile.scaled(scale.footprint);
-    let mut gen = scaled.generator(seed, 0);
     let grid_lines: Vec<u64> = grid_paper_mb
         .iter()
         .map(|&mb| scale.mb_to_lines(mb))
         .collect();
     let cap = *grid_lines.iter().max().expect("non-empty grid");
-    let mut mon = MattsonMonitor::new(cap);
-    for _ in 0..scale.warmup {
-        mon.record(gen.next_line());
-    }
-    mon.reset();
-    for _ in 0..scale.accesses {
-        mon.record(gen.next_line());
-    }
-    let curve = mon.curve_on_grid(&grid_lines);
+    let mut source = profile_curve_source(profile, cap, scale, seed);
+    // Drive one monitoring interval record-only, then evaluate on the
+    // exact requested grid (`next_curve`'s generic result uses the
+    // monitor's default 64-point grid, too coarse for paper-figure
+    // cliffs, so building it would be wasted work).
+    source.advance(scale.accesses);
+    let curve = source.monitor().curve_on_grid(&grid_lines);
     grid_paper_mb
         .iter()
         .zip(&grid_lines)

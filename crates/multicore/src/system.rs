@@ -6,7 +6,7 @@
 //! [`reconfigure`](LlcSystem::reconfigure) per interval.
 
 use talus_core::MissCurve;
-use talus_partition::{fair, hill_climb, imbalanced, lookahead};
+use talus_partition::{fair, Planner};
 use talus_sim::monitor::{Monitor, UmonPair};
 use talus_sim::part::{PartitionedCacheModel, VantageLike};
 use talus_sim::policy::{Lru, ReplacementPolicy, TaDrrip};
@@ -16,41 +16,11 @@ use talus_sim::{
 };
 
 /// Allocation algorithms available to partitioned schemes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AllocAlgo {
-    /// Greedy marginal-utility hill climbing (optimal on convex curves).
-    Hill,
-    /// UCP Lookahead.
-    Lookahead,
-    /// Equal allocations.
-    Fair,
-    /// Imbalanced partitioning (Pan & Pai): fund one favored partition's
-    /// cliff and rotate the favored slot across intervals.
-    Imbalanced,
-}
-
-impl AllocAlgo {
-    fn allocate(self, curves: &[MissCurve], capacity: u64, grain: u64, round: u64) -> Vec<u64> {
-        match self {
-            AllocAlgo::Hill => hill_climb(curves, capacity, grain),
-            AllocAlgo::Lookahead => lookahead(curves, capacity, grain),
-            AllocAlgo::Fair => fair(curves.len(), capacity, grain),
-            AllocAlgo::Imbalanced => {
-                imbalanced(curves, capacity, grain, (round as usize) % curves.len())
-            }
-        }
-    }
-
-    /// Display label.
-    pub fn label(self) -> &'static str {
-        match self {
-            AllocAlgo::Hill => "Hill",
-            AllocAlgo::Lookahead => "Lookahead",
-            AllocAlgo::Fair => "Fair",
-            AllocAlgo::Imbalanced => "Imbalanced",
-        }
-    }
-}
+///
+/// This is `talus-partition`'s [`AllocPolicy`](talus_partition::AllocPolicy)
+/// under its historical multicore name: the dispatch lives one layer down
+/// so the offline tools and the online service run the identical code.
+pub use talus_partition::AllocPolicy as AllocAlgo;
 
 /// The scheme roster of Fig. 12/13.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,8 +140,7 @@ fn umon_sets(llc_lines: u64) -> usize {
 pub struct PartitionedLlc {
     cache: VantageLike,
     monitors: Vec<UmonPair>,
-    algo: AllocAlgo,
-    grain: u64,
+    planner: Planner,
     rounds: u64,
 }
 
@@ -193,8 +162,10 @@ impl PartitionedLlc {
                     )
                 })
                 .collect(),
-            algo,
-            grain: (llc_lines / ALLOC_GRAINS).max(1),
+            // No Talus: the allocator sees the raw (cliffy) curves.
+            planner: Planner::new((llc_lines / ALLOC_GRAINS).max(1))
+                .with_policy(algo)
+                .raw_curves(),
             rounds: 0,
         }
     }
@@ -219,12 +190,9 @@ impl LlcSystem for PartitionedLlc {
 
     fn reconfigure(&mut self, interval_accesses: &[u64]) {
         let curves = weighted_curves(&self.monitors, interval_accesses);
-        let sizes = self.algo.allocate(
-            &curves,
-            self.cache.capacity_lines(),
-            self.grain,
-            self.rounds,
-        );
+        let sizes = self
+            .planner
+            .allocate(&curves, self.cache.capacity_lines(), self.rounds);
         self.rounds += 1;
         self.cache.set_partition_sizes(&sizes);
         for m in &mut self.monitors {
@@ -241,7 +209,7 @@ impl LlcSystem for PartitionedLlc {
     }
 
     fn name(&self) -> String {
-        format!("{}/LRU", self.algo.label())
+        format!("{}/LRU", self.planner.policy.label())
     }
 }
 
@@ -252,8 +220,7 @@ impl LlcSystem for PartitionedLlc {
 pub struct TalusLlc {
     talus: TalusCache<VantageLike>,
     monitors: Vec<UmonPair>,
-    algo: AllocAlgo,
-    grain: u64,
+    planner: Planner,
     apps: usize,
     rounds: u64,
 }
@@ -277,8 +244,8 @@ impl TalusLlc {
                     )
                 })
                 .collect(),
-            algo,
-            grain: (llc_lines / ALLOC_GRAINS).max(1),
+            // Talus's §VI-A pre-processing: the allocator sees hulls.
+            planner: Planner::new((llc_lines / ALLOC_GRAINS).max(1)).with_policy(algo),
             apps,
             rounds: 0,
         }
@@ -294,11 +261,11 @@ impl LlcSystem for TalusLlc {
 
     fn reconfigure(&mut self, interval_accesses: &[u64]) {
         let raw = weighted_curves(&self.monitors, interval_accesses);
-        // Pre-processing (§VI-A): the algorithm sees convex hulls only.
-        let hulls: Vec<MissCurve> = raw.iter().map(|c| c.convex_hull().to_curve()).collect();
-        let sizes =
-            self.algo
-                .allocate(&hulls, self.talus.capacity_lines(), self.grain, self.rounds);
+        // Pre-processing (§VI-A) + allocation via the shared planner (the
+        // allocator sees convex hulls only).
+        let sizes = self
+            .planner
+            .allocate(&raw, self.talus.capacity_lines(), self.rounds);
         self.rounds += 1;
         // Post-processing: shadow partition sizes and sampling rates.
         let _ = self.talus.reconfigure(&sizes, &raw);
@@ -316,7 +283,7 @@ impl LlcSystem for TalusLlc {
     }
 
     fn name(&self) -> String {
-        format!("Talus+V/LRU ({})", self.algo.label())
+        format!("Talus+V/LRU ({})", self.planner.policy.label())
     }
 
     // Keep `apps` used even in release builds.

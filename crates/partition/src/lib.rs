@@ -15,6 +15,11 @@
 //!   the oracle the others are measured against in tests (exponential-ish
 //!   state but pseudo-polynomial: `O(N·C²)` in capacity grains).
 //!
+//! The [`planner`] module packages these behind [`Planner`] — the shared
+//! convexify → allocate → shadow-plan pipeline that the simulated 8-core
+//! system (`talus-multicore`) and the online reconfiguration service
+//! (`talus-serve`) both run, so online plans provably match offline ones.
+//!
 //! All functions take curves in arbitrary (but mutually comparable) linear
 //! miss units — MPKI or misses-per-access × access weight — with sizes in
 //! lines, and allocate in multiples of `grain` lines.
@@ -34,6 +39,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+
+pub mod planner;
+
+pub use planner::{AllocPolicy, CachePlan, Planner, TenantPlan};
 
 use talus_core::MissCurve;
 

@@ -1,0 +1,349 @@
+//! The shared planning path: convexify, allocate, shadow-plan.
+//!
+//! Every consumer of Talus — the offline experiment drivers, the 8-core
+//! simulated system, and the online reconfiguration service — performs the
+//! same three steps each reconfiguration (paper §VI-A):
+//!
+//! 1. **Pre-process**: replace each tenant's miss curve by its lower
+//!    convex hull, so the allocator never sees a cliff;
+//! 2. **Allocate**: divide the cache's capacity across tenants with an
+//!    [`AllocPolicy`] (on convex curves the trivial hill climb is optimal);
+//! 3. **Post-process**: for each tenant, turn its allocation into a
+//!    Talus shadow-partition configuration with
+//!    [`talus_core::plan_with_hull`].
+//!
+//! [`Planner`] packages those steps behind one call so all layers share
+//! one code path — a plan computed online is bit-for-bit the plan the
+//! offline tools would compute from the same curves.
+//!
+//! ```
+//! use talus_core::MissCurve;
+//! use talus_partition::Planner;
+//!
+//! // Two tenants: a cliff at 256 lines and a gentle convex decay.
+//! let cliff = MissCurve::from_samples(
+//!     &[0.0, 128.0, 256.0, 512.0],
+//!     &[10.0, 10.0, 1.0, 1.0],
+//! )?;
+//! let convex = MissCurve::from_samples(
+//!     &[0.0, 128.0, 256.0, 512.0],
+//!     &[6.0, 3.0, 2.0, 1.5],
+//! )?;
+//!
+//! let planner = Planner::new(32);
+//! let plan = planner.plan(&[cliff, convex], 384, 0)?;
+//!
+//! // Capacity is fully spent, in grains.
+//! assert_eq!(plan.allocations().iter().sum::<u64>(), 384);
+//! // Each tenant gets a Talus plan at its allocated size.
+//! assert_eq!(plan.tenants.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::{fair, hill_climb, imbalanced, lookahead};
+use talus_core::{plan_with_hull, MissCurve, PlanError, TalusOptions, TalusPlan};
+
+/// Which algorithm divides capacity across tenants.
+///
+/// These are the policies of the paper's §VII-D scheme roster; the
+/// variants dispatch to the crate's free functions ([`hill_climb`],
+/// [`lookahead`], [`fair`], [`imbalanced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocPolicy {
+    /// Greedy marginal-utility hill climbing (optimal on convex curves).
+    Hill,
+    /// UCP Lookahead.
+    Lookahead,
+    /// Equal allocations.
+    Fair,
+    /// Imbalanced partitioning (Pan & Pai): fund one favored partition's
+    /// cliff and rotate the favored slot across rounds.
+    Imbalanced,
+}
+
+impl AllocPolicy {
+    /// Runs the policy. `round` selects the favored partition for
+    /// [`AllocPolicy::Imbalanced`] (rotated round-robin) and is ignored by
+    /// the other policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `curves` is empty or `grain` is zero (as the underlying
+    /// algorithms do).
+    pub fn allocate(self, curves: &[MissCurve], capacity: u64, grain: u64, round: u64) -> Vec<u64> {
+        match self {
+            AllocPolicy::Hill => hill_climb(curves, capacity, grain),
+            AllocPolicy::Lookahead => lookahead(curves, capacity, grain),
+            AllocPolicy::Fair => fair(curves.len(), capacity, grain),
+            AllocPolicy::Imbalanced => {
+                imbalanced(curves, capacity, grain, (round as usize) % curves.len())
+            }
+        }
+    }
+
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocPolicy::Hill => "Hill",
+            AllocPolicy::Lookahead => "Lookahead",
+            AllocPolicy::Fair => "Fair",
+            AllocPolicy::Imbalanced => "Imbalanced",
+        }
+    }
+}
+
+/// One tenant's share of a [`CachePlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPlan {
+    /// Lines allocated to this tenant (a multiple of the planner's grain).
+    pub capacity: u64,
+    /// The Talus shadow-partition configuration at that size.
+    pub plan: TalusPlan,
+}
+
+/// A complete plan for one cache: per-tenant allocations and shadow
+/// configurations, as produced by [`Planner::plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachePlan {
+    /// The reconfiguration round this plan was computed in (drives the
+    /// favored-slot rotation of [`AllocPolicy::Imbalanced`]).
+    pub round: u64,
+    /// One entry per tenant, in input order.
+    pub tenants: Vec<TenantPlan>,
+}
+
+impl CachePlan {
+    /// Per-tenant allocated sizes, in input order.
+    pub fn allocations(&self) -> Vec<u64> {
+        self.tenants.iter().map(|t| t.capacity).collect()
+    }
+
+    /// Total miss metric the plan expects (sum of hull values at the
+    /// allocated sizes) — comparable across candidate plans for the same
+    /// curves.
+    pub fn expected_total_misses(&self) -> f64 {
+        self.tenants.iter().map(|t| t.plan.expected_misses()).sum()
+    }
+}
+
+/// The shared convexify → allocate → shadow-plan pipeline.
+///
+/// Construct once per cache (it is `Copy`-cheap to rebuild) and call
+/// [`plan`](Planner::plan) each reconfiguration. By default curves are
+/// convexified before allocation — Talus's §VI-A pre-processing; disable
+/// with [`raw_curves`](Planner::raw_curves) to model a non-Talus
+/// partitioned system (the paper's "X/LRU" baselines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Planner {
+    /// Allocation granularity in lines.
+    pub grain: u64,
+    /// Shadow-planning options (safety margin, vertex tolerance).
+    pub options: TalusOptions,
+    /// Capacity-division policy.
+    pub policy: AllocPolicy,
+    /// Whether the allocator sees convex hulls (Talus) or raw curves.
+    pub convexify: bool,
+}
+
+impl Planner {
+    /// A Talus planner with the paper's defaults: hill climbing on convex
+    /// hulls with a 5% safety margin.
+    pub fn new(grain: u64) -> Self {
+        Planner {
+            grain,
+            options: TalusOptions::new(),
+            policy: AllocPolicy::Hill,
+            convexify: true,
+        }
+    }
+
+    /// Replaces the allocation policy.
+    pub fn with_policy(mut self, policy: AllocPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the shadow-planning options.
+    pub fn with_options(mut self, options: TalusOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Hands the allocator the raw (possibly cliffy) curves instead of
+    /// their hulls — the non-Talus baseline configuration.
+    pub fn raw_curves(mut self) -> Self {
+        self.convexify = false;
+        self
+    }
+
+    /// Steps 1–2 only: divide `capacity` across `curves`, convexifying
+    /// first unless [`raw_curves`](Planner::raw_curves) was set. Returns
+    /// per-tenant sizes in lines (multiples of the grain).
+    ///
+    /// Used by systems whose hardware layer re-derives shadow
+    /// configurations itself (e.g. `TalusCache` in `talus-sim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `curves` is empty or the grain is zero.
+    pub fn allocate(&self, curves: &[MissCurve], capacity: u64, round: u64) -> Vec<u64> {
+        if self.convexify {
+            let hulls: Vec<MissCurve> = curves.iter().map(|c| c.convex_hull().to_curve()).collect();
+            self.policy.allocate(&hulls, capacity, self.grain, round)
+        } else {
+            self.policy.allocate(curves, capacity, self.grain, round)
+        }
+    }
+
+    /// The full pipeline: allocate `capacity` across `curves`, then plan a
+    /// Talus shadow configuration for every tenant at its allocated size.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlanError`] hit while shadow-planning a tenant
+    /// (e.g. an allocation below the curve's monitored domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `curves` is empty or the grain is zero.
+    pub fn plan(
+        &self,
+        curves: &[MissCurve],
+        capacity: u64,
+        round: u64,
+    ) -> Result<CachePlan, PlanError> {
+        let hulls: Vec<talus_core::ConvexHull> = curves.iter().map(|c| c.convex_hull()).collect();
+        let sizes = if self.convexify {
+            let hull_curves: Vec<MissCurve> = hulls.iter().map(|h| h.to_curve()).collect();
+            self.policy
+                .allocate(&hull_curves, capacity, self.grain, round)
+        } else {
+            self.policy.allocate(curves, capacity, self.grain, round)
+        };
+        let tenants = hulls
+            .iter()
+            .zip(&sizes)
+            .map(|(hull, &size)| {
+                Ok(TenantPlan {
+                    capacity: size,
+                    plan: plan_with_hull(hull, size as f64, self.options)?,
+                })
+            })
+            .collect::<Result<Vec<_>, PlanError>>()?;
+        Ok(CachePlan { round, tenants })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::total_misses;
+
+    fn cliff(at: f64, high: f64, low: f64) -> MissCurve {
+        let sizes: Vec<f64> = (0..=16).map(|i| i as f64 * 64.0).collect();
+        let misses: Vec<f64> = sizes
+            .iter()
+            .map(|&s| if s < at { high } else { low })
+            .collect();
+        MissCurve::from_samples(&sizes, &misses).unwrap()
+    }
+
+    fn convex(knee: f64, floor: f64) -> MissCurve {
+        let sizes: Vec<f64> = (0..=16).map(|i| i as f64 * 64.0).collect();
+        let misses: Vec<f64> = sizes
+            .iter()
+            .map(|&s| floor + 30.0 * (-s / knee).exp())
+            .collect();
+        MissCurve::from_samples(&sizes, &misses).unwrap()
+    }
+
+    #[test]
+    fn plan_matches_manual_pipeline() {
+        // The planner must be exactly hulls → hill_climb → plan_with_hull.
+        let curves = vec![cliff(512.0, 12.0, 1.0), convex(300.0, 0.5)];
+        let planner = Planner::new(64);
+        let plan = planner.plan(&curves, 1024, 0).unwrap();
+
+        let hulls: Vec<MissCurve> = curves.iter().map(|c| c.convex_hull().to_curve()).collect();
+        let sizes = hill_climb(&hulls, 1024, 64);
+        assert_eq!(plan.allocations(), sizes);
+        for (i, t) in plan.tenants.iter().enumerate() {
+            let expect = plan_with_hull(
+                &curves[i].convex_hull(),
+                sizes[i] as f64,
+                TalusOptions::new(),
+            )
+            .unwrap();
+            assert_eq!(t.plan, expect, "tenant {i}");
+        }
+    }
+
+    #[test]
+    fn convexified_hill_beats_raw_hill_on_cliffs() {
+        // Two identical cliffs, capacity for one: raw hill climbing stalls,
+        // hull-based hill climbing matches what lookahead finds.
+        let curves = vec![cliff(512.0, 10.0, 1.0), cliff(512.0, 10.0, 1.0)];
+        let talus = Planner::new(64).plan(&curves, 512, 0).unwrap();
+        let raw = Planner::new(64).raw_curves().allocate(&curves, 512, 0);
+        let hulls: Vec<MissCurve> = curves.iter().map(|c| c.convex_hull().to_curve()).collect();
+        assert!(
+            total_misses(&hulls, &talus.allocations()) <= total_misses(&hulls, &raw) + 1e-9,
+            "hull-aware allocation can't lose on the hulls"
+        );
+        // And the expected total tracks the hull values.
+        let manual: f64 = talus
+            .tenants
+            .iter()
+            .zip(&curves)
+            .map(|(t, c)| c.convex_hull().value_at(t.capacity as f64))
+            .sum();
+        assert!((talus.expected_total_misses() - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalanced_rotates_with_round() {
+        // Imbalanced is the pre-Talus baseline: it sees raw cliffy curves
+        // (on hulls its cliff-funding step has nothing to fund).
+        let curves = vec![cliff(512.0, 10.0, 1.0), cliff(512.0, 10.0, 1.0)];
+        let planner = Planner::new(64)
+            .with_policy(AllocPolicy::Imbalanced)
+            .raw_curves();
+        let r0 = planner.plan(&curves, 768, 0).unwrap();
+        let r1 = planner.plan(&curves, 768, 1).unwrap();
+        assert!(r0.allocations()[0] > r0.allocations()[1]);
+        assert!(r1.allocations()[1] > r1.allocations()[0]);
+        assert_eq!(r0.round, 0);
+        assert_eq!(r1.round, 1);
+    }
+
+    #[test]
+    fn fair_policy_splits_evenly() {
+        let curves = vec![convex(100.0, 1.0); 4];
+        let plan = Planner::new(64)
+            .with_policy(AllocPolicy::Fair)
+            .plan(&curves, 1024, 0)
+            .unwrap();
+        assert_eq!(plan.allocations(), vec![256; 4]);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AllocPolicy::Hill.label(), "Hill");
+        assert_eq!(AllocPolicy::Lookahead.label(), "Lookahead");
+        assert_eq!(AllocPolicy::Fair.label(), "Fair");
+        assert_eq!(AllocPolicy::Imbalanced.label(), "Imbalanced");
+    }
+
+    #[test]
+    fn shadow_plans_appear_inside_bridges() {
+        // One tenant, capacity parked mid-plateau: the plan must be a
+        // shadow split bridging the cliff.
+        let curves = vec![cliff(512.0, 10.0, 1.0)];
+        let plan = Planner::new(64).plan(&curves, 256, 0).unwrap();
+        let cfg = plan.tenants[0]
+            .plan
+            .shadow()
+            .expect("mid-plateau sizes shadow-partition");
+        assert!(cfg.rho > 0.0 && cfg.rho < 1.0);
+    }
+}

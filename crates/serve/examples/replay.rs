@@ -1,0 +1,167 @@
+//! Replay a multi-tenant workload through the reconfiguration service.
+//!
+//! Two logical caches — one shared by three SPEC-shaped tenants, one by
+//! two — stream monitor-measured miss curves into `ReconfigService` over
+//! several monitoring intervals. After each interval the service runs one
+//! epoch, and we check the published snapshot against a from-scratch
+//! offline computation (talus-core hulls + talus-partition hill climbing
+//! + shadow planning) on the very same curves.
+//!
+//! ```text
+//! cargo run -p talus-serve --example replay
+//! ```
+
+use std::collections::HashMap;
+
+use talus_core::{plan_with_hull, MissCurve, TalusOptions};
+use talus_partition::hill_climb;
+use talus_serve::{CacheId, CacheSpec, ReconfigService};
+use talus_sim::monitor::{MattsonMonitor, MonitorSource};
+use talus_sim::LineAddr;
+use talus_workloads::{profile, AccessGenerator};
+
+/// Shrink every profile footprint by this factor (keeps the replay fast
+/// while preserving curve shapes).
+const SCALE: f64 = 1.0 / 256.0;
+/// Accesses per monitoring interval per tenant.
+const INTERVAL: u64 = 50_000;
+/// Warmup accesses per tenant before the first interval.
+const WARMUP: u64 = 25_000;
+/// Monitoring intervals to replay.
+const INTERVALS: usize = 3;
+
+type Source = MonitorSource<MattsonMonitor, Box<dyn FnMut() -> LineAddr>>;
+
+/// A warmed-up Mattson-backed curve source for one named profile.
+fn tenant_source(name: &str, cap_lines: u64, seed: u64) -> Source {
+    let app = profile(name)
+        .unwrap_or_else(|| panic!("unknown profile {name}"))
+        .scaled(SCALE);
+    let mut gen = app.generator(seed, 0);
+    let mut source: Source = MonitorSource::new(
+        MattsonMonitor::new(2 * cap_lines),
+        INTERVAL,
+        Box::new(move || gen.next_line()),
+    );
+    source.warm_up(WARMUP);
+    source
+}
+
+/// Recomputes a cache's plan offline — raw talus-core + talus-partition,
+/// no service involved — and checks it equals the published snapshot.
+fn assert_matches_offline(
+    service: &ReconfigService,
+    cache: CacheId,
+    capacity: u64,
+    curves: &[MissCurve],
+) {
+    let snap = service.snapshot(cache).expect("cache has a published plan");
+    let grain = (capacity / 64).max(1);
+    let hulls: Vec<MissCurve> = curves.iter().map(|c| c.convex_hull().to_curve()).collect();
+    let sizes = hill_climb(&hulls, capacity, grain);
+    assert_eq!(
+        snap.allocations(),
+        sizes,
+        "{cache}: served allocation diverges from offline hill climb"
+    );
+    for (tenant, (curve, &size)) in curves.iter().zip(&sizes).enumerate() {
+        let offline = plan_with_hull(&curve.convex_hull(), size as f64, TalusOptions::new())
+            .expect("offline planning succeeds on monitor curves");
+        assert_eq!(
+            snap.plan.tenants[tenant].plan, offline,
+            "{cache} tenant {tenant}: served shadow config diverges from offline plan"
+        );
+    }
+}
+
+fn main() {
+    let service = ReconfigService::new();
+
+    // Cache A: three tenants with very different curve shapes (a scan
+    // cliff, a gentle convex decay, a mid-size working set) share 4096
+    // lines. Cache B: two tenants share 2048 lines.
+    let caches: Vec<(CacheId, u64, Vec<&str>)> = vec![
+        (
+            service.register(CacheSpec::new(4096, 3)),
+            4096,
+            vec!["libquantum", "omnetpp", "xalancbmk"],
+        ),
+        (
+            service.register(CacheSpec::new(2048, 2)),
+            2048,
+            vec!["milc", "mcf"],
+        ),
+    ];
+
+    let mut sources: HashMap<(u64, usize), Source> = HashMap::new();
+    for (id, capacity, tenants) in &caches {
+        for (t, name) in tenants.iter().enumerate() {
+            sources.insert(
+                (id.value(), t),
+                tenant_source(name, *capacity, 42 + t as u64),
+            );
+        }
+    }
+
+    let mut published_epochs = 0u64;
+    for interval in 0..INTERVALS {
+        // Producers: one curve update per tenant per interval.
+        let mut latest: HashMap<u64, Vec<MissCurve>> = HashMap::new();
+        for (id, _, tenants) in &caches {
+            let mut curves = Vec::new();
+            for t in 0..tenants.len() {
+                let source = sources.get_mut(&(id.value(), t)).expect("registered");
+                let curve = talus_core::CurveSource::next_curve(source)
+                    .expect("monitor sources never exhaust");
+                service
+                    .submit(*id, t, curve.clone())
+                    .expect("cache is registered and tenant in range");
+                curves.push(curve);
+            }
+            latest.insert(id.value(), curves);
+        }
+
+        // The planner: one epoch batches every dirty cache.
+        let report = service.run_epoch();
+        println!(
+            "interval {interval}: epoch {} planned {} cache(s), {} deferred, {} failed",
+            report.epoch,
+            report.planned.len(),
+            report.deferred.len(),
+            report.failed.len()
+        );
+        assert_eq!(report.planned.len(), caches.len());
+        published_epochs += 1;
+
+        // Readers: snapshots must equal the offline planner's output.
+        for (id, capacity, _) in &caches {
+            assert_matches_offline(&service, *id, *capacity, &latest[&id.value()]);
+            let snap = service.snapshot(*id).expect("published");
+            println!(
+                "  {id}: version {} (epoch {}, {} updates) allocations {:?}",
+                snap.version,
+                snap.epoch,
+                snap.updates,
+                snap.allocations()
+            );
+            for (t, tenant) in snap.plan.tenants.iter().enumerate() {
+                match tenant.plan.shadow() {
+                    Some(cfg) => println!(
+                        "    tenant {t}: {} lines, shadow α={:.0} β={:.0} ρ={:.3}",
+                        tenant.capacity, cfg.alpha, cfg.beta, cfg.rho
+                    ),
+                    None => println!("    tenant {t}: {} lines, unpartitioned", tenant.capacity),
+                }
+            }
+        }
+    }
+
+    assert!(
+        published_epochs >= 2,
+        "replay must publish at least two plan epochs"
+    );
+    println!(
+        "OK: {published_epochs} plan epochs published for {} caches; every snapshot matches the offline planner.",
+        caches.len()
+    );
+}

@@ -1,0 +1,71 @@
+//! # talus-serve — the online reconfiguration service (L5)
+//!
+//! A long-running, single-node service that owns many **logical caches**.
+//! Callers register a cache with a capacity budget and a tenant count,
+//! then stream per-tenant miss-curve updates (from `talus-sim` monitors,
+//! real-hardware counters, or synthetic `talus-workloads` replays — any
+//! [`CurveSource`](talus_core::CurveSource)). The service batches dirty
+//! caches per **epoch**, re-plans each one through the shared
+//! [`Planner`](talus_partition::Planner) pipeline (convex hulls from
+//! `talus-core`, allocation from `talus-partition`), and publishes the
+//! result as a versioned, immutable [`PlanSnapshot`].
+//!
+//! ## Concurrency contract
+//!
+//! Three groups of callers touch the service, and none of them waits on
+//! planning work:
+//!
+//! - **Producers** ([`submit`](ReconfigService::submit)) take the registry
+//!   lock only long enough to store a curve and flag the cache dirty.
+//! - **Readers** ([`snapshot`](ReconfigService::snapshot)) take a read
+//!   lock only long enough to clone an `Arc`; they then read the plan
+//!   entirely lock-free. Snapshots are immutable — a reader can hold one
+//!   across epochs and never observes a partially written plan.
+//! - **The planner** ([`run_epoch`](ReconfigService::run_epoch)) drains a
+//!   bounded batch of dirty caches under the registry lock, *releases all
+//!   locks*, plans, and finally swaps the new `Arc` snapshots in under a
+//!   brief write lock (the "epoch swap").
+//!
+//! Because planning happens between the two brief critical sections, a
+//! slow plan never blocks producers or readers — they at worst see the
+//! previous epoch's snapshot a little longer.
+//!
+//! ## Equivalence to offline planning
+//!
+//! The service adds *scheduling* (batching, versioning, publication), not
+//! *policy*: the plan published for a cache is bit-for-bit the plan a
+//! direct offline `talus-core` + `talus-partition` call produces from the
+//! same curves. The integration tests (and a property test over random
+//! curve sets) assert exactly that.
+//!
+//! ```
+//! use talus_core::MissCurve;
+//! use talus_serve::{CacheSpec, ReconfigService};
+//!
+//! let service = ReconfigService::new();
+//! let cache = service.register(CacheSpec::new(1024, 2));
+//!
+//! // Two tenants report their measured miss curves.
+//! let cliff = MissCurve::from_samples(&[0.0, 512.0, 1024.0], &[10.0, 10.0, 1.0])?;
+//! let gentle = MissCurve::from_samples(&[0.0, 512.0, 1024.0], &[4.0, 2.0, 1.5])?;
+//! service.submit(cache, 0, cliff)?;
+//! service.submit(cache, 1, gentle)?;
+//!
+//! // One epoch later a versioned plan is published.
+//! let report = service.run_epoch();
+//! assert_eq!(report.planned, vec![cache]);
+//! let snap = service.snapshot(cache).expect("published");
+//! assert_eq!(snap.version, 1);
+//! assert_eq!(snap.plan.allocations().iter().sum::<u64>(), 1024);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod service;
+mod snapshot;
+
+pub use service::{CacheSpec, EpochReport, ReconfigService, ServeError};
+pub use snapshot::{CacheId, PlanSnapshot};

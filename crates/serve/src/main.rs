@@ -1,0 +1,134 @@
+//! `talus-serve` driver: a threaded, single-node reconfiguration service
+//! demo. Producer threads stream monitor-measured curve updates for many
+//! logical caches while the planner thread batches dirty caches into
+//! epochs and publishes versioned snapshots.
+//!
+//! ```text
+//! cargo run -p talus-serve --release [-- <caches> <tenants> <intervals>]
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use talus_serve::{CacheId, CacheSpec, ReconfigService};
+use talus_sim::monitor::{MattsonMonitor, MonitorSource};
+use talus_sim::LineAddr;
+use talus_workloads::{memory_intensive, AccessGenerator};
+
+/// Footprint shrink factor for the demo workloads.
+const SCALE: f64 = 1.0 / 256.0;
+/// Lines per logical cache.
+const CAPACITY: u64 = 4096;
+/// Accesses per monitoring interval per tenant.
+const INTERVAL: u64 = 40_000;
+
+fn arg(n: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(n)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let caches = arg(1, 4);
+    let tenants = arg(2, 3);
+    let intervals = arg(3, 4);
+    println!("talus-serve: {caches} caches x {tenants} tenants, {intervals} monitoring intervals");
+
+    let service = Arc::new(ReconfigService::new());
+    let producers_done = Arc::new(AtomicBool::new(false));
+    let pool = memory_intensive();
+
+    // One producer thread per logical cache: measure each tenant's miss
+    // curve over an interval, submit, repeat.
+    let mut producer_handles = Vec::new();
+    let mut ids: Vec<CacheId> = Vec::new();
+    for c in 0..caches {
+        let id = service.register(CacheSpec::new(CAPACITY, tenants));
+        ids.push(id);
+        let service = Arc::clone(&service);
+        let profiles: Vec<_> = (0..tenants)
+            .map(|t| pool[(c * tenants + t) % pool.len()].scaled(SCALE))
+            .collect();
+        producer_handles.push(thread::spawn(move || {
+            let mut sources: Vec<_> = profiles
+                .iter()
+                .enumerate()
+                .map(|(t, p)| {
+                    let mut gen = p.generator(7 + c as u64, t as u64);
+                    let next: Box<dyn FnMut() -> LineAddr> = Box::new(move || gen.next_line());
+                    let mut s =
+                        MonitorSource::new(MattsonMonitor::new(2 * CAPACITY), INTERVAL, next);
+                    s.warm_up(INTERVAL / 2);
+                    s
+                })
+                .collect();
+            for _ in 0..intervals {
+                for (t, source) in sources.iter_mut().enumerate() {
+                    service
+                        .submit_from(id, t, source)
+                        .expect("cache registered and tenant in range");
+                }
+            }
+        }));
+    }
+
+    // The planner thread: batch dirty caches into epochs until producers
+    // finish and the queue drains.
+    let planner = {
+        let service = Arc::clone(&service);
+        let done = Arc::clone(&producers_done);
+        thread::spawn(move || {
+            let mut planned_total = 0usize;
+            loop {
+                let report = service.run_epoch();
+                planned_total += report.planned.len();
+                if !report.is_idle() {
+                    println!(
+                        "epoch {:>3}: planned {:>2}, deferred {}, failed {}, queued {}",
+                        report.epoch,
+                        report.planned.len(),
+                        report.deferred.len(),
+                        report.failed.len(),
+                        report.remaining_dirty
+                    );
+                }
+                for (_, err) in &report.failed {
+                    // ServeError::Plan names the cache itself.
+                    eprintln!("  {err}");
+                }
+                if done.load(Ordering::Acquire) && service.pending() == 0 {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+            planned_total
+        })
+    };
+
+    for h in producer_handles {
+        h.join().expect("producer thread panicked");
+    }
+    producers_done.store(true, Ordering::Release);
+    let planned_total = planner.join().expect("planner thread panicked");
+
+    println!("\nfinal published snapshots:");
+    for id in &ids {
+        match service.snapshot(*id) {
+            Some(snap) => println!(
+                "  {id}: version {} (epoch {}, {} updates) allocations {:?}",
+                snap.version,
+                snap.epoch,
+                snap.updates,
+                snap.allocations()
+            ),
+            None => println!("  {id}: no plan published"),
+        }
+    }
+    println!(
+        "{} epochs run, {planned_total} cache replans published.",
+        service.epochs()
+    );
+}

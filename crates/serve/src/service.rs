@@ -1,0 +1,611 @@
+//! The reconfiguration service: registry, dirty-queue batching, epochs.
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::snapshot::{CacheId, PlanSnapshot};
+use talus_core::{CurveSource, MissCurve, PlanError};
+use talus_partition::Planner;
+
+/// How a logical cache is planned: its capacity budget, how many tenants
+/// share it, and the planner configuration (grain, policy, safety margin).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSpec {
+    /// Total capacity budget in lines.
+    pub capacity: u64,
+    /// Number of tenants (logical partitions) sharing the budget.
+    pub tenants: usize,
+    /// The planning pipeline (defaults to Talus: hill climbing on hulls,
+    /// 5% safety margin, capacity/64 grain).
+    pub planner: Planner,
+}
+
+impl CacheSpec {
+    /// A spec with the default Talus planner at a capacity/64 grain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `tenants` is zero.
+    pub fn new(capacity: u64, tenants: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(tenants > 0, "need at least one tenant");
+        CacheSpec {
+            capacity,
+            tenants,
+            planner: Planner::new((capacity / 64).max(1)),
+        }
+    }
+
+    /// Replaces the planner configuration.
+    pub fn with_planner(mut self, planner: Planner) -> Self {
+        self.planner = planner;
+        self
+    }
+}
+
+/// Errors surfaced by the service API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The cache id is not (or no longer) registered.
+    UnknownCache(CacheId),
+    /// The tenant index is outside the cache's registered tenant count.
+    TenantOutOfRange {
+        /// The cache addressed.
+        cache: CacheId,
+        /// The offending tenant index.
+        tenant: usize,
+        /// The cache's tenant count.
+        tenants: usize,
+    },
+    /// Planning failed for this cache (e.g. an allocation fell below a
+    /// curve's monitored domain). The cache stays clean; the next curve
+    /// update re-queues it.
+    Plan {
+        /// The cache whose replanning failed.
+        cache: CacheId,
+        /// The underlying planning error.
+        source: PlanError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownCache(id) => write!(f, "{id} is not registered"),
+            ServeError::TenantOutOfRange {
+                cache,
+                tenant,
+                tenants,
+            } => write!(
+                f,
+                "tenant {tenant} out of range for {cache} ({tenants} tenants)"
+            ),
+            ServeError::Plan { cache, source } => write!(f, "planning {cache} failed: {source}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Plan { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What one [`run_epoch`](ReconfigService::run_epoch) call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// The epoch number (global, monotone from 1).
+    pub epoch: u64,
+    /// Caches whose new plans were published this epoch.
+    pub planned: Vec<CacheId>,
+    /// Dirty caches skipped because at least one tenant has not yet
+    /// submitted a curve; they re-queue on the next submission.
+    pub deferred: Vec<CacheId>,
+    /// Caches whose replanning failed, with the error.
+    pub failed: Vec<(CacheId, ServeError)>,
+    /// Dirty caches left in the queue for the next epoch (batch overflow).
+    pub remaining_dirty: usize,
+}
+
+impl EpochReport {
+    /// Whether the epoch had nothing at all to do.
+    pub fn is_idle(&self) -> bool {
+        self.planned.is_empty() && self.deferred.is_empty() && self.failed.is_empty()
+    }
+}
+
+/// Per-cache mutable state, guarded by the registry lock.
+#[derive(Debug)]
+struct CacheEntry {
+    spec: CacheSpec,
+    /// Latest curve per tenant (`None` until the tenant's first update).
+    curves: Vec<Option<MissCurve>>,
+    /// Total curve updates accepted since registration.
+    updates: u64,
+    /// Successful plans published (the snapshot version counter).
+    version: u64,
+    /// Whether the cache sits in the dirty queue.
+    dirty: bool,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    next_id: u64,
+    caches: HashMap<u64, CacheEntry>,
+    /// FIFO of dirty cache ids; an id appears at most once (the `dirty`
+    /// flag dedups).
+    dirty_queue: VecDeque<u64>,
+}
+
+/// The online reconfiguration service. See the crate docs for the
+/// concurrency contract.
+///
+/// All methods take `&self`; the service is `Send + Sync` and is shared
+/// across producer, planner, and reader threads behind an `Arc`.
+#[derive(Debug)]
+pub struct ReconfigService {
+    /// Most caches replanned per epoch; overflow stays queued.
+    max_batch: usize,
+    registry: Mutex<Registry>,
+    /// Reader-facing snapshot map: the only state readers touch.
+    published: RwLock<HashMap<u64, Arc<PlanSnapshot>>>,
+    epochs: AtomicU64,
+}
+
+impl Default for ReconfigService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReconfigService {
+    /// A service replanning at most 64 caches per epoch.
+    pub fn new() -> Self {
+        ReconfigService {
+            max_batch: 64,
+            registry: Mutex::new(Registry::default()),
+            published: RwLock::new(HashMap::new()),
+            epochs: AtomicU64::new(0),
+        }
+    }
+
+    /// Caps how many caches one epoch replans (the batching knob: bounds
+    /// planner latency per epoch under a thundering herd of updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "epoch batch must be positive");
+        self.max_batch = max_batch;
+        self
+    }
+
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.registry.lock().expect("registry lock poisoned")
+    }
+
+    /// Registers a logical cache; returns its handle. The cache publishes
+    /// no plan until every tenant has submitted at least one curve and an
+    /// epoch has run.
+    pub fn register(&self, spec: CacheSpec) -> CacheId {
+        let mut reg = self.lock_registry();
+        let id = reg.next_id;
+        reg.next_id += 1;
+        reg.caches.insert(
+            id,
+            CacheEntry {
+                curves: vec![None; spec.tenants],
+                spec,
+                updates: 0,
+                version: 0,
+                dirty: false,
+            },
+        );
+        CacheId(id)
+    }
+
+    /// Removes a cache and its published snapshot. In-flight planning for
+    /// the cache (if any) is discarded at publication time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownCache`] if the id was never registered or was
+    /// already removed.
+    pub fn deregister(&self, id: CacheId) -> Result<(), ServeError> {
+        {
+            let mut reg = self.lock_registry();
+            reg.caches
+                .remove(&id.0)
+                .ok_or(ServeError::UnknownCache(id))?;
+            // The id may linger in dirty_queue; the epoch drain skips
+            // entries with no registry record.
+        }
+        self.published
+            .write()
+            .expect("published lock poisoned")
+            .remove(&id.0);
+        Ok(())
+    }
+
+    /// Stores tenant `tenant`'s latest miss curve and marks the cache
+    /// dirty (queued for the next epoch). Submitting repeatedly between
+    /// epochs is fine — the epoch plans the latest curves once.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownCache`] / [`ServeError::TenantOutOfRange`].
+    pub fn submit(&self, id: CacheId, tenant: usize, curve: MissCurve) -> Result<(), ServeError> {
+        let mut reg = self.lock_registry();
+        let entry = reg
+            .caches
+            .get_mut(&id.0)
+            .ok_or(ServeError::UnknownCache(id))?;
+        let tenants = entry.spec.tenants;
+        if tenant >= tenants {
+            return Err(ServeError::TenantOutOfRange {
+                cache: id,
+                tenant,
+                tenants,
+            });
+        }
+        entry.curves[tenant] = Some(curve);
+        entry.updates += 1;
+        if !entry.dirty {
+            entry.dirty = true;
+            reg.dirty_queue.push_back(id.0);
+        }
+        Ok(())
+    }
+
+    /// Pulls one update from a [`CurveSource`] and submits it. Returns
+    /// `Ok(false)` (without marking anything dirty) once the source is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](ReconfigService::submit).
+    pub fn submit_from(
+        &self,
+        id: CacheId,
+        tenant: usize,
+        source: &mut dyn CurveSource,
+    ) -> Result<bool, ServeError> {
+        match source.next_curve() {
+            Some(curve) => self.submit(id, tenant, curve).map(|_| true),
+            None => Ok(false),
+        }
+    }
+
+    /// The latest published plan for `id`, if any epoch has planned it.
+    ///
+    /// This is the reader hot path: a read-lock held for one `Arc` clone.
+    pub fn snapshot(&self, id: CacheId) -> Option<Arc<PlanSnapshot>> {
+        self.published
+            .read()
+            .expect("published lock poisoned")
+            .get(&id.0)
+            .cloned()
+    }
+
+    /// Epochs run so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Dirty caches currently queued.
+    pub fn pending(&self) -> usize {
+        self.lock_registry().dirty_queue.len()
+    }
+
+    /// Registered caches.
+    pub fn registered(&self) -> usize {
+        self.lock_registry().caches.len()
+    }
+
+    /// Runs one planning epoch: drain a batch of dirty caches, re-plan
+    /// them through the shared [`Planner`] pipeline with **no locks
+    /// held**, then publish the new snapshots in one epoch swap.
+    pub fn run_epoch(&self) -> EpochReport {
+        let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+
+        // Phase 1 — drain (brief registry lock): copy out the curves of up
+        // to `max_batch` ready caches.
+        struct Job {
+            id: CacheId,
+            planner: Planner,
+            capacity: u64,
+            curves: Vec<MissCurve>,
+            round: u64,
+            updates: u64,
+        }
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut deferred = Vec::new();
+        let remaining_dirty;
+        {
+            let mut reg = self.lock_registry();
+            while jobs.len() < self.max_batch {
+                let Some(id) = reg.dirty_queue.pop_front() else {
+                    break;
+                };
+                let Some(entry) = reg.caches.get_mut(&id) else {
+                    continue; // deregistered while queued
+                };
+                entry.dirty = false;
+                if entry.curves.iter().any(Option::is_none) {
+                    // Not every tenant has reported yet: wait for data. The
+                    // missing tenant's first submission re-queues the cache.
+                    deferred.push(CacheId(id));
+                    continue;
+                }
+                jobs.push(Job {
+                    id: CacheId(id),
+                    planner: entry.spec.planner,
+                    capacity: entry.spec.capacity,
+                    curves: entry.curves.iter().flatten().cloned().collect(),
+                    round: entry.version,
+                    updates: entry.updates,
+                });
+            }
+            remaining_dirty = reg.dirty_queue.len();
+        }
+
+        // Phase 2 — plan (no locks): the expensive part.
+        let mut planned = Vec::new();
+        let mut failed = Vec::new();
+        let mut ready = Vec::new();
+        for job in jobs {
+            match job.planner.plan(&job.curves, job.capacity, job.round) {
+                Ok(plan) => ready.push((job.id, job.updates, plan)),
+                Err(source) => failed.push((
+                    job.id,
+                    ServeError::Plan {
+                        cache: job.id,
+                        source,
+                    },
+                )),
+            }
+        }
+
+        // Phase 3 — publish: version assignment and the epoch swap happen
+        // atomically (published write lock nested inside the registry
+        // lock), so a concurrent deregister can never interleave between
+        // the two and strand an orphaned snapshot, and a concurrent epoch
+        // that already landed fresher curves is never overwritten by this
+        // (older) result. Lock order registry → published is never
+        // inverted elsewhere (deregister takes them sequentially).
+        if !ready.is_empty() {
+            let mut reg = self.lock_registry();
+            let mut published = self.published.write().expect("published lock poisoned");
+            for (id, updates, plan) in ready {
+                let Some(entry) = reg.caches.get_mut(&id.0) else {
+                    continue; // deregistered mid-plan: drop the result
+                };
+                if published
+                    .get(&id.0)
+                    .is_some_and(|snap| snap.updates > updates)
+                {
+                    continue; // a fresher plan already landed: keep it
+                }
+                entry.version += 1;
+                published.insert(
+                    id.0,
+                    Arc::new(PlanSnapshot {
+                        cache: id,
+                        epoch,
+                        version: entry.version,
+                        updates,
+                        plan,
+                    }),
+                );
+                planned.push(id);
+            }
+        }
+
+        EpochReport {
+            epoch,
+            planned,
+            deferred,
+            failed,
+            remaining_dirty,
+        }
+    }
+
+    /// Runs epochs until the dirty queue is empty; returns the reports.
+    /// (Deferred caches leave the queue until new data arrives, so this
+    /// always terminates.)
+    pub fn run_until_clean(&self) -> Vec<EpochReport> {
+        let mut reports = Vec::new();
+        while self.pending() > 0 {
+            reports.push(self.run_epoch());
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(cliff_at: f64, cap: f64) -> MissCurve {
+        MissCurve::from_samples(
+            &[0.0, cliff_at / 2.0, cliff_at, cap],
+            &[10.0, 10.0, 1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    fn service_is_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shareable_across_threads() {
+        service_is_send_sync::<ReconfigService>();
+    }
+
+    #[test]
+    fn snapshot_absent_until_first_epoch() {
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 1));
+        assert!(s.snapshot(id).is_none());
+        s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+        assert!(s.snapshot(id).is_none(), "submit alone publishes nothing");
+        s.run_epoch();
+        assert_eq!(s.snapshot(id).unwrap().version, 1);
+    }
+
+    #[test]
+    fn missing_tenant_defers_until_data_arrives() {
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 2));
+        s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+        let report = s.run_epoch();
+        assert_eq!(report.deferred, vec![id]);
+        assert!(report.planned.is_empty());
+        assert!(s.snapshot(id).is_none());
+        assert_eq!(s.pending(), 0, "deferred caches leave the queue");
+        // The straggler reports: the cache re-queues and plans.
+        s.submit(id, 1, curve(256.0, 1024.0)).unwrap();
+        let report = s.run_epoch();
+        assert_eq!(report.planned, vec![id]);
+    }
+
+    #[test]
+    fn batching_bounds_epoch_work_fifo() {
+        let s = ReconfigService::new().with_max_batch(2);
+        let ids: Vec<CacheId> = (0..5)
+            .map(|_| {
+                let id = s.register(CacheSpec::new(1024, 1));
+                s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+                id
+            })
+            .collect();
+        let r1 = s.run_epoch();
+        assert_eq!(r1.planned, vec![ids[0], ids[1]]);
+        assert_eq!(r1.remaining_dirty, 3);
+        let r2 = s.run_epoch();
+        assert_eq!(r2.planned, vec![ids[2], ids[3]]);
+        let r3 = s.run_epoch();
+        assert_eq!(r3.planned, vec![ids[4]]);
+        assert!(s.run_epoch().is_idle());
+        assert_eq!(s.epochs(), 4);
+    }
+
+    #[test]
+    fn resubmission_between_epochs_plans_latest_curves_once() {
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 1));
+        s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+        s.submit(id, 0, curve(256.0, 1024.0)).unwrap();
+        assert_eq!(s.pending(), 1, "dirty flag dedups the queue");
+        let report = s.run_epoch();
+        assert_eq!(report.planned, vec![id]);
+        let snap = s.snapshot(id).unwrap();
+        assert_eq!(snap.updates, 2);
+        assert_eq!(snap.version, 1);
+    }
+
+    #[test]
+    fn versions_and_epochs_advance_independently() {
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 1));
+        for round in 1..=3u64 {
+            s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+            s.run_epoch();
+            assert_eq!(s.snapshot(id).unwrap().version, round);
+        }
+        s.run_epoch(); // idle epoch: no new version
+        assert_eq!(s.snapshot(id).unwrap().version, 3);
+        assert_eq!(s.epochs(), 4);
+    }
+
+    #[test]
+    fn plan_failure_is_reported_not_published() {
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 2));
+        // Tenant 1's curve starts at 512 lines: a fair split of 512 is
+        // fine, but tenant 0's hill-climb-greedy curve drags tenant 1's
+        // allocation below its monitored domain.
+        let above_domain = MissCurve::from_samples(&[768.0, 1024.0], &[5.0, 1.0]).unwrap();
+        s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+        s.submit(id, 1, above_domain).unwrap();
+        let report = s.run_epoch();
+        assert_eq!(report.failed.len(), 1);
+        assert!(matches!(
+            report.failed[0].1,
+            ServeError::Plan { cache, .. } if cache == id
+        ));
+        assert!(s.snapshot(id).is_none());
+    }
+
+    #[test]
+    fn deregister_removes_registry_and_snapshot() {
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 1));
+        s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+        s.run_epoch();
+        assert!(s.snapshot(id).is_some());
+        s.deregister(id).unwrap();
+        assert!(s.snapshot(id).is_none());
+        assert_eq!(s.registered(), 0);
+        assert_eq!(s.deregister(id), Err(ServeError::UnknownCache(id)));
+        assert_eq!(
+            s.submit(id, 0, curve(512.0, 1024.0)),
+            Err(ServeError::UnknownCache(id))
+        );
+    }
+
+    #[test]
+    fn queued_then_deregistered_cache_is_skipped() {
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 1));
+        s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+        s.deregister(id).unwrap();
+        let report = s.run_epoch();
+        assert!(report.is_idle());
+    }
+
+    #[test]
+    fn tenant_bounds_checked() {
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 2));
+        let err = s.submit(id, 2, curve(512.0, 1024.0)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::TenantOutOfRange {
+                cache: id,
+                tenant: 2,
+                tenants: 2
+            }
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn submit_from_drains_sources() {
+        use talus_core::ReplaySource;
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 1));
+        let mut src = ReplaySource::new(vec![curve(512.0, 1024.0), curve(256.0, 1024.0)]);
+        assert!(s.submit_from(id, 0, &mut src).unwrap());
+        assert!(s.submit_from(id, 0, &mut src).unwrap());
+        assert!(!s.submit_from(id, 0, &mut src).unwrap(), "exhausted");
+        let reports = s.run_until_clean();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(s.snapshot(id).unwrap().updates, 2);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let s = ReconfigService::new();
+        let a = s.register(CacheSpec::new(1024, 1));
+        s.deregister(a).unwrap();
+        let b = s.register(CacheSpec::new(1024, 1));
+        assert_ne!(a, b);
+    }
+}

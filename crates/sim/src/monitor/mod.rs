@@ -20,16 +20,24 @@
 //!   bank that re-aims its sampling rates at the hull's active region
 //!   every interval, matching the fixed 64-monitor bank at a fraction of
 //!   the state.
+//!
+//! [`MonitorSource`] adapts any of them to the `talus-core`
+//! [`CurveSource`](talus_core::CurveSource) seam: it drives an address
+//! stream through the monitor and emits one curve per interval, which is
+//! how the experiment sweeps and the online reconfiguration service
+//! ingest simulated curves.
 
 mod adaptive;
 mod mattson;
 mod sampler;
+mod source;
 mod threepoint;
 mod umon;
 
 pub use adaptive::AdaptiveCurveSampler;
 pub use mattson::MattsonMonitor;
 pub use sampler::CurveSampler;
+pub use source::MonitorSource;
 pub use threepoint::ThreePointMonitor;
 pub use umon::{Umon, UmonPair};
 

@@ -1,0 +1,145 @@
+//! Monitor-fed curve sources: the bridge from simulated hardware to the
+//! [`CurveSource`] seam.
+
+use crate::addr::LineAddr;
+use crate::monitor::Monitor;
+use talus_core::{CurveSource, MissCurve};
+
+/// Drives an address stream through a [`Monitor`] and yields one curve
+/// estimate per monitoring interval.
+///
+/// This is the producer the online layers consume: each call to
+/// [`next_curve`](CurveSource::next_curve) records `interval` accesses
+/// (pulled from the stream closure) into the monitor and returns its
+/// updated curve. By default estimates are *cumulative* — the monitor
+/// keeps accumulating, as the paper's utility monitors do between resets;
+/// [`per_interval`](MonitorSource::per_interval) resets the monitor after
+/// every sample instead, yielding independent interval curves.
+///
+/// The stream is any `FnMut() -> LineAddr`, so a `talus-workloads`
+/// generator, a recorded trace iterator, or a hand-rolled closure all fit
+/// without this crate knowing about them.
+#[derive(Debug)]
+pub struct MonitorSource<M, F> {
+    monitor: M,
+    next_line: F,
+    interval: u64,
+    reset_each: bool,
+}
+
+impl<M: Monitor, F: FnMut() -> LineAddr> MonitorSource<M, F> {
+    /// A cumulative source sampling `monitor` every `interval` accesses of
+    /// the stream produced by `next_line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero (the source would never observe
+    /// anything).
+    pub fn new(monitor: M, interval: u64, next_line: F) -> Self {
+        assert!(interval > 0, "monitoring interval must be positive");
+        MonitorSource {
+            monitor,
+            next_line,
+            interval,
+            reset_each: false,
+        }
+    }
+
+    /// Resets the monitor after each sample, so every curve reflects one
+    /// interval in isolation (the reconfiguration-loop convention).
+    pub fn per_interval(mut self) -> Self {
+        self.reset_each = true;
+        self
+    }
+
+    /// Records `accesses` stream lines without building a curve. For
+    /// consumers that read the monitor directly (e.g. evaluating on an
+    /// exact grid), this skips the curve construction `next_curve` pays.
+    pub fn advance(&mut self, accesses: u64) {
+        for _ in 0..accesses {
+            self.monitor.record((self.next_line)());
+        }
+    }
+
+    /// Records `accesses` stream lines without emitting a curve, then
+    /// clears the monitor's statistics — warmup before measurement.
+    pub fn warm_up(&mut self, accesses: u64) {
+        self.advance(accesses);
+        self.monitor.reset();
+    }
+
+    /// The wrapped monitor.
+    pub fn monitor(&self) -> &M {
+        &self.monitor
+    }
+
+    /// Consumes the source, returning the monitor.
+    pub fn into_monitor(self) -> M {
+        self.monitor
+    }
+}
+
+impl<M: Monitor, F: FnMut() -> LineAddr> CurveSource for MonitorSource<M, F> {
+    fn next_curve(&mut self) -> Option<MissCurve> {
+        for _ in 0..self.interval {
+            self.monitor.record((self.next_line)());
+        }
+        let curve = self.monitor.curve();
+        if self.reset_each {
+            self.monitor.reset();
+        }
+        Some(curve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MattsonMonitor;
+
+    fn scan_source(
+        lines: u64,
+        interval: u64,
+    ) -> MonitorSource<MattsonMonitor, impl FnMut() -> LineAddr> {
+        let mut i = 0u64;
+        MonitorSource::new(MattsonMonitor::new(2 * lines), interval, move || {
+            i += 1;
+            LineAddr(i % lines)
+        })
+    }
+
+    #[test]
+    fn cumulative_source_sees_the_scan_cliff() {
+        let mut src = scan_source(256, 4096);
+        let curve = src.next_curve().expect("monitor sources never exhaust");
+        // A 256-line cyclic scan: thrashes below 256 lines, fits above.
+        assert!(curve.value_at(128.0) > 0.9, "below the scan size");
+        assert!(curve.value_at(300.0) < 0.1, "above the scan size");
+        assert_eq!(src.monitor().sampled_accesses(), 4096);
+    }
+
+    #[test]
+    fn per_interval_resets_between_samples() {
+        let mut src = scan_source(64, 1024).per_interval();
+        src.next_curve();
+        assert_eq!(src.monitor().sampled_accesses(), 0, "reset after sample");
+        src.next_curve();
+        let m = src.into_monitor();
+        assert_eq!(m.sampled_accesses(), 0);
+    }
+
+    #[test]
+    fn warm_up_discards_statistics() {
+        let mut src = scan_source(64, 512);
+        src.warm_up(1000);
+        assert_eq!(src.monitor().sampled_accesses(), 0);
+        src.next_curve();
+        assert_eq!(src.monitor().sampled_accesses(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        scan_source(64, 0);
+    }
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerate results/bench_baseline.json from a one-shot `cargo bench` run.
+#
+# The vendored criterion shim prints one `<name>  time: <value> <unit>`
+# line per benchmark; this script normalises every entry to nanoseconds
+# and emits a sorted, diff-stable JSON map. Perf PRs rerun it (on the
+# same machine class!) and diff the committed baseline to claim measured
+# wins.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-results/bench_baseline.json}"
+
+cargo bench -p talus-bench |
+    awk '
+        /time:/ {
+            name = $1
+            for (i = 1; i <= NF; i++) if ($i == "time:") { v = $(i + 1); u = $(i + 2) }
+            ns = v + 0
+            if (u == "µs") ns *= 1e3
+            else if (u == "ms") ns *= 1e6
+            else if (u == "s") ns *= 1e9
+            printf "%s %.2f\n", name, ns
+        }' |
+    sort |
+    awk '
+        BEGIN {
+            print "{"
+            print "  \"_note\": \"median ns/iter per bench, from scripts/bench_baseline.sh (vendored criterion shim). Regenerate on the same machine class before comparing.\","
+            print "  \"benches\": {"
+        }
+        {
+            if (n++) printf ",\n"
+            printf "    \"%s\": %s", $1, $2
+        }
+        END {
+            print "\n  }"
+            print "}"
+        }' >"$out"
+
+count=$(grep -c '": [0-9]' "$out")
+echo "wrote $out ($count benches)"
