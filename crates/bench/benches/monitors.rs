@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use talus_bench::synthetic_stream;
 use talus_sim::monitor::{
-    CurveSampler, MattsonMonitor, Monitor, ThreePointMonitor, Umon, UmonPair,
+    CurveSampler, MattsonMonitor, Monitor, SampledMattson, ThreePointMonitor, Umon, UmonPair,
 };
 use talus_sim::policy::PolicyKind;
 use talus_sim::LineAddr;
@@ -23,6 +23,29 @@ fn bench_record(c: &mut Criterion) {
                 m.record(black_box(LineAddr(l)));
             }
         })
+    });
+
+    let lines: Vec<LineAddr> = stream.iter().map(|&l| LineAddr(l)).collect();
+
+    g.bench_function("mattson_exact_block", |b| {
+        let mut m = MattsonMonitor::new(65536);
+        b.iter(|| m.record_block(black_box(&lines)))
+    });
+
+    // The issue's headline target: ≥5× the exact monitor's recorded-access
+    // throughput at a sampling rate of 1/16.
+    g.bench_function("sampled_mattson", |b| {
+        let mut m = SampledMattson::new(65536, 16, 5);
+        b.iter(|| {
+            for &l in &stream {
+                m.record(black_box(LineAddr(l)));
+            }
+        })
+    });
+
+    g.bench_function("sampled_mattson_block", |b| {
+        let mut m = SampledMattson::new(65536, 16, 5);
+        b.iter(|| m.record_block(black_box(&lines)))
     });
 
     g.bench_function("umon_1k", |b| {
@@ -71,12 +94,17 @@ fn bench_curve_extraction(c: &mut Criterion) {
     let mut g = c.benchmark_group("monitor_curve");
 
     let mut mattson = MattsonMonitor::new(65536);
+    let mut sampled = SampledMattson::new(65536, 16, 5);
     let mut pair = UmonPair::new(65536, 5);
     for &l in &stream {
         mattson.record(LineAddr(l));
+        sampled.record(LineAddr(l));
         pair.record(LineAddr(l));
     }
     g.bench_function("mattson_curve", |b| b.iter(|| black_box(mattson.curve())));
+    g.bench_function("sampled_mattson_curve", |b| {
+        b.iter(|| black_box(sampled.curve()))
+    });
     g.bench_function("umon_pair_curve", |b| b.iter(|| black_box(pair.curve())));
     g.finish();
 }

@@ -1,0 +1,84 @@
+//! Diff two bench baselines and flag hot-path regressions.
+//!
+//! ```text
+//! bench_compare OLD.json NEW.json [--threshold PCT] [--warn-only]
+//! ```
+//!
+//! Exits 1 if any hot-path bench (see
+//! [`HOT_PREFIXES`](talus_bench::compare::HOT_PREFIXES)) regressed more
+//! than the threshold (default 10%), unless `--warn-only` is given — the
+//! CI mode, where shared-runner noise makes failing the build on timing
+//! unreasonable but the report is still worth reading.
+
+use std::process::ExitCode;
+use talus_bench::compare::{compare, DEFAULT_THRESHOLD};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_compare OLD.json NEW.json [--threshold PCT] [--warn-only]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut warn_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--warn-only" => warn_only = true,
+            "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 => threshold = pct / 100.0,
+                _ => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => files.push(arg),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        return usage();
+    };
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let report = match (|| compare(&read(old_path)?, &read(new_path)?))() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench_compare: {old_path} -> {new_path} ({} shared benches)",
+        report.diffs.len()
+    );
+    for diff in &report.diffs {
+        println!("  {diff}");
+    }
+    for name in &report.only_new {
+        println!("  {name:<48} (new bench, no baseline)");
+    }
+    for name in &report.only_old {
+        println!("  {name:<48} (missing from new run)");
+    }
+
+    let regressions = report.regressions(threshold);
+    if regressions.is_empty() {
+        println!("no hot-path regressions beyond {:.0}%.", threshold * 100.0);
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{} hot-path regression(s) beyond {:.0}%:",
+        regressions.len(),
+        threshold * 100.0
+    );
+    for diff in &regressions {
+        println!("  REGRESSED {diff}");
+    }
+    if warn_only {
+        println!("(--warn-only: not failing)");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

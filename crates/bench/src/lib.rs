@@ -3,6 +3,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
+
 use talus_core::{CurvePoint, MissCurve};
 
 /// A deterministic pseudo-random miss curve with `points` samples and a

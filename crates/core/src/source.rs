@@ -46,6 +46,30 @@ use std::collections::VecDeque;
 pub trait CurveSource {
     /// Produces the next miss-curve estimate, or `None` when exhausted.
     fn next_curve(&mut self) -> Option<MissCurve>;
+
+    /// Drains up to `max` pending estimates at once — the batching seam
+    /// for consumers that ingest update streams (catching a replay up,
+    /// coalescing a backlog before an epoch). Finite sources return fewer
+    /// when exhausted; infinite sources always return exactly `max`.
+    ///
+    /// ```
+    /// use talus_core::{CurveSource, MissCurve, ReplaySource};
+    /// let c = MissCurve::from_samples(&[0.0, 4.0], &[10.0, 2.0])?;
+    /// let mut source = ReplaySource::new(vec![c.clone(), c.clone(), c]);
+    /// assert_eq!(source.next_curves(2).len(), 2);
+    /// assert_eq!(source.next_curves(2).len(), 1); // exhausted mid-batch
+    /// # Ok::<(), talus_core::CurveError>(())
+    /// ```
+    fn next_curves(&mut self, max: usize) -> Vec<MissCurve> {
+        let mut out = Vec::with_capacity(max.min(64));
+        while out.len() < max {
+            match self.next_curve() {
+                Some(curve) => out.push(curve),
+                None => break,
+            }
+        }
+        out
+    }
 }
 
 /// A fixed curve is an infinite source of itself: useful for tests and for

@@ -7,6 +7,13 @@
 //! offline computation (talus-core hulls + talus-partition hill climbing
 //! + shadow planning) on the very same curves.
 //!
+//! Curves come from exact Mattson monitors (the checks are bit-exact, so
+//! determinism matters more than speed here); ingest still rides the
+//! batched path — `MonitorSource` feeds every monitor through
+//! `Monitor::record_block`. The `talus-serve` driver binary shows the
+//! production-shaped configuration: the same source over the SHARDS-style
+//! `SampledMattson`.
+//!
 //! ```text
 //! cargo run -p talus-serve --example replay
 //! ```

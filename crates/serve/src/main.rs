@@ -13,7 +13,7 @@ use std::thread;
 use std::time::Duration;
 
 use talus_serve::{CacheId, CacheSpec, ReconfigService};
-use talus_sim::monitor::{MattsonMonitor, MonitorSource};
+use talus_sim::monitor::{MonitorSource, SampledMattson};
 use talus_sim::LineAddr;
 use talus_workloads::{memory_intensive, AccessGenerator};
 
@@ -23,6 +23,12 @@ const SCALE: f64 = 1.0 / 256.0;
 const CAPACITY: u64 = 4096;
 /// Accesses per monitoring interval per tenant.
 const INTERVAL: u64 = 40_000;
+/// Producer-side monitor sampling ratio (one in `R` lines tracked). The
+/// driver is the "production" configuration, so it runs the SHARDS-style
+/// sampled monitor — `MonitorSource` feeds it block-at-a-time — rather
+/// than the exact (and much slower) Mattson pass the replay example uses
+/// for its bit-exact offline-equivalence checks.
+const SAMPLE_RATIO: u64 = 8;
 
 fn arg(n: usize, default: usize) -> usize {
     std::env::args()
@@ -59,8 +65,9 @@ fn main() {
                 .map(|(t, p)| {
                     let mut gen = p.generator(7 + c as u64, t as u64);
                     let next: Box<dyn FnMut() -> LineAddr> = Box::new(move || gen.next_line());
-                    let mut s =
-                        MonitorSource::new(MattsonMonitor::new(2 * CAPACITY), INTERVAL, next);
+                    let monitor =
+                        SampledMattson::new(2 * CAPACITY, SAMPLE_RATIO, 0xCAFE + c as u64);
+                    let mut s = MonitorSource::new(monitor, INTERVAL, next);
                     s.warm_up(INTERVAL / 2);
                     s
                 })

@@ -283,6 +283,41 @@ impl ReconfigService {
         }
     }
 
+    /// Drains up to `max` pending updates from a [`CurveSource`] and
+    /// submits only the newest — the backlog-coalescing ingest path
+    /// (`CurveSource::next_curves` is the batching seam). A tenant that
+    /// fell behind — a stalled producer, a replay catching up — hands its
+    /// whole backlog over in one call; since an epoch plans only the
+    /// latest curve per tenant anyway, the stale updates are dropped here
+    /// instead of being submitted one by one. Returns how many updates
+    /// were drained (0 means the source was exhausted and nothing was
+    /// submitted).
+    ///
+    /// This is for *finite* backlogs (replays, queues). An infinite
+    /// source such as a live `MonitorSource` always produces exactly
+    /// `max` curves — each a full monitoring interval of work — so
+    /// draining it here would burn `max − 1` intervals to discard them;
+    /// use [`submit_from`](ReconfigService::submit_from) for live
+    /// monitors.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](ReconfigService::submit).
+    pub fn submit_latest(
+        &self,
+        id: CacheId,
+        tenant: usize,
+        source: &mut dyn CurveSource,
+        max: usize,
+    ) -> Result<usize, ServeError> {
+        let mut curves = source.next_curves(max);
+        let drained = curves.len();
+        if let Some(curve) = curves.pop() {
+            self.submit(id, tenant, curve)?;
+        }
+        Ok(drained)
+    }
+
     /// The latest published plan for `id`, if any epoch has planned it.
     ///
     /// This is the reader hot path: a read-lock held for one `Arc` clone.
@@ -598,6 +633,34 @@ mod tests {
         let reports = s.run_until_clean();
         assert_eq!(reports.len(), 1);
         assert_eq!(s.snapshot(id).unwrap().updates, 2);
+    }
+
+    #[test]
+    fn submit_latest_coalesces_a_backlog() {
+        use talus_core::ReplaySource;
+        let s = ReconfigService::new();
+        let id = s.register(CacheSpec::new(1024, 1));
+        // Three updates backlogged; only the newest (cliff at 128) should
+        // reach the planner, as one accepted update.
+        let mut src = ReplaySource::new(vec![
+            curve(512.0, 1024.0),
+            curve(256.0, 1024.0),
+            curve(128.0, 1024.0),
+        ]);
+        assert_eq!(s.submit_latest(id, 0, &mut src, 8).unwrap(), 3);
+        assert_eq!(s.pending(), 1);
+        s.run_epoch();
+        let snap = s.snapshot(id).unwrap();
+        assert_eq!(snap.updates, 1, "stale backlog entries were dropped");
+        // The published plan is the one the newest curve produces: replay
+        // the same curve through the plain path on a fresh cache.
+        let twin = s.register(CacheSpec::new(1024, 1));
+        s.submit(twin, 0, curve(128.0, 1024.0)).unwrap();
+        s.run_epoch();
+        assert_eq!(s.snapshot(twin).unwrap().plan, s.snapshot(id).unwrap().plan);
+        // Exhausted source: nothing drained, nothing queued.
+        assert_eq!(s.submit_latest(id, 0, &mut src, 8).unwrap(), 0);
+        assert_eq!(s.pending(), 0);
     }
 
     #[test]

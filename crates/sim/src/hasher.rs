@@ -81,6 +81,93 @@ impl H3Hasher {
     }
 }
 
+/// A cheap, high-quality 64-bit mixing hash (the SplitMix64 finalizer with
+/// a seed fold).
+///
+/// H3 is the *hardware-faithful* hash — a mask-and-parity network cheap in
+/// gates but, in software, a loop of `count_ones` calls per output bit.
+/// Monitors on the software hot path (the Mattson `last_seen` map, the
+/// SHARDS-style sampling filter of
+/// [`SampledMattson`](crate::monitor::SampledMattson)) instead use this
+/// three-multiply avalanche mix: every input bit affects every output bit,
+/// at a fixed cost of a handful of ALU ops.
+///
+/// # Examples
+///
+/// ```
+/// use talus_sim::mix64;
+/// assert_eq!(mix64(0xFEED, 42), mix64(0xFEED, 42)); // deterministic
+/// assert_ne!(mix64(0xFEED, 42), mix64(0xBEEF, 42)); // seed matters
+/// ```
+#[inline]
+pub fn mix64(seed: u64, value: u64) -> u64 {
+    let mut z = value ^ seed ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`std::hash::BuildHasher`] over [`mix64`] for `HashMap`s keyed by
+/// line addresses (or any small integer key).
+///
+/// The standard library's default SipHash is DoS-resistant but costs tens
+/// of nanoseconds per lookup — a large fraction of a monitor's per-access
+/// budget. Simulated addresses are not attacker-controlled, so the
+/// monitors trade that resistance for speed.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use talus_sim::{LineAddr, LineHashBuilder};
+/// let mut m: HashMap<LineAddr, u32, LineHashBuilder> = HashMap::default();
+/// m.insert(LineAddr(7), 1);
+/// assert_eq!(m[&LineAddr(7)], 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LineHashBuilder;
+
+impl std::hash::BuildHasher for LineHashBuilder {
+    type Hasher = LineHasher;
+
+    fn build_hasher(&self) -> LineHasher {
+        LineHasher(0)
+    }
+}
+
+/// The streaming hasher behind [`LineHashBuilder`]: folds written words
+/// through [`mix64`].
+#[derive(Debug, Clone, Copy)]
+pub struct LineHasher(u64);
+
+impl std::hash::Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (string keys etc.): fold 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = mix64(self.0, u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        // The hot path: `LineAddr`'s derived Hash is a single u64 write.
+        self.0 = mix64(self.0, value);
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.0 = mix64(self.0, u64::from(value));
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.0 = mix64(self.0, value as u64);
+    }
+}
+
 /// The shadow-partition sampling function from the paper's Fig. 7b: an
 /// 8-bit H3 hash plus an 8-bit limit register. Addresses hashing below the
 /// limit go to the α partition; the rest go to β.
@@ -249,6 +336,32 @@ mod tests {
         let first: Vec<bool> = (0..500u64).map(|i| s.goes_to_alpha(LineAddr(i))).collect();
         let second: Vec<bool> = (0..500u64).map(|i| s.goes_to_alpha(LineAddr(i))).collect();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn mix64_spreads_sequential_values() {
+        // Sequential line numbers must fill buckets evenly, like H3.
+        let mut counts = [0u32; 256];
+        for v in 0..25_600u64 {
+            counts[(mix64(7, v) >> 56) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 200, "max bucket {max}");
+        assert!(min > 30, "min bucket {min}");
+    }
+
+    #[test]
+    fn line_hash_builder_works_in_hashmap() {
+        use std::collections::HashMap;
+        let mut m: HashMap<LineAddr, u64, LineHashBuilder> = HashMap::default();
+        for i in 0..1000u64 {
+            m.insert(LineAddr(i), i * 2);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m[&LineAddr(i)], i * 2);
+        }
+        assert!(!m.contains_key(&LineAddr(1000)));
     }
 
     #[test]

@@ -11,9 +11,15 @@
 //! (O(log n) per access); the timestamp window is compacted periodically so
 //! memory stays proportional to the tracked capacity, with distances beyond
 //! the cap folded into a "far" bucket (they miss at every tracked size).
+//!
+//! The distance histogram is kept two-level (flat bins plus per-block
+//! sums) — an *incremental cumulative-hit cache* — so
+//! [`curve`](Monitor::curve) answers each grid point with a block-skipping
+//! prefix query instead of re-scanning all `cap` histogram bins per call.
 
-use super::Monitor;
+use super::{default_grid, Monitor};
 use crate::addr::LineAddr;
+use crate::hasher::LineHashBuilder;
 use std::collections::HashMap;
 use talus_core::MissCurve;
 
@@ -54,6 +60,51 @@ impl Fenwick {
     }
 }
 
+/// A two-level stack-distance histogram: flat per-distance bins plus
+/// per-block sums, the incremental cumulative-hit cache behind
+/// [`MattsonMonitor::hits_within`]. Counting an access stays O(1) (two
+/// increments, keeping the record hot path flat), while a prefix query
+/// sums whole 256-bin blocks and only walks bins inside the final block —
+/// O(cap/256 + 256) instead of re-scanning all `cap` bins per curve call.
+#[derive(Debug, Clone)]
+struct CumHist {
+    /// bins[d] = accesses with stack distance exactly d (1-based).
+    bins: Vec<u64>,
+    /// blocks[b] = sum of bins[256b..256(b+1)].
+    blocks: Vec<u64>,
+}
+
+/// Bins summarised per block (a power of two).
+const HIST_BLOCK: usize = 256;
+
+impl CumHist {
+    fn new(n: usize) -> Self {
+        CumHist {
+            bins: vec![0; n + 1],
+            blocks: vec![0; (n + 1).div_ceil(HIST_BLOCK)],
+        }
+    }
+
+    /// Counts one access at distance `d` (1-based, `d <= n`).
+    #[inline]
+    fn add(&mut self, d: usize) {
+        self.bins[d] += 1;
+        self.blocks[d / HIST_BLOCK] += 1;
+    }
+
+    /// Accesses with distance in `[1, d]`.
+    fn prefix(&self, d: usize) -> u64 {
+        let block = d / HIST_BLOCK;
+        self.blocks[..block].iter().sum::<u64>()
+            + self.bins[block * HIST_BLOCK..=d].iter().sum::<u64>()
+    }
+
+    fn clear(&mut self) {
+        self.bins.fill(0);
+        self.blocks.fill(0);
+    }
+}
+
 /// An exact stack-distance monitor for LRU, capped at a maximum tracked
 /// capacity.
 ///
@@ -76,15 +127,15 @@ impl Fenwick {
 pub struct MattsonMonitor {
     /// Largest stack distance tracked exactly (in lines).
     cap: usize,
-    /// hist[d] = accesses with stack distance exactly d (1-based).
-    hist: Vec<u64>,
+    /// Cumulative counts of accesses by stack distance (1-based).
+    hist: CumHist,
     /// Accesses whose distance exceeded `cap`, plus compaction casualties.
     far: u64,
     /// First-ever touches.
     cold: u64,
     accesses: u64,
     /// Line → timestamp of most recent access.
-    last_seen: HashMap<LineAddr, usize>,
+    last_seen: HashMap<LineAddr, usize, LineHashBuilder>,
     /// Marks timestamps that are the latest access to some line.
     fenwick: Fenwick,
     now: usize,
@@ -105,11 +156,11 @@ impl MattsonMonitor {
         let window = (4 * cap).max(1 << 12);
         MattsonMonitor {
             cap,
-            hist: vec![0; cap + 1],
+            hist: CumHist::new(cap),
             far: 0,
             cold: 0,
             accesses: 0,
-            last_seen: HashMap::new(),
+            last_seen: HashMap::default(),
             fenwick: Fenwick::new(window),
             now: 0,
             window,
@@ -121,15 +172,16 @@ impl MattsonMonitor {
         self.cap as u64
     }
 
+    /// Accesses recorded so far whose stack distance was at most `lines` —
+    /// i.e. the hits an LRU cache of that many lines would have seen.
+    pub fn hits_within(&self, lines: u64) -> u64 {
+        self.hist.prefix((lines as usize).min(self.cap))
+    }
+
     /// Produces the miss curve evaluated on an arbitrary grid of line
     /// counts (values above `max_lines` clamp to the far+cold rate).
     pub fn curve_on_grid(&self, grid: &[u64]) -> MissCurve {
         let total = self.accesses.max(1) as f64;
-        // Cumulative hits by distance.
-        let mut cum = vec![0u64; self.cap + 1];
-        for d in 1..=self.cap {
-            cum[d] = cum[d - 1] + self.hist[d];
-        }
         let mut sizes = Vec::with_capacity(grid.len() + 1);
         let mut misses = Vec::with_capacity(grid.len() + 1);
         if grid.first().copied() != Some(0) {
@@ -137,11 +189,42 @@ impl MattsonMonitor {
             misses.push(1.0);
         }
         for &g in grid {
-            let hits = cum[(g as usize).min(self.cap)];
+            let hits = self.hits_within(g);
             sizes.push(g as f64);
             misses.push((self.accesses - hits) as f64 / total);
         }
         MissCurve::from_samples(&sizes, &misses).expect("grid is sorted and rates are finite")
+    }
+
+    /// One access, with the window-compaction check already done by the
+    /// caller ([`record`](Monitor::record) per access, or once per chunk on
+    /// the block path).
+    #[inline]
+    fn record_one(&mut self, line: LineAddr) {
+        self.accesses += 1;
+        match self.last_seen.get(&line).copied() {
+            Some(prev) => {
+                // Distinct lines touched in (prev, now): each has its latest
+                // access marked in the Fenwick tree after prev. The total
+                // mark count is just the live-line count (every mark sits
+                // below `now`), so only one prefix query is needed.
+                let upto_prev = self.fenwick.prefix(prev);
+                let upto_now = self.last_seen.len() as u64;
+                let distance = (upto_now - upto_prev) as usize + 1; // include the line itself
+                if distance <= self.cap {
+                    self.hist.add(distance);
+                } else {
+                    self.far += 1;
+                }
+                self.fenwick.add(prev, -1);
+            }
+            None => {
+                self.cold += 1;
+            }
+        }
+        self.fenwick.add(self.now, 1);
+        self.last_seen.insert(line, self.now);
+        self.now += 1;
     }
 
     /// Compacts the timestamp window: re-indexes the most recent `cap`
@@ -168,41 +251,30 @@ impl Monitor for MattsonMonitor {
         if self.now >= self.window {
             self.compact();
         }
-        self.accesses += 1;
-        match self.last_seen.get(&line).copied() {
-            Some(prev) => {
-                // Distinct lines touched in (prev, now): each has its latest
-                // access marked in the Fenwick tree after prev.
-                let upto_prev = self.fenwick.prefix(prev);
-                let upto_now = if self.now == 0 {
-                    0
-                } else {
-                    self.fenwick.prefix(self.now - 1)
-                };
-                let distance = (upto_now - upto_prev) as usize + 1; // include the line itself
-                if distance <= self.cap {
-                    self.hist[distance] += 1;
-                } else {
-                    self.far += 1;
-                }
-                self.fenwick.add(prev, -1);
+        self.record_one(line);
+    }
+
+    fn record_block(&mut self, lines: &[LineAddr]) {
+        // Each record advances `now` by exactly one, so the compaction
+        // check holds for a whole chunk of `window - now` accesses at a
+        // time instead of being re-tested per access.
+        let mut rest = lines;
+        while !rest.is_empty() {
+            if self.now >= self.window {
+                self.compact();
             }
-            None => {
-                self.cold += 1;
+            let take = (self.window - self.now).min(rest.len());
+            for &line in &rest[..take] {
+                self.record_one(line);
             }
+            rest = &rest[take..];
         }
-        self.fenwick.add(self.now, 1);
-        self.last_seen.insert(line, self.now);
-        self.now += 1;
     }
 
     fn curve(&self) -> MissCurve {
-        // Default grid: every power-of-two-ish step keeps curves compact
-        // without losing the knees; use 64 evenly spaced points plus 0.
-        let points = 64usize;
-        let step = (self.cap / points).max(1);
-        let grid: Vec<u64> = (1..=points).map(|i| (i * step) as u64).collect();
-        self.curve_on_grid(&grid)
+        // 64 evenly spaced points (clamped and deduplicated) plus 0 keep
+        // curves compact without losing the knees.
+        self.curve_on_grid(&default_grid(self.cap as u64))
     }
 
     fn sampled_accesses(&self) -> u64 {
@@ -210,7 +282,7 @@ impl Monitor for MattsonMonitor {
     }
 
     fn reset(&mut self) {
-        self.hist.fill(0);
+        self.hist.clear();
         self.far = 0;
         self.cold = 0;
         self.accesses = 0;
@@ -328,9 +400,51 @@ mod tests {
         let mut m = MattsonMonitor::new(8);
         m.record(LineAddr(1));
         m.record(LineAddr(1));
-        assert_eq!(m.hist[1], 1);
+        assert_eq!(m.hits_within(1), 1);
         let c = m.curve_on_grid(&[0, 1, 2]);
         assert!((c.value_at(1.0) - 0.5).abs() < 1e-9); // 1 cold miss, 1 hit
+    }
+
+    #[test]
+    fn small_cap_default_grid_reaches_cap_without_overshoot() {
+        // cap < 64 used to repeat the same few sizes and overshoot `cap`
+        // (step = max(cap/64, 1) walked to 64 regardless); the grid must
+        // stay within [1, cap] and end exactly at cap.
+        for cap in [1u64, 3, 7, 20, 63, 64, 65, 100] {
+            let mut m = MattsonMonitor::new(cap);
+            for &l in &scan_stream(4, 64) {
+                m.record(l);
+            }
+            let c = m.curve();
+            assert_eq!(c.min_size(), 0.0);
+            assert_eq!(c.max_size(), cap as f64, "grid must end at cap {cap}");
+        }
+        // And the grid itself is strictly increasing (deduplicated).
+        let g = crate::monitor::default_grid(20);
+        assert!(g.windows(2).all(|w| w[0] < w[1]), "duplicates in {g:?}");
+        assert_eq!(g.first(), Some(&1));
+        assert_eq!(g.last(), Some(&20));
+    }
+
+    #[test]
+    fn record_block_is_equivalent_to_per_access() {
+        // Small window forces compactions inside the block path too.
+        let stream = uniform_stream(200, 30_000, 5);
+        let mut one = MattsonMonitor::new(64);
+        let mut block = MattsonMonitor::new(64);
+        for &l in &stream {
+            one.record(l);
+        }
+        for chunk in stream.chunks(777) {
+            block.record_block(chunk);
+        }
+        assert_eq!(one.sampled_accesses(), block.sampled_accesses());
+        assert_eq!(one.far, block.far);
+        assert_eq!(one.cold, block.cold);
+        let grid: Vec<u64> = (0..=64).collect();
+        for &g in &grid {
+            assert_eq!(one.hits_within(g), block.hits_within(g), "at {g}");
+        }
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Miss-curve monitors.
 //!
 //! Talus is driven entirely by miss curves (paper §VI-C). This module
-//! provides three ways to obtain them:
+//! provides several ways to obtain them:
 //!
-//! - [`MattsonMonitor`]: exact LRU stack-distance profiling — the software
-//!   analogue of address-based sampling [11, 42], and the ground truth the
-//!   hardware monitors are tested against;
+//! - [`MattsonMonitor`]: exact LRU stack-distance profiling — the ground
+//!   truth the hardware monitors are tested against;
+//! - [`SampledMattson`]: SHARDS-style spatially-hash-sampled stack
+//!   distances — the software analogue of the paper's §VI-C address-based
+//!   sampling [11, 42], statistically matching the exact monitor at a
+//!   fraction of the record cost;
 //! - [`Umon`] / [`UmonPair`]: hardware-faithful utility monitors (Qureshi & Patt) —
 //!   a small sampled LRU tag array with per-way hit counters, plus the
 //!   paper's second, more sparsely sampled monitor that extends coverage
@@ -29,6 +32,7 @@
 
 mod adaptive;
 mod mattson;
+mod sampled;
 mod sampler;
 mod source;
 mod threepoint;
@@ -36,6 +40,7 @@ mod umon;
 
 pub use adaptive::AdaptiveCurveSampler;
 pub use mattson::MattsonMonitor;
+pub use sampled::SampledMattson;
 pub use sampler::CurveSampler;
 pub use source::MonitorSource;
 pub use threepoint::ThreePointMonitor;
@@ -44,11 +49,40 @@ pub use umon::{Umon, UmonPair};
 use crate::addr::LineAddr;
 use talus_core::MissCurve;
 
+/// The default 64-point evaluation grid for a monitor resolving capacities
+/// up to `cap` lines: evenly spaced, clamped to `cap`, and deduplicated —
+/// small caps would otherwise repeat the same few sizes and overshoot the
+/// tracked range.
+pub(crate) fn default_grid(cap: u64) -> Vec<u64> {
+    const POINTS: u64 = 64;
+    let mut grid: Vec<u64> = (1..=POINTS)
+        .map(|i| ((i as u128 * cap as u128 / POINTS as u128) as u64).clamp(1, cap))
+        .collect();
+    grid.dedup();
+    grid
+}
+
 /// A monitor that observes an access stream and produces a miss curve in
 /// **misses per access** over capacities in **lines**.
 pub trait Monitor {
     /// Observes one access.
     fn record(&mut self, line: LineAddr);
+
+    /// Observes a block of accesses at once.
+    ///
+    /// Semantically identical to calling [`record`](Monitor::record) per
+    /// line, in order — but monitors with per-access bookkeeping can
+    /// amortize it across the block ([`MattsonMonitor`] hoists its
+    /// compaction check, [`SampledMattson`] hash-filters the block before
+    /// touching any distance state). All batch-aware producers
+    /// ([`MonitorSource`], `TalusSingleCache::access_block`, the
+    /// experiment sweeps, `talus-serve`'s replay path) ingest through
+    /// this entry point.
+    fn record_block(&mut self, lines: &[LineAddr]) {
+        for &line in lines {
+            self.record(line);
+        }
+    }
 
     /// The miss curve estimated from everything recorded so far.
     ///
@@ -66,6 +100,10 @@ pub trait Monitor {
 impl Monitor for Box<dyn Monitor> {
     fn record(&mut self, line: LineAddr) {
         (**self).record(line)
+    }
+
+    fn record_block(&mut self, lines: &[LineAddr]) {
+        (**self).record_block(lines)
     }
 
     fn curve(&self) -> MissCurve {

@@ -1,0 +1,728 @@
+//! SHARDS-style spatially-hashed sampled stack-distance profiling.
+//!
+//! [`MattsonMonitor`](super::MattsonMonitor) is exact but pays a hash-map
+//! lookup plus two Fenwick prefix sums for *every* access — the slowest
+//! component in the workspace (`monitor_record/mattson_exact` in
+//! `results/bench_baseline.json`). The paper's §VI-C hardware monitors
+//! avoid exactly this cost by sampling the address stream; SHARDS
+//! (Waldspurger et al., FAST 2015) showed the same trade works in
+//! software: filter lines by a *spatial hash* (`hash(addr) < threshold`),
+//! run the Mattson pass only on the surviving ~`1/R` of the stream, and
+//! rescale the measured distances back up — by the *realized* inverse
+//! sampling rate, the SHARDS-adj-style correction. Because the filter is
+//! by address, a sampled line's reuses are all observed, and the number
+//! of *distinct sampled lines* between them is an unbiased `1/R`-scale
+//! estimate of the true stack distance.
+//!
+//! [`SampledMattson`] implements that design with flat, cache-friendly
+//! state instead of the exact monitor's per-access Fenwick prefix sums:
+//!
+//! - an open-addressing `last_seen` table (linear probing, power-of-two
+//!   sizing) from sampled line → timestamp;
+//! - a timestamp *occupancy bitmap* with per-block popcount summaries —
+//!   distance queries count the live bits between two timestamps,
+//!   skipping whole 512-timestamp blocks at a time;
+//! - a log-bucketed distance histogram: exact bins up to 256, then 32
+//!   bins per octave, so curve extraction touches a few hundred buckets
+//!   regardless of capacity.
+//!
+//! The resulting curves converge statistically on the exact monitor's
+//! (see the L∞ accuracy tests here and in `tests/properties.rs`) at a
+//! small fraction of the record cost — the software analogue of the
+//! paper's "address-based sampling reduces monitoring overheads" [11, 42].
+
+use super::{default_grid, Monitor};
+use crate::addr::LineAddr;
+use crate::hasher::mix64;
+use talus_core::MissCurve;
+
+/// Empty-slot sentinel in the open-addressing table.
+const EMPTY: u32 = u32::MAX;
+
+/// Flat open-addressing map from sampled line → most recent timestamp.
+///
+/// Linear probing over power-of-two slots; entries are only removed in
+/// bulk (compaction rebuilds the table), so no tombstones are needed. The
+/// table is sized to twice the compaction window, bounding the load
+/// factor at ~50%.
+#[derive(Debug, Clone)]
+struct LastSeen {
+    keys: Vec<u64>,
+    /// Timestamp per slot; `EMPTY` marks a free slot.
+    vals: Vec<u32>,
+    mask: usize,
+    seed: u64,
+}
+
+impl LastSeen {
+    fn new(slots: usize, seed: u64) -> Self {
+        let slots = slots.next_power_of_two();
+        LastSeen {
+            keys: vec![0; slots],
+            vals: vec![EMPTY; slots],
+            mask: slots - 1,
+            seed,
+        }
+    }
+
+    /// The slot holding `key`, or the free slot where it belongs.
+    #[inline]
+    fn probe(&self, key: u64) -> usize {
+        let mut i = (mix64(self.seed, key) as usize) & self.mask;
+        while self.vals[i] != EMPTY && self.keys[i] != key {
+            i = (i + 1) & self.mask;
+        }
+        i
+    }
+
+    /// Sets `key`'s timestamp, returning the previous one if present.
+    #[inline]
+    fn replace(&mut self, key: u64, ts: u32) -> Option<u32> {
+        let i = self.probe(key);
+        let prev = self.vals[i];
+        self.keys[i] = key;
+        self.vals[i] = ts;
+        (prev != EMPTY).then_some(prev)
+    }
+
+    fn clear(&mut self) {
+        self.vals.fill(EMPTY);
+    }
+
+    /// All live `(line, timestamp)` entries, in table order.
+    fn entries(&self) -> Vec<(u64, u32)> {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|&(_, &v)| v != EMPTY)
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+}
+
+/// Words per popcount block: 8 × 64 = 512 timestamps summarised per entry.
+const BLOCK_WORDS: usize = 8;
+
+/// Occupancy bitmap over timestamps ("this timestamp is the latest access
+/// to some live line") with per-block popcounts — the flat replacement for
+/// the exact monitor's Fenwick tree. Updates are O(1); counting the live
+/// marks between two timestamps scans at most `BLOCK_WORDS` words on each
+/// edge and skips full blocks via the summaries.
+#[derive(Debug, Clone)]
+struct Marks {
+    words: Vec<u64>,
+    blocks: Vec<u32>,
+}
+
+impl Marks {
+    fn new(timestamps: usize) -> Self {
+        let words = timestamps.div_ceil(64);
+        let blocks = words.div_ceil(BLOCK_WORDS);
+        Marks {
+            words: vec![0; words],
+            blocks: vec![0; blocks],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, t: usize) {
+        self.words[t >> 6] |= 1 << (t & 63);
+        self.blocks[t >> 6 >> 3] += 1;
+    }
+
+    #[inline]
+    fn unset(&mut self, t: usize) {
+        self.words[t >> 6] &= !(1 << (t & 63));
+        self.blocks[t >> 6 >> 3] -= 1;
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+        self.blocks.fill(0);
+    }
+
+    /// Live marks with timestamp in `[lo, hi]` (inclusive; `lo <= hi`).
+    #[inline]
+    fn count_range(&self, lo: usize, hi: usize) -> u64 {
+        let from = |b: usize| !0u64 << b; // bits >= b
+        let upto = |b: usize| !0u64 >> (63 - b); // bits <= b
+        let (wlo, whi) = (lo >> 6, hi >> 6);
+        if wlo == whi {
+            return (self.words[wlo] & from(lo & 63) & upto(hi & 63)).count_ones() as u64;
+        }
+        let mut total = (self.words[wlo] & from(lo & 63)).count_ones() as u64
+            + (self.words[whi] & upto(hi & 63)).count_ones() as u64;
+        let mut w = wlo + 1;
+        while w < whi {
+            if w % BLOCK_WORDS == 0 && w + BLOCK_WORDS <= whi {
+                total += self.blocks[w / BLOCK_WORDS] as u64;
+                w += BLOCK_WORDS;
+            } else {
+                total += self.words[w].count_ones() as u64;
+                w += 1;
+            }
+        }
+        total
+    }
+}
+
+/// Distances up to this value get an exact histogram bin each.
+const LINEAR: usize = 256;
+/// Bins per octave beyond the exact range (≤ ~3% relative bin width).
+const SUB: usize = 32;
+/// `log2(LINEAR)`: the first log-bucketed octave.
+const LINEAR_OCTAVE: usize = LINEAR.ilog2() as usize;
+
+/// Log-bucketed histogram over sampled stack distances: exact bins for
+/// `1..=LINEAR`, then `SUB` bins per octave. Curve extraction walks the
+/// few hundred buckets instead of one bin per tracked line.
+#[derive(Debug, Clone)]
+struct LogHist {
+    bins: Vec<u64>,
+    /// Largest distance stored (inclusive); beyond is the caller's "far".
+    scap: usize,
+}
+
+impl LogHist {
+    fn new(scap: usize) -> Self {
+        LogHist {
+            bins: vec![0; Self::bucket(scap.max(1)) + 1],
+            scap,
+        }
+    }
+
+    /// Bucket index for distance `d >= 1`.
+    #[inline]
+    fn bucket(d: usize) -> usize {
+        if d <= LINEAR {
+            d - 1
+        } else {
+            let octave = (usize::BITS - 1 - d.leading_zeros()) as usize;
+            let sub = (d - (1 << octave)) * SUB >> octave;
+            LINEAR + (octave - LINEAR_OCTAVE) * SUB + sub
+        }
+    }
+
+    /// Representative distance (bin midpoint) for bucket `i`.
+    fn representative(i: usize) -> u64 {
+        if i < LINEAR {
+            (i + 1) as u64
+        } else {
+            let octave = LINEAR_OCTAVE + (i - LINEAR) / SUB;
+            let sub = (i - LINEAR) % SUB;
+            let lo = (1u64 << octave) + ((sub as u64) << octave) / SUB as u64;
+            let hi = (1u64 << octave) + ((sub as u64 + 1) << octave) / SUB as u64;
+            lo + (hi - lo) / 2
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, d: usize) {
+        self.bins[Self::bucket(d)] += 1;
+    }
+
+    fn clear(&mut self) {
+        self.bins.fill(0);
+    }
+
+    /// `(scaled representative distance, cumulative count)` per bucket, in
+    /// ascending distance order; `scale` maps sampled distances back to
+    /// lines.
+    fn cumulative(&self, scale: f64) -> (Vec<f64>, Vec<u64>) {
+        let mut reps = Vec::with_capacity(self.bins.len());
+        let mut cums = Vec::with_capacity(self.bins.len());
+        let mut cum = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            cum += n;
+            reps.push(Self::representative(i).min(self.scap as u64) as f64 * scale);
+            cums.push(cum);
+        }
+        (reps, cums)
+    }
+}
+
+/// A sampled stack-distance monitor: a spatial hash filter in front of a
+/// flat Mattson pass, rescaled back to full-stream units.
+///
+/// Produces curves statistically matching [`MattsonMonitor`] at roughly
+/// `1/ratio` of the record cost (see `monitor_record/sampled_mattson` vs
+/// `monitor_record/mattson_exact` in the benches).
+///
+/// # Examples
+///
+/// ```
+/// use talus_sim::monitor::{Monitor, SampledMattson};
+/// use talus_sim::LineAddr;
+/// // A cyclic scan over 4096 lines, sampled 1-in-16: the cliff at 4096
+/// // survives sampling (give or take binomial noise on the cliff edge).
+/// let mut m = SampledMattson::new(8192, 16, 42);
+/// for i in 0..200_000u64 {
+///     m.record(LineAddr(i % 4096));
+/// }
+/// let curve = m.curve();
+/// assert!(curve.value_at(3000.0) > 0.9); // well below the scan: ~all miss
+/// assert!(curve.value_at(5000.0) < 0.1); // well above the scan: ~all hit
+/// ```
+///
+/// [`MattsonMonitor`]: super::MattsonMonitor
+#[derive(Debug, Clone)]
+pub struct SampledMattson {
+    /// Largest capacity (in lines) the monitor resolves.
+    cap: u64,
+    /// Sampling ratio `R`: roughly one in `R` lines is tracked.
+    ratio: u64,
+    /// Accept a line iff `mix64(seed, line) <= threshold`.
+    threshold: u64,
+    seed: u64,
+    /// Tracked capacity in sampled space: `ceil(cap / ratio)`.
+    scap: usize,
+    hist: LogHist,
+    /// Sampled accesses whose distance exceeded `scap`.
+    far: u64,
+    /// Sampled first-ever touches.
+    cold: u64,
+    /// Post-filter access count.
+    sampled: u64,
+    /// Pre-filter access count (what the full stream saw).
+    observed: u64,
+    table: LastSeen,
+    marks: Marks,
+    /// Live sampled lines (= marks set = live table entries).
+    live: u64,
+    now: usize,
+    window: usize,
+}
+
+impl SampledMattson {
+    /// Creates a monitor resolving capacities up to `max_lines`, sampling
+    /// roughly one in `ratio` lines with a hash seeded by `seed`.
+    ///
+    /// `ratio == 1` disables the filter (every line is tracked; distances
+    /// up to 256 are then exact and larger ones bucketed to ~3%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lines` or `ratio` is zero.
+    pub fn new(max_lines: u64, ratio: u64, seed: u64) -> Self {
+        assert!(max_lines > 0, "tracked capacity must be positive");
+        assert!(ratio > 0, "sampling ratio must be positive");
+        let scap = (max_lines.div_ceil(ratio) as usize).max(1);
+        let window = (4 * scap).max(1 << 12);
+        SampledMattson {
+            cap: max_lines,
+            ratio,
+            threshold: u64::MAX / ratio,
+            seed,
+            scap,
+            hist: LogHist::new(scap),
+            far: 0,
+            cold: 0,
+            sampled: 0,
+            observed: 0,
+            table: LastSeen::new(2 * window, seed ^ 0x5A4D),
+            marks: Marks::new(window),
+            live: 0,
+            now: 0,
+            window,
+        }
+    }
+
+    /// Largest capacity (in lines) this monitor resolves.
+    pub fn max_lines(&self) -> u64 {
+        self.cap
+    }
+
+    /// The sampling ratio `R` (one in `R` lines tracked).
+    pub fn ratio(&self) -> u64 {
+        self.ratio
+    }
+
+    /// Whether the spatial filter tracks this line. Deterministic per
+    /// address, as Assumption 3 requires (sampling by address, not time).
+    #[inline]
+    pub fn is_sampled(&self, line: LineAddr) -> bool {
+        mix64(self.seed, line.0) <= self.threshold
+    }
+
+    /// Accesses observed before the filter (the full stream length).
+    pub fn observed_accesses(&self) -> u64 {
+        self.observed
+    }
+
+    /// The distance scale mapping sampled-space distances back to lines:
+    /// the *measured* inverse sampling rate (`observed / sampled`), not
+    /// the nominal `ratio` — the SHARDS-adj-style correction. The filter
+    /// admits a binomially-noisy fraction of the working set; using the
+    /// realized rate cancels that noise, so e.g. a scan cliff lands at the
+    /// true footprint instead of `ratio × (sampled lines)`.
+    fn scale(&self) -> f64 {
+        if self.sampled == 0 {
+            self.ratio as f64
+        } else {
+            self.observed as f64 / self.sampled as f64
+        }
+    }
+
+    /// Produces the miss curve evaluated on an arbitrary grid of line
+    /// counts (values above `max_lines` clamp to the far+cold rate).
+    ///
+    /// Rates are estimated from the sampled sub-stream: hits at size `g`
+    /// are sampled accesses whose rescaled distance (sampled distance ×
+    /// realized inverse sampling rate) fits in `g` lines.
+    pub fn curve_on_grid(&self, grid: &[u64]) -> MissCurve {
+        let total = self.sampled.max(1) as f64;
+        let (reps, cums) = self.hist.cumulative(self.scale());
+        let mut sizes = Vec::with_capacity(grid.len() + 1);
+        let mut misses = Vec::with_capacity(grid.len() + 1);
+        if grid.first().copied() != Some(0) {
+            sizes.push(0.0);
+            misses.push(1.0);
+        }
+        for &g in grid {
+            let idx = reps.partition_point(|&r| r <= g as f64);
+            let hits = if idx == 0 { 0 } else { cums[idx - 1] };
+            sizes.push(g as f64);
+            misses.push((self.sampled - hits) as f64 / total);
+        }
+        MissCurve::from_samples(&sizes, &misses).expect("grid is sorted and rates are finite")
+    }
+
+    /// One access that already passed the spatial filter.
+    #[inline]
+    fn record_sampled(&mut self, line: LineAddr) {
+        if self.now >= self.window {
+            self.compact();
+        }
+        self.sampled += 1;
+        let now = self.now;
+        match self.table.replace(line.0, now as u32) {
+            Some(prev) => {
+                let prev = prev as usize;
+                // Distinct sampled lines in (prev, now), plus the line
+                // itself — the sampled-space stack distance. Every live
+                // mark sits below `now`, so the count on either side of
+                // `prev` determines the other; scan whichever is shorter
+                // (recent reuses scan a short suffix, scans a short
+                // prefix).
+                let between = if 2 * prev >= now {
+                    if prev + 1 < now {
+                        self.marks.count_range(prev + 1, now - 1)
+                    } else {
+                        0
+                    }
+                } else {
+                    self.live - self.marks.count_range(0, prev)
+                };
+                let distance = between as usize + 1;
+                if distance <= self.scap {
+                    self.hist.add(distance);
+                } else {
+                    self.far += 1;
+                }
+                self.marks.unset(prev);
+            }
+            None => {
+                self.cold += 1;
+                self.live += 1;
+            }
+        }
+        self.marks.set(now);
+        self.now += 1;
+    }
+
+    /// Compacts the timestamp window: re-indexes the most recent `scap`
+    /// sampled lines to timestamps `0..k` and drops the rest (their next
+    /// access would be beyond the tracked range anyway).
+    fn compact(&mut self) {
+        let mut entries = self.table.entries();
+        entries.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+        entries.truncate(self.scap);
+        entries.reverse(); // oldest kept entry first
+        self.table.clear();
+        self.marks.clear();
+        for (i, &(line, _)) in entries.iter().enumerate() {
+            self.table.replace(line, i as u32);
+            self.marks.set(i);
+        }
+        self.live = entries.len() as u64;
+        self.now = entries.len();
+    }
+}
+
+impl Monitor for SampledMattson {
+    fn record(&mut self, line: LineAddr) {
+        self.observed += 1;
+        if self.is_sampled(line) {
+            self.record_sampled(line);
+        }
+    }
+
+    fn record_block(&mut self, lines: &[LineAddr]) {
+        // Same filter-then-record loop as the scalar path (the big win —
+        // rejecting ~(R-1)/R of lines with one mix64 and a compare — is
+        // the filter itself, not the batching); the block path only lifts
+        // the observed-counter update out of the loop, which keeps the
+        // reject case free of stores entirely.
+        self.observed += lines.len() as u64;
+        for &line in lines {
+            if self.is_sampled(line) {
+                self.record_sampled(line);
+            }
+        }
+    }
+
+    fn curve(&self) -> MissCurve {
+        self.curve_on_grid(&default_grid(self.cap))
+    }
+
+    fn sampled_accesses(&self) -> u64 {
+        self.sampled
+    }
+
+    fn reset(&mut self) {
+        self.hist.clear();
+        self.far = 0;
+        self.cold = 0;
+        self.sampled = 0;
+        self.observed = 0;
+        // Keep table/marks: the monitor stays warm across intervals.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::test_support::{scan_stream, uniform_stream};
+    use crate::monitor::MattsonMonitor;
+
+    /// L∞ distance between two curves on a grid.
+    fn linf(a: &MissCurve, b: &MissCurve, grid: &[u64]) -> f64 {
+        grid.iter()
+            .map(|&g| (a.value_at(g as f64) - b.value_at(g as f64)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn log_hist_buckets_are_monotone_and_tight() {
+        // Every distance lands in a bucket whose representative is within
+        // ~3% (1/SUB of an octave), and bucket indices never decrease.
+        let mut prev = 0;
+        for d in 1..100_000usize {
+            let b = LogHist::bucket(d);
+            assert!(b >= prev, "bucket order violated at {d}");
+            prev = b;
+            let rep = LogHist::representative(b) as f64;
+            let err = (rep - d as f64).abs() / d as f64;
+            assert!(err <= 0.05, "bucket rep {rep} too far from {d}");
+        }
+    }
+
+    #[test]
+    fn marks_count_matches_naive_bitset() {
+        let mut m = Marks::new(4096);
+        let mut naive = vec![false; 4096];
+        let mut state = 9u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            let t = (state >> 33) as usize % 4096;
+            if naive[t] {
+                m.unset(t);
+                naive[t] = false;
+            } else {
+                m.set(t);
+                naive[t] = true;
+            }
+        }
+        for &(lo, hi) in &[
+            (0usize, 4095usize),
+            (5, 5),
+            (63, 64),
+            (100, 700),
+            (512, 1024),
+        ] {
+            let expect = naive[lo..=hi].iter().filter(|&&b| b).count() as u64;
+            assert_eq!(m.count_range(lo, hi), expect, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn ratio_one_matches_exact_mattson() {
+        // With the filter disabled and distances inside the exact-bin
+        // range, the flat pipeline must reproduce MattsonMonitor exactly.
+        let stream = uniform_stream(150, 30_000, 3);
+        let mut exact = MattsonMonitor::new(256);
+        let mut flat = SampledMattson::new(256, 1, 7);
+        for &l in &stream {
+            exact.record(l);
+            flat.record(l);
+        }
+        assert_eq!(flat.sampled_accesses(), exact.sampled_accesses());
+        let grid: Vec<u64> = (0..=256).collect();
+        assert!(
+            linf(
+                &exact.curve_on_grid(&grid),
+                &flat.curve_on_grid(&grid),
+                &grid
+            ) < 1e-12,
+            "exact-range curves must coincide"
+        );
+    }
+
+    #[test]
+    fn sampled_accesses_reports_post_filter_counts() {
+        let stream = uniform_stream(10_000, 40_000, 5);
+        let mut m = SampledMattson::new(4096, 16, 11);
+        let expected: u64 = stream.iter().filter(|&&l| m.is_sampled(l)).count() as u64;
+        for &l in &stream {
+            m.record(l);
+        }
+        assert_eq!(m.sampled_accesses(), expected, "post-filter count");
+        assert_eq!(m.observed_accesses(), stream.len() as u64);
+        // The filter passes roughly 1/16 of a large uniform stream.
+        let frac = expected as f64 / stream.len() as f64;
+        assert!((frac - 1.0 / 16.0).abs() < 0.02, "pass rate {frac}");
+    }
+
+    #[test]
+    fn scan_cliff_survives_sampling() {
+        // Cyclic scan over 4096 lines at 1/16 sampling: the sampled cliff
+        // sits at (sampled lines × 16), within a few percent of 4096. L∞
+        // is checked outside a ±15% guard band around the cliff — at a
+        // vertical cliff, L∞ is ill-conditioned in exactly the band whose
+        // width is the sampling noise (SHARDS has the same property).
+        let lines = 4096u64;
+        let mut exact = MattsonMonitor::new(2 * lines as usize as u64);
+        let mut sampled = SampledMattson::new(2 * lines, 16, 17);
+        for &l in &scan_stream(lines, 40 * lines as usize) {
+            exact.record(l);
+            sampled.record(l);
+        }
+        let guard = (lines as f64 * 0.15) as u64;
+        let grid: Vec<u64> = (0..=2 * lines)
+            .step_by(64)
+            .filter(|&g| g < lines - guard || g > lines + guard)
+            .collect();
+        let err = linf(
+            &exact.curve_on_grid(&grid),
+            &sampled.curve_on_grid(&grid),
+            &grid,
+        );
+        assert!(err < 0.05, "L∞ off the cliff band: {err}");
+        // And the cliff itself lands within the guard band: well below it
+        // everything misses, well above it everything hits.
+        let c = sampled.curve_on_grid(&(0..=2 * lines).step_by(64).collect::<Vec<_>>());
+        assert!(c.value_at((lines - guard) as f64) > 0.9);
+        assert!(c.value_at((lines + guard) as f64) < 0.1);
+    }
+
+    #[test]
+    fn uniform_stream_converges_to_exact() {
+        // Smooth curve: no cliff, so plain L∞ over the whole grid applies.
+        let stream = uniform_stream(4096, 120_000, 23);
+        let mut exact = MattsonMonitor::new(8192);
+        let mut sampled = SampledMattson::new(8192, 16, 29);
+        for chunk in stream.chunks(512) {
+            exact.record_block(chunk);
+            sampled.record_block(chunk);
+        }
+        let grid: Vec<u64> = (0..=8192).step_by(128).collect();
+        let err = linf(
+            &exact.curve_on_grid(&grid),
+            &sampled.curve_on_grid(&grid),
+            &grid,
+        );
+        assert!(err < 0.05, "L∞ on uniform stream: {err}");
+    }
+
+    #[test]
+    fn record_block_is_equivalent_to_per_access() {
+        let stream = uniform_stream(2000, 30_000, 13);
+        let mut one = SampledMattson::new(1024, 8, 3);
+        let mut block = SampledMattson::new(1024, 8, 3);
+        for &l in &stream {
+            one.record(l);
+        }
+        for chunk in stream.chunks(333) {
+            block.record_block(chunk);
+        }
+        assert_eq!(one.sampled_accesses(), block.sampled_accesses());
+        assert_eq!(one.observed_accesses(), block.observed_accesses());
+        let grid: Vec<u64> = (0..=1024).step_by(32).collect();
+        assert!(
+            linf(
+                &one.curve_on_grid(&grid),
+                &block.curve_on_grid(&grid),
+                &grid
+            ) < 1e-12,
+            "block and scalar paths must agree exactly"
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_sampled_distances() {
+        // The compaction trigger counts *sampled accesses*, so a long
+        // stream over a footprint well inside the tracked range still
+        // compacts repeatedly (15k sampled vs a 4096 window here) while
+        // every distance stays in the exact-bin range — where curves must
+        // match a monitor with no window pressure bit-for-bit (same seed →
+        // same sample set, same bins).
+        let stream = uniform_stream(800, 60_000, 19);
+        let mut small = SampledMattson::new(2048, 4, 5); // scap 512 → window 4096
+        let mut big = SampledMattson::new(65536, 4, 5); // effectively no pressure
+        for &l in &stream {
+            small.record(l);
+            big.record(l);
+        }
+        assert_eq!(small.cold, big.cold, "compaction dropped live lines");
+        let grid: Vec<u64> = (0..=2048).step_by(64).collect();
+        assert!(
+            linf(
+                &small.curve_on_grid(&grid),
+                &big.curve_on_grid(&grid),
+                &grid
+            ) < 1e-12,
+            "compaction changed tracked distances"
+        );
+    }
+
+    #[test]
+    fn reset_clears_statistics_but_stays_warm() {
+        let mut m = SampledMattson::new(512, 2, 1);
+        for &l in &scan_stream(64, 4096) {
+            m.record(l);
+        }
+        m.reset();
+        assert_eq!(m.sampled_accesses(), 0);
+        assert_eq!(m.observed_accesses(), 0);
+        // Second pass over the same lines: all warm (no cold misses), so
+        // the curve hits once capacity covers the loop.
+        for &l in &scan_stream(64, 640) {
+            m.record(l);
+        }
+        assert_eq!(m.cold, 0, "tags stayed warm across reset");
+        let c = m.curve_on_grid(&[0, 32, 64, 128]);
+        assert!(c.value_at(128.0) < 0.01);
+    }
+
+    #[test]
+    fn curve_includes_origin() {
+        let mut m = SampledMattson::new(64, 1, 2);
+        m.record(LineAddr(1));
+        let c = m.curve();
+        assert_eq!(c.min_size(), 0.0);
+        assert_eq!(c.value_at(0.0), 1.0);
+        assert_eq!(c.max_size(), 64.0, "default grid ends at cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling ratio")]
+    fn zero_ratio_rejected() {
+        SampledMattson::new(64, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        SampledMattson::new(0, 4, 1);
+    }
+}

@@ -327,18 +327,47 @@ impl<C: PartitionedCacheModel, M: Monitor> TalusSingleCache<C, M> {
         let r = self.talus.access(PartitionId(0), line, ctx);
         self.since_reconfigure += 1;
         if self.since_reconfigure >= self.interval {
-            self.since_reconfigure = 0;
-            let curve = self.monitor.curve();
-            let capacity = self.talus.capacity_lines();
-            // Planning failures (e.g. an empty monitor) leave the previous
-            // configuration in force — matching hardware, where a bad
-            // reconfiguration simply isn't written.
-            if self.talus.reconfigure(&[capacity], &[curve]).is_ok() {
-                self.reconfigurations += 1;
-            }
-            self.monitor.reset();
+            self.reconfigure_now();
         }
         r
+    }
+
+    /// Performs a block of accesses: the monitor ingests whole chunks via
+    /// [`Monitor::record_block`], chunks are split at reconfiguration
+    /// boundaries, and the cache is then accessed line by line.
+    ///
+    /// Equivalent to calling [`access`](TalusSingleCache::access) per line:
+    /// the monitor and the cache only interact at interval boundaries, and
+    /// chunks never straddle one.
+    pub fn access_block(&mut self, lines: &[LineAddr], ctx: &AccessCtx) {
+        let mut rest = lines;
+        while !rest.is_empty() {
+            let take = ((self.interval - self.since_reconfigure) as usize).min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            self.monitor.record_block(chunk);
+            for &line in chunk {
+                self.talus.access(PartitionId(0), line, ctx);
+            }
+            self.since_reconfigure += take as u64;
+            if self.since_reconfigure >= self.interval {
+                self.reconfigure_now();
+            }
+            rest = tail;
+        }
+    }
+
+    /// Interval boundary: re-plan from the monitor's curve and reset it.
+    fn reconfigure_now(&mut self) {
+        self.since_reconfigure = 0;
+        let curve = self.monitor.curve();
+        let capacity = self.talus.capacity_lines();
+        // Planning failures (e.g. an empty monitor) leave the previous
+        // configuration in force — matching hardware, where a bad
+        // reconfiguration simply isn't written.
+        if self.talus.reconfigure(&[capacity], &[curve]).is_ok() {
+            self.reconfigurations += 1;
+        }
+        self.monitor.reset();
     }
 
     /// Statistics for the (single) logical partition.
@@ -365,7 +394,7 @@ impl<C: PartitionedCacheModel, M: Monitor> TalusSingleCache<C, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::monitor::MattsonMonitor;
+    use crate::monitor::{MattsonMonitor, SampledMattson};
     use crate::part::IdealPartitioned;
     use crate::policy::AccessCtx;
 
@@ -525,6 +554,53 @@ mod tests {
             mt < ml * 0.75,
             "Talus ({mt:.3}) should significantly beat LRU ({ml:.3})"
         );
+    }
+
+    #[test]
+    fn access_block_is_equivalent_to_per_access() {
+        // Same stream, same seeds: the per-access and block paths must
+        // reconfigure at the same boundaries and produce identical stats.
+        let stream = fig3_stream(300_000, 7);
+        let build = || {
+            TalusSingleCache::new(
+                IdealPartitioned::new(2048, 2),
+                MattsonMonitor::new(8192),
+                50_000,
+                TalusCacheConfig::new(),
+            )
+        };
+        let mut per_access = build();
+        let mut block = build();
+        for &l in &stream {
+            per_access.access(l, &ctx());
+        }
+        for chunk in stream.chunks(4096) {
+            block.access_block(chunk, &ctx());
+        }
+        assert_eq!(per_access.reconfigurations(), block.reconfigurations());
+        assert_eq!(per_access.stats().accesses(), block.stats().accesses());
+        assert_eq!(per_access.stats().misses(), block.stats().misses());
+    }
+
+    #[test]
+    fn talus_single_works_with_sampled_monitor() {
+        // The fast monitor drives the same reconfiguration loop: Talus
+        // still bridges a 3072-line scan cliff on a 2048-line cache.
+        let lines = 3072u64;
+        let cache = IdealPartitioned::new(2048, 2);
+        let monitor = SampledMattson::new(8192, 8, 21);
+        let mut t = TalusSingleCache::new(cache, monitor, 50_000, TalusCacheConfig::new());
+        let stream: Vec<LineAddr> = (0..1_200_000u64).map(|i| LineAddr(i % lines)).collect();
+        for chunk in stream.chunks(2048) {
+            t.access_block(chunk, &ctx());
+        }
+        assert!(t.reconfigurations() > 0);
+        t.reset_stats();
+        for chunk in stream.chunks(2048) {
+            t.access_block(chunk, &ctx());
+        }
+        let hit = t.stats().hit_rate();
+        assert!(hit > 0.5, "Talus-on-sampled hit rate {hit}, expected ≈ 2/3");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! arbitrary access streams, not just the unit tests' hand-picked ones.
 
 use proptest::prelude::*;
-use talus_sim::monitor::{MattsonMonitor, Monitor};
+use talus_sim::monitor::{MattsonMonitor, Monitor, SampledMattson};
 use talus_sim::part::{FutilityScaled, PartitionedCacheModel, VantageLike};
 use talus_sim::policy::PolicyKind;
 use talus_sim::{
@@ -171,5 +171,90 @@ proptest! {
         prop_assert_eq!(futility.partition_stats(PartitionId(0)).hits(), 0);
         prop_assert_eq!(vantage.occupancy(PartitionId(0)), 0);
         prop_assert_eq!(futility.occupancy(PartitionId(0)), 0);
+    }
+}
+
+// Sampled-vs-exact convergence drives two full monitors over long streams
+// per case, so these properties get a smaller case budget than the cheap
+// contracts above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// SHARDS-style sampling converges to the exact stack-distance curve
+    /// on uniform streams: after a warm-up (so cold compulsory misses
+    /// don't dominate), the 1/16-sampled and exact curves stay within
+    /// L∞ < 0.05 across the whole grid. Uniform curves are smooth, so
+    /// plain L∞ applies — cliff streams are tested below with a guard
+    /// band around the cliff, where L∞ at a vertical edge is
+    /// ill-conditioned by the sampling noise itself.
+    #[test]
+    fn sampled_mattson_converges_on_uniform_streams(
+        lines in 3000u64..6000,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            LineAddr((state >> 33) % lines)
+        };
+        let mut exact = MattsonMonitor::new(2 * lines);
+        let mut sampled = SampledMattson::new(2 * lines, 16, seed ^ 0xABCD);
+        let warm: Vec<LineAddr> = (0..4 * lines).map(|_| next()).collect();
+        exact.record_block(&warm);
+        sampled.record_block(&warm);
+        exact.reset();
+        sampled.reset();
+        let len = (12 * lines) as usize;
+        let block: Vec<LineAddr> = (0..len).map(|_| next()).collect();
+        exact.record_block(&block);
+        sampled.record_block(&block);
+        // Post-filter accounting: a 1/16 spatial filter passes a small
+        // fraction of the stream, and the observed count is the full one.
+        prop_assert_eq!(sampled.observed_accesses(), len as u64);
+        prop_assert!(sampled.sampled_accesses() < len as u64 / 8);
+        prop_assert!(sampled.sampled_accesses() > 0);
+        let grid: Vec<u64> = (0..=32).map(|i| i * 2 * lines / 32).collect();
+        let ec = exact.curve_on_grid(&grid);
+        let sc = sampled.curve_on_grid(&grid);
+        for &g in &grid {
+            let err = (ec.value_at(g as f64) - sc.value_at(g as f64)).abs();
+            prop_assert!(err < 0.05, "L∞ {err} at size {g} ({lines} lines)");
+        }
+    }
+
+    /// On scan (cliff) streams the sampled cliff lands within a few
+    /// percent of the true one: after a warm-up pass, curves match off a
+    /// ±20% guard band, and the transition completes inside it.
+    #[test]
+    fn sampled_mattson_locates_cliffs_on_scan_streams(
+        lines in 4096u64..8192,
+        seed in any::<u64>(),
+    ) {
+        let mut exact = MattsonMonitor::new(2 * lines);
+        let mut sampled = SampledMattson::new(2 * lines, 16, seed);
+        let warm: Vec<LineAddr> = (0..lines).map(LineAddr).collect();
+        exact.record_block(&warm);
+        sampled.record_block(&warm);
+        exact.reset();
+        sampled.reset();
+        let block: Vec<LineAddr> = (0..5 * lines).map(|i| LineAddr(i % lines)).collect();
+        exact.record_block(&block);
+        sampled.record_block(&block);
+        let guard = lines / 5;
+        let grid: Vec<u64> = (0..=32)
+            .map(|i| i * 2 * lines / 32)
+            .filter(|&g| g < lines - guard || g > lines + guard)
+            .collect();
+        let ec = exact.curve_on_grid(&grid);
+        let sc = sampled.curve_on_grid(&grid);
+        for &g in &grid {
+            let err = (ec.value_at(g as f64) - sc.value_at(g as f64)).abs();
+            prop_assert!(err < 0.05, "L∞ {err} at size {g} off the cliff band ({lines} lines)");
+        }
+        let full = sampled.curve_on_grid(&[lines - guard, lines + guard]);
+        prop_assert!(full.value_at((lines - guard) as f64) > 0.9, "below the cliff");
+        prop_assert!(full.value_at((lines + guard) as f64) < 0.1, "above the cliff");
     }
 }

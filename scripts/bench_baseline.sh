@@ -4,15 +4,20 @@
 # The vendored criterion shim prints one `<name>  time: <value> <unit>`
 # line per benchmark; this script normalises every entry to nanoseconds
 # and emits a sorted, diff-stable JSON map. Perf PRs rerun it (on the
-# same machine class!) and diff the committed baseline to claim measured
-# wins.
+# same machine class!) and diff the committed baseline with
+# scripts/bench_compare.sh to claim measured wins.
 #
-# Usage: scripts/bench_baseline.sh [output.json]
+# Usage: scripts/bench_baseline.sh [output.json] [filter]
+#
+# A filter substring restricts the run to matching bench names (the
+# shim's criterion-style filtering), e.g. a fast hot-path-only subset:
+#   scripts/bench_baseline.sh /tmp/hot.json monitor_
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-results/bench_baseline.json}"
+filter="${2:-}"
 
-cargo bench -p talus-bench |
+cargo bench -p talus-bench -- "$filter" |
     awk '
         /time:/ {
             name = $1

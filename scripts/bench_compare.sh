@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Diff two bench baselines (as written by scripts/bench_baseline.sh) and
+# flag hot-path regressions beyond 10%.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json [--threshold PCT] [--warn-only]
+#
+# Typical perf-PR flow:
+#   scripts/bench_baseline.sh /tmp/new.json
+#   scripts/bench_compare.sh results/bench_baseline.json /tmp/new.json
+#
+# CI runs the same comparison --warn-only (shared-runner timings are too
+# noisy to gate on); regenerate the committed baseline on a quiet dev
+# machine before claiming measured wins.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -q --release -p talus-bench --bin bench_compare -- "$@"

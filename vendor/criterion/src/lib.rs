@@ -11,7 +11,10 @@
 //!
 //! No HTML reports, no outlier analysis, no baseline comparison; benches
 //! remain runnable (`cargo bench`) and their numbers remain comparable
-//! run-to-run on the same machine.
+//! run-to-run on the same machine. Real criterion's substring filtering
+//! is supported (`cargo bench -- monitor_` runs only matching benches),
+//! which is how `scripts/bench_baseline.sh` produces fast hot-path-only
+//! subsets for `scripts/bench_compare.sh`.
 //!
 //! [`criterion`]: https://docs.rs/criterion/0.5
 
@@ -141,6 +144,9 @@ pub struct Criterion {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
+    /// Substring filter on full bench names; non-matching benches are
+    /// skipped entirely.
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
@@ -149,11 +155,36 @@ impl Default for Criterion {
             sample_size: 20,
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_millis(800),
+            filter: None,
         }
     }
 }
 
 impl Criterion {
+    /// Applies command-line configuration, as real criterion does after
+    /// building the user's configuration: the first non-flag argument is a
+    /// substring filter on full bench names (`cargo bench -- monitor_`
+    /// runs only the monitor benches). Called by [`criterion_group!`];
+    /// flags such as cargo's `--bench` are ignored, and a filter already
+    /// set via [`with_filter`](Criterion::with_filter) is kept when the
+    /// command line provides none.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .or(self.filter.take());
+        self
+    }
+
+    /// Replaces the bench-name substring filter directly.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
     /// Sets the number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n >= 2, "sample size must be at least 2");
@@ -189,6 +220,9 @@ impl Criterion {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
+        if !self.matches(&id.to_string()) {
+            return self;
+        }
         let mut b = self.bencher();
         f(&mut b);
         report(&id.to_string(), b.result_ns, None);
@@ -246,14 +280,13 @@ impl BenchmarkGroup<'_> {
         id: impl Into<BenchmarkId>,
         mut f: F,
     ) -> &mut Self {
-        let id = id.into();
+        let name = format!("{}/{}", self.name, id.into());
+        if !self.criterion.matches(&name) {
+            return self;
+        }
         let mut b = self.bencher();
         f(&mut b);
-        report(
-            &format!("{}/{}", self.name, id),
-            b.result_ns,
-            self.throughput,
-        );
+        report(&name, b.result_ns, self.throughput);
         self
     }
 
@@ -264,13 +297,13 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&name) {
+            return self;
+        }
         let mut b = self.bencher();
         f(&mut b, input);
-        report(
-            &format!("{}/{}", self.name, id),
-            b.result_ns,
-            self.throughput,
-        );
+        report(&name, b.result_ns, self.throughput);
         self
     }
 
@@ -286,6 +319,7 @@ macro_rules! criterion_group {
         #[doc = "Benchmark group entry point generated by `criterion_group!`."]
         pub fn $name() {
             let mut criterion: $crate::Criterion = $cfg;
+            criterion = criterion.configure_from_args();
             $( $target(&mut criterion); )*
         }
     };
@@ -339,6 +373,31 @@ mod tests {
             b.iter(|| black_box(x * x))
         });
         g.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(4))
+            .with_filter("keep");
+        let mut ran = Vec::new();
+        c.bench_function("keep_me", |b| {
+            b.iter(|| black_box(1));
+            ran.push("keep_me");
+        });
+        c.bench_function("skip_me", |_| ran.push("skip_me"));
+        let mut g = c.benchmark_group("group_keep");
+        g.bench_function("inner", |b| {
+            b.iter(|| black_box(1));
+            ran.push("group_keep/inner");
+        });
+        g.finish();
+        let mut g = c.benchmark_group("other");
+        g.bench_function("inner", |_| ran.push("other/inner"));
+        g.finish();
+        assert_eq!(ran, vec!["keep_me", "group_keep/inner"]);
     }
 
     #[test]
