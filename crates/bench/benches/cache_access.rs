@@ -16,19 +16,44 @@ use talus_sim::{
 const CACHE_LINES: u64 = 16384;
 const STREAM: usize = 20_000;
 
+const BENCH_POLICIES: [PolicyKind; 7] = [
+    PolicyKind::Lru,
+    PolicyKind::Srrip,
+    PolicyKind::Drrip,
+    PolicyKind::Dip,
+    PolicyKind::Pdp,
+    PolicyKind::Ship,
+    PolicyKind::Random,
+];
+
 fn bench_policies(c: &mut Criterion) {
     let stream = synthetic_stream(STREAM, 8192, 32768, 7);
+    // The simulator's hot loop as the rest of the workspace now runs it:
+    // enum-dispatched (`AnyPolicy`) policies, one access at a time.
     let mut g = c.benchmark_group("set_assoc_access");
     g.throughput(Throughput::Elements(STREAM as u64));
-    for kind in [
-        PolicyKind::Lru,
-        PolicyKind::Srrip,
-        PolicyKind::Drrip,
-        PolicyKind::Dip,
-        PolicyKind::Pdp,
-        PolicyKind::Ship,
-        PolicyKind::Random,
-    ] {
+    for kind in BENCH_POLICIES {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                let mut cache = SetAssocCache::new(CACHE_LINES, 16, kind.build_any(1), 2);
+                let ctx = AccessCtx::new();
+                b.iter(|| {
+                    for &l in &stream {
+                        black_box(cache.access(LineAddr(l), &ctx));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // The old construction — `Box<dyn ReplacementPolicy>` virtual dispatch
+    // — kept as the reference the enum-dispatch win is measured against.
+    let mut g = c.benchmark_group("set_assoc_access_boxed");
+    g.throughput(Throughput::Elements(STREAM as u64));
+    for kind in [PolicyKind::Lru, PolicyKind::Srrip] {
         g.bench_with_input(
             BenchmarkId::from_parameter(kind.label()),
             &kind,
@@ -38,6 +63,27 @@ fn bench_policies(c: &mut Criterion) {
                 b.iter(|| {
                     for &l in &stream {
                         black_box(cache.access(LineAddr(l), &ctx));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // Block-at-a-time ingest through `CacheModel::access_block`.
+    let lines: Vec<LineAddr> = stream.iter().map(|&l| LineAddr(l)).collect();
+    let mut g = c.benchmark_group("set_assoc_access_block");
+    g.throughput(Throughput::Elements(STREAM as u64));
+    for kind in BENCH_POLICIES {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                let mut cache = SetAssocCache::new(CACHE_LINES, 16, kind.build_any(1), 2);
+                let ctx = AccessCtx::new();
+                b.iter(|| {
+                    for chunk in lines.chunks(256) {
+                        cache.access_block(black_box(chunk), &ctx);
                     }
                 })
             },
@@ -87,6 +133,29 @@ fn bench_organisations(c: &mut Criterion) {
         b.iter(|| {
             for &l in &stream {
                 black_box(cache.access(PartitionId((l & 1) as u32), LineAddr(l), &ctx));
+            }
+        })
+    });
+
+    // The partitioned block seam: same streams, ingested as per-partition
+    // runs through `PartitionedCacheModel::access_block`.
+    g.bench_function("vantage_like_block", |b| {
+        let mut cache = VantageLike::new(CACHE_LINES, 16, 2, 3);
+        cache.set_partition_sizes(&[CACHE_LINES / 2, CACHE_LINES / 2]);
+        let per_part: Vec<Vec<LineAddr>> = (0..2u64)
+            .map(|p| {
+                stream
+                    .iter()
+                    .filter(|&&l| l & 1 == p)
+                    .map(|&l| LineAddr(l))
+                    .collect()
+            })
+            .collect();
+        b.iter(|| {
+            for (p, lines) in per_part.iter().enumerate() {
+                for chunk in lines.chunks(256) {
+                    cache.access_block(PartitionId(p as u32), black_box(chunk), &ctx);
+                }
             }
         })
     });

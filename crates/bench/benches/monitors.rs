@@ -76,9 +76,36 @@ fn bench_record(c: &mut Criterion) {
         })
     });
 
+    // The §VI-C bank, as the sweeps now run it: one mix64 hash per access
+    // compared against nested per-point thresholds, enum-dispatched SRRIP.
     g.bench_function("curve_sampler_srrip_16pt", |b| {
         let sizes: Vec<u64> = (1..=16).map(|i| i * 4096).collect();
         let mut m = CurveSampler::new(PolicyKind::Srrip, &sizes, 1024, 16, 5);
+        b.iter(|| {
+            for &l in &stream {
+                m.record(black_box(LineAddr(l)));
+            }
+        })
+    });
+
+    g.bench_function("curve_sampler_srrip_16pt_block", |b| {
+        let sizes: Vec<u64> = (1..=16).map(|i| i * 4096).collect();
+        let mut m = CurveSampler::new(PolicyKind::Srrip, &sizes, 1024, 16, 5);
+        b.iter(|| m.record_block(black_box(&lines)))
+    });
+
+    // The `Custom` escape hatch (boxed dispatch inside the same
+    // single-hash bank): what user-defined policies pay.
+    g.bench_function("curve_sampler_srrip_16pt_custom", |b| {
+        use talus_sim::policy::{ReplacementPolicy, Srrip};
+        let sizes: Vec<u64> = (1..=16).map(|i| i * 4096).collect();
+        let mut m = CurveSampler::with_policy(
+            |_s| Box::new(Srrip::new()) as Box<dyn ReplacementPolicy>,
+            &sizes,
+            1024,
+            16,
+            5,
+        );
         b.iter(|| {
             for &l in &stream {
                 m.record(black_box(LineAddr(l)));

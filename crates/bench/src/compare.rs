@@ -26,6 +26,8 @@ pub const HOT_PREFIXES: &[&str] = &[
     "monitor_record/",
     "monitor_curve/",
     "set_assoc_access/",
+    "set_assoc_access_block/",
+    "organisation_access/",
 ];
 
 /// Relative change flagged as a regression by default (10%).

@@ -226,7 +226,7 @@ fn monitor_design(scale: &Scale) {
 fn adaptive_monitor(scale: &Scale) {
     use talus_sim::monitor::{AdaptiveCurveSampler, CurveSampler};
     use talus_sim::part::WayPartitioned;
-    use talus_sim::policy::{PolicyKind, ReplacementPolicy, Srrip};
+    use talus_sim::policy::{PolicyKind, Srrip};
 
     println!("== Ablation: adaptive monitor bank (libquantum @ 16 MB, Talus+W/SRRIP) ==");
     let app = profile("libquantum").expect("roster has libquantum");
@@ -266,14 +266,8 @@ fn adaptive_monitor(scale: &Scale) {
             cost,
         ));
     }
-    let adaptive = AdaptiveCurveSampler::new(
-        |_s| Box::new(Srrip::new()) as Box<dyn ReplacementPolicy>,
-        8,
-        span,
-        1024.min(lines),
-        16,
-        5,
-    );
+    let adaptive =
+        AdaptiveCurveSampler::from_kind(PolicyKind::Srrip, 8, span, 1024.min(lines), 16, 5);
     let cost = adaptive.monitor_lines_total();
     rows.push(measure("adaptive 8-monitor bank", Box::new(adaptive), cost));
     write_csv(

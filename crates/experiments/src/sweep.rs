@@ -66,7 +66,9 @@ pub fn lru_curve(
 }
 
 /// Miss curve of an arbitrary policy, simulating one 16-way cache per grid
-/// size.
+/// size. The cache runs the statically dispatched `AnyPolicy` form of
+/// `kind` and ingests the stream block-at-a-time (`access_block`), both
+/// bit-for-bit identical to the boxed per-access loop.
 pub fn policy_curve(
     profile: &AppProfile,
     kind: PolicyKind,
@@ -74,21 +76,29 @@ pub fn policy_curve(
     scale: &Scale,
     seed: u64,
 ) -> Vec<CurvePointMb> {
+    const BLOCK: usize = 1024;
     let scaled = profile.scaled(scale.footprint);
     let ctx = AccessCtx::new();
+    let mut buf = Vec::with_capacity(BLOCK);
     grid_paper_mb
         .iter()
         .map(|&mb| {
             let lines = round_to(scale.mb_to_lines(mb), 16);
-            let mut cache = SetAssocCache::new(lines, 16, kind.build(seed), seed ^ 0xACCE55);
+            let mut cache = SetAssocCache::new(lines, 16, kind.build_any(seed), seed ^ 0xACCE55);
             let mut gen = scaled.generator(seed, 0);
-            for _ in 0..scale.warmup {
-                cache.access(gen.next_line(), &ctx);
-            }
+            let mut drive = |cache: &mut SetAssocCache<_>, accesses: u64| {
+                let mut left = accesses;
+                while left > 0 {
+                    let n = left.min(BLOCK as u64) as usize;
+                    buf.clear();
+                    buf.extend((0..n).map(|_| gen.next_line()));
+                    cache.access_block(&buf, &ctx);
+                    left -= n as u64;
+                }
+            };
+            drive(&mut cache, scale.warmup);
             cache.reset_stats();
-            for _ in 0..scale.accesses {
-                cache.access(gen.next_line(), &ctx);
-            }
+            drive(&mut cache, scale.accesses);
             (mb, profile.mpki(cache.stats().miss_rate()))
         })
         .collect()

@@ -2,7 +2,7 @@
 //! fully-associative LRU used for idealised partitions.
 
 use crate::addr::LineAddr;
-use crate::hasher::H3Hasher;
+use crate::hasher::{H3Hasher, LineHashBuilder};
 use crate::policy::{AccessCtx, ReplacementPolicy};
 use crate::stats::{AccessResult, CacheStats};
 use std::collections::HashMap;
@@ -10,11 +10,65 @@ use std::collections::HashMap;
 /// Tag value marking an empty way.
 const INVALID_TAG: u64 = u64::MAX;
 
+/// Single-pass probe of one set: on a tag match the policy sees a hit;
+/// otherwise the first invalid way (or, with the set full, a
+/// policy-chosen victim among `all_ways`) receives the tag. One loop
+/// finds both the tag and the first invalid way — the hot-loop body
+/// shared by [`SetAssocCache`] and
+/// [`SetPartitioned`](crate::part::SetPartitioned) so it exists exactly
+/// once.
+#[inline]
+pub(crate) fn probe_set<P: ReplacementPolicy>(
+    tags: &mut [u64],
+    policy: &mut P,
+    set: usize,
+    ways: usize,
+    tag: u64,
+    all_ways: &[usize],
+    ctx: &AccessCtx,
+) -> AccessResult {
+    debug_assert_ne!(
+        tag, INVALID_TAG,
+        "line address collides with the invalid tag"
+    );
+    let base = set * ways;
+    let mut invalid = None;
+    for (w, &t) in tags[base..base + ways].iter().enumerate() {
+        if t == tag {
+            policy.on_hit(set, w, ctx);
+            return AccessResult::Hit;
+        }
+        if t == INVALID_TAG && invalid.is_none() {
+            invalid = Some(w);
+        }
+    }
+    let way = match invalid {
+        Some(w) => w,
+        None => policy.choose_victim(set, all_ways),
+    };
+    tags[base + way] = tag;
+    policy.on_insert(set, way, ctx);
+    AccessResult::Miss
+}
+
 /// Anything that behaves like a single cache: look up a line, insert on
 /// miss, count hits and misses.
 pub trait CacheModel {
     /// Performs one access, inserting the line on a miss.
     fn access(&mut self, line: LineAddr, ctx: &AccessCtx) -> AccessResult;
+
+    /// Performs a block of accesses, inserting each line on a miss.
+    ///
+    /// Semantically identical to calling [`access`](Self::access) per
+    /// line, in order — bit-for-bit, property-tested. Implementations
+    /// with per-access setup (context plumbing, bounds checks) hoist it
+    /// out of the per-line loop; this is the L2-array end of the batched
+    /// seam that `Monitor::record_block` opened one layer up.
+    fn access_block(&mut self, lines: &[LineAddr], ctx: &AccessCtx) {
+        for &line in lines {
+            self.access(line, ctx);
+        }
+    }
 
     /// Hit/miss counters since the last reset.
     fn stats(&self) -> &CacheStats;
@@ -52,6 +106,9 @@ pub struct SetAssocCache<P> {
     policy: P,
     hasher: H3Hasher,
     stats: CacheStats,
+    /// `[0, 1, …, ways-1]`, precomputed so a full-set eviction does not
+    /// allocate a candidate vector on every miss.
+    all_ways: Vec<usize>,
 }
 
 impl<P: ReplacementPolicy> SetAssocCache<P> {
@@ -89,6 +146,7 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
             policy,
             hasher: H3Hasher::new(32, seed),
             stats: CacheStats::new(),
+            all_ways: (0..ways).collect(),
         }
     }
 
@@ -108,6 +166,7 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
     }
 
     /// Set index for a line (H3-hashed).
+    #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
         if self.sets == 1 {
             0
@@ -116,43 +175,42 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
         }
     }
 
-    fn find(&self, set: usize, tag: u64) -> Option<usize> {
-        let base = set * self.ways;
-        (0..self.ways).find(|&w| self.tags[base + w] == tag)
-    }
-
-    fn find_invalid(&self, set: usize) -> Option<usize> {
-        let base = set * self.ways;
-        (0..self.ways).find(|&w| self.tags[base + w] == INVALID_TAG)
+    /// The access path without the stats update, shared by
+    /// [`access`](CacheModel::access) and the block loop (the probe is
+    /// one pass over the set — the old two-pass `find`/`find_invalid`
+    /// split walked the ways twice on every miss).
+    #[inline]
+    fn access_inner(&mut self, line: LineAddr, ctx: &AccessCtx) -> AccessResult {
+        let set = self.set_of(line);
+        let ctx = &ctx.with_line(line); // signature-based policies need the address
+        probe_set(
+            &mut self.tags,
+            &mut self.policy,
+            set,
+            self.ways,
+            line.value(),
+            &self.all_ways,
+            ctx,
+        )
     }
 }
 
 impl<P: ReplacementPolicy> CacheModel for SetAssocCache<P> {
     fn access(&mut self, line: LineAddr, ctx: &AccessCtx) -> AccessResult {
-        let set = self.set_of(line);
-        let tag = line.value();
-        debug_assert_ne!(
-            tag, INVALID_TAG,
-            "line address collides with the invalid tag"
-        );
-        let ctx = &ctx.with_line(line); // signature-based policies need the address
-        let result = if let Some(way) = self.find(set, tag) {
-            self.policy.on_hit(set, way, ctx);
-            AccessResult::Hit
-        } else {
-            let way = match self.find_invalid(set) {
-                Some(w) => w,
-                None => {
-                    let candidates: Vec<usize> = (0..self.ways).collect();
-                    self.policy.choose_victim(set, &candidates)
-                }
-            };
-            self.tags[set * self.ways + way] = tag;
-            self.policy.on_insert(set, way, ctx);
-            AccessResult::Miss
-        };
+        let result = self.access_inner(line, ctx);
         self.stats.record(result);
         result
+    }
+
+    fn access_block(&mut self, lines: &[LineAddr], ctx: &AccessCtx) {
+        // Count hits locally and fold into the stats once per block.
+        let mut hits = 0u64;
+        for &line in lines {
+            if self.access_inner(line, ctx) == AccessResult::Hit {
+                hits += 1;
+            }
+        }
+        self.stats.record_block(hits, lines.len() as u64 - hits);
     }
 
     fn stats(&self) -> &CacheStats {
@@ -173,14 +231,17 @@ impl<P: ReplacementPolicy> CacheModel for SetAssocCache<P> {
 /// Backbone of the *ideal* partitioning scheme (Talus+I in the paper's
 /// Fig. 8): partitions sized to the line, no associativity artefacts.
 /// Constant-time accesses via a hash map plus an intrusive doubly-linked
-/// recency list.
+/// recency list. The map hashes with [`mix64`](crate::mix64) (via
+/// [`LineHashBuilder`]) rather than the standard library's SipHash:
+/// simulated addresses are not attacker-controlled, and the tag lookup is
+/// this model's entire access path.
 ///
 /// A capacity of zero models a *bypass* partition: every access misses and
 /// nothing is cached (Talus uses this when the hull vertex α is size 0).
 #[derive(Debug, Clone)]
 pub struct FullyAssocLru {
     capacity: usize,
-    map: HashMap<LineAddr, usize>,
+    map: HashMap<LineAddr, usize, LineHashBuilder>,
     nodes: Vec<Node>,
     free: Vec<usize>,
     head: usize, // most recently used; NIL if empty
@@ -204,7 +265,7 @@ impl FullyAssocLru {
         let capacity = capacity_lines as usize;
         FullyAssocLru {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity_and_hasher(capacity.min(1 << 20), LineHashBuilder),
             nodes: Vec::with_capacity(capacity.min(1 << 20)),
             free: Vec::new(),
             head: NIL,

@@ -15,6 +15,13 @@ use crate::addr::LineAddr;
 /// a seeded xorshift generator, making the family universal and every
 /// instance cheap and deterministic.
 ///
+/// H3 is linear over GF(2), so the per-bit mask-and-parity network can be
+/// evaluated as eight byte-indexed table lookups (the classic tabulation
+/// form): `hash(v) = T0[v₀] ⊕ T1[v₁] ⊕ … ⊕ T7[v₇]`, where `Tj[b]` packs
+/// the parity contribution of input byte `j = b` to every output bit.
+/// [`hash`](Self::hash) uses the tables; the mask formulation is kept as
+/// the reference the tabulation is tested against.
+///
 /// # Examples
 ///
 /// ```
@@ -24,9 +31,20 @@ use crate::addr::LineAddr;
 /// assert!(a < (1 << 16));
 /// assert_eq!(a, h.hash(0x12345)); // deterministic
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct H3Hasher {
     masks: Vec<u64>,
+    /// `tables[j][b]`: XOR-contribution of input byte `j` having value `b`.
+    tables: Box<[[u64; 256]; 8]>,
+}
+
+impl std::fmt::Debug for H3Hasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The 16 KB lookup tables are derived state; don't dump them.
+        f.debug_struct("H3Hasher")
+            .field("masks", &self.masks)
+            .finish_non_exhaustive()
+    }
 }
 
 impl H3Hasher {
@@ -57,11 +75,49 @@ impl H3Hasher {
                 mask
             });
         }
-        H3Hasher { masks }
+        // Column c: the packed output word produced by input bit c alone
+        // (output bit i is set iff mask[i] has bit c). Each table entry is
+        // then the XOR of the columns of its byte's set bits.
+        let mut columns = [0u64; 64];
+        for (i, &mask) in masks.iter().enumerate() {
+            for (c, col) in columns.iter_mut().enumerate() {
+                *col |= ((mask >> c) & 1) << i;
+            }
+        }
+        let mut tables = Box::new([[0u64; 256]; 8]);
+        for (j, table) in tables.iter_mut().enumerate() {
+            for (b, entry) in table.iter_mut().enumerate() {
+                let mut acc = 0u64;
+                let mut rest = b;
+                while rest != 0 {
+                    let k = rest.trailing_zeros() as usize;
+                    acc ^= columns[8 * j + k];
+                    rest &= rest - 1;
+                }
+                *entry = acc;
+            }
+        }
+        H3Hasher { masks, tables }
     }
 
     /// Hashes a 64-bit value to `bits` output bits.
+    #[inline]
     pub fn hash(&self, value: u64) -> u64 {
+        let t = &self.tables;
+        t[0][(value & 0xFF) as usize]
+            ^ t[1][((value >> 8) & 0xFF) as usize]
+            ^ t[2][((value >> 16) & 0xFF) as usize]
+            ^ t[3][((value >> 24) & 0xFF) as usize]
+            ^ t[4][((value >> 32) & 0xFF) as usize]
+            ^ t[5][((value >> 40) & 0xFF) as usize]
+            ^ t[6][((value >> 48) & 0xFF) as usize]
+            ^ t[7][(value >> 56) as usize]
+    }
+
+    /// The mask-and-parity reference formulation (what the hardware
+    /// network computes gate by gate). [`hash`](Self::hash) is the
+    /// tabulated equivalent; tests assert they agree bit for bit.
+    pub fn hash_reference(&self, value: u64) -> u64 {
         let mut out = 0u64;
         for (i, &mask) in self.masks.iter().enumerate() {
             let parity = (value & mask).count_ones() as u64 & 1;
@@ -71,6 +127,7 @@ impl H3Hasher {
     }
 
     /// Hashes a line address.
+    #[inline]
     pub fn hash_line(&self, line: LineAddr) -> u64 {
         self.hash(line.value())
     }
@@ -287,6 +344,23 @@ mod tests {
         assert_eq!(h.bits(), 5);
         for v in 0..1000u64 {
             assert!(h.hash(v * 64 + 1) < 32);
+        }
+    }
+
+    #[test]
+    fn h3_tabulation_matches_mask_reference() {
+        // The table form must reproduce the mask-and-parity network bit
+        // for bit — including at the byte boundaries the tables slice on.
+        for (bits, seed) in [(1u32, 3u64), (8, 7), (32, 42), (64, 0xFEED)] {
+            let h = H3Hasher::new(bits, seed);
+            let mut v = 0x0123_4567_89AB_CDEFu64;
+            for _ in 0..2000 {
+                v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                assert_eq!(h.hash(v), h.hash_reference(v), "bits {bits} value {v:#x}");
+            }
+            for edge in [0, 1, 0xFF, 0x100, u64::MAX, u64::MAX - 1, 1 << 63] {
+                assert_eq!(h.hash(edge), h.hash_reference(edge));
+            }
         }
     }
 

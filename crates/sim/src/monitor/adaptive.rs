@@ -28,11 +28,13 @@
 
 use super::{CurveSampler, Monitor};
 use crate::addr::LineAddr;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{AnyPolicy, PolicyKind, ReplacementPolicy};
 use talus_core::MissCurve;
 
-/// Builds fresh policy instances for the bank's monitors.
-type PolicyFactory = Box<dyn Fn(u64) -> Box<dyn ReplacementPolicy>>;
+/// Builds fresh policy instances for the bank's monitors. Built-in kinds
+/// ([`AdaptiveCurveSampler::from_kind`]) produce statically dispatched
+/// variants; custom factories wrap their boxes in [`AnyPolicy::Custom`].
+type PolicyFactory = Box<dyn Fn(u64) -> AnyPolicy>;
 
 /// A self-re-aiming bank of sampled monitors.
 ///
@@ -100,6 +102,52 @@ impl AdaptiveCurveSampler {
     where
         F: Fn(u64) -> Box<dyn ReplacementPolicy> + 'static,
     {
+        Self::with_any_policy(
+            move |s| AnyPolicy::Custom(factory(s)),
+            num_monitors,
+            span_lines,
+            monitor_lines,
+            ways,
+            seed,
+        )
+    }
+
+    /// Like [`new`](Self::new) for a built-in [`PolicyKind`]: the bank's
+    /// monitors run statically dispatched policy code (no virtual calls
+    /// on the record path).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`new`](Self::new).
+    pub fn from_kind(
+        kind: PolicyKind,
+        num_monitors: usize,
+        span_lines: u64,
+        monitor_lines: u64,
+        ways: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_any_policy(
+            move |s| kind.build_any(s),
+            num_monitors,
+            span_lines,
+            monitor_lines,
+            ways,
+            seed,
+        )
+    }
+
+    fn with_any_policy<F>(
+        factory: F,
+        num_monitors: usize,
+        span_lines: u64,
+        monitor_lines: u64,
+        ways: usize,
+        seed: u64,
+    ) -> Self
+    where
+        F: Fn(u64) -> AnyPolicy + 'static,
+    {
         assert!(
             num_monitors >= 4,
             "need at least 4 monitors (2 endpoints + 2 interior)"
@@ -110,7 +158,7 @@ impl AdaptiveCurveSampler {
         );
         let factory: PolicyFactory = Box::new(factory);
         let sizes = geometric_ladder(span_lines, num_monitors, ways as u64);
-        let bank = CurveSampler::with_policy(&factory, &sizes, monitor_lines, ways, seed);
+        let bank = CurveSampler::with_any_policy(&factory, &sizes, monitor_lines, ways, seed);
         AdaptiveCurveSampler {
             factory,
             bank,
@@ -186,7 +234,7 @@ impl AdaptiveCurveSampler {
         rounded.sort_unstable();
         rounded.dedup();
         self.seed = self.seed.wrapping_add(0x9E37_79B9);
-        self.bank = CurveSampler::with_policy(
+        self.bank = CurveSampler::with_any_policy(
             &self.factory,
             &rounded,
             self.monitor_lines,
@@ -213,6 +261,12 @@ fn geometric_ladder(span: u64, n: usize, ways: u64) -> Vec<u64> {
 impl Monitor for AdaptiveCurveSampler {
     fn record(&mut self, line: LineAddr) {
         self.bank.record(line);
+    }
+
+    fn record_block(&mut self, lines: &[LineAddr]) {
+        // Delegate to the bank's point-major block path (intervals only
+        // end at reset(), so a block never straddles a re-aim).
+        self.bank.record_block(lines);
     }
 
     fn curve(&self) -> MissCurve {

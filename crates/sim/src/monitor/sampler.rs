@@ -11,20 +11,36 @@
 use super::Monitor;
 use crate::addr::LineAddr;
 use crate::array::{CacheModel, SetAssocCache};
-use crate::hasher::SampleFilter;
-use crate::policy::{AccessCtx, PolicyKind, ReplacementPolicy};
+use crate::hasher::mix64;
+use crate::policy::{AccessCtx, AnyPolicy, PolicyKind, ReplacementPolicy};
 use talus_core::MissCurve;
 
 /// One sampled shadow monitor: a small cache modelling a larger one.
 #[derive(Debug)]
 struct Point {
     modeled_lines: u64,
-    filter: SampleFilter,
-    cache: SetAssocCache<Box<dyn ReplacementPolicy>>,
+    /// Sampling ratio ρ⁻¹: the monitor sees ~one in `ratio` lines.
+    ratio: u64,
+    /// Accept a line iff `mix64(bank seed, addr) <= threshold`
+    /// (`u64::MAX / ratio`, so acceptance probability is ~1/ratio).
+    threshold: u64,
+    cache: SetAssocCache<AnyPolicy>,
 }
 
 /// A bank of sampled monitors producing an N-point miss curve for an
 /// arbitrary replacement policy.
+///
+/// All monitors share **one** hash: each address is mixed once
+/// ([`mix64`]) and compared against per-point thresholds. Because the
+/// thresholds are nested — a line sampled at rate ρᵢ is sampled at every
+/// coarser rate ρⱼ > ρᵢ — the points form a telescoping family, points
+/// are checked coarsest-first, and the first rejecting point ends the
+/// scan: a rejected monitor costs one compare and no stores. (The
+/// original formulation evaluated an independent `SampleFilter` H3 hash
+/// per point per access — 16 hashes per line for the paper's §VI-C SRRIP
+/// bank.) Built-in policies run statically dispatched ([`AnyPolicy`]);
+/// [`with_policy`](CurveSampler::with_policy) keeps the dynamic escape
+/// hatch for custom policies.
 ///
 /// # Examples
 ///
@@ -43,7 +59,13 @@ struct Point {
 #[derive(Debug)]
 pub struct CurveSampler {
     points: Vec<Point>,
+    /// Seed of the bank's single sampling hash.
+    hash_seed: u64,
     accesses: u64,
+    /// Reusable survivor buffers for [`record_block`](Monitor::record_block):
+    /// the lines still sampled at the current point, and their hashes.
+    scratch_lines: Vec<LineAddr>,
+    scratch_hashes: Vec<u64>,
 }
 
 impl CurveSampler {
@@ -63,8 +85,8 @@ impl CurveSampler {
         ways: usize,
         seed: u64,
     ) -> Self {
-        Self::with_policy(
-            |s| policy.build(s),
+        Self::with_any_policy(
+            |s| policy.build_any(s),
             modeled_sizes,
             monitor_lines,
             ways,
@@ -76,7 +98,8 @@ impl CurveSampler {
     /// called once per monitor with a distinct seed and returns a fresh
     /// policy instance. This is the hook downstream code uses to measure
     /// miss curves — and therefore run Talus — on policies this crate has
-    /// never heard of (see the `custom_policy` example).
+    /// never heard of (see the `custom_policy` example). Dispatch goes
+    /// through [`AnyPolicy::Custom`], i.e. exactly the old boxed path.
     ///
     /// # Panics
     ///
@@ -92,12 +115,39 @@ impl CurveSampler {
     where
         F: Fn(u64) -> Box<dyn ReplacementPolicy>,
     {
+        Self::with_any_policy(
+            |s| AnyPolicy::Custom(factory(s)),
+            modeled_sizes,
+            monitor_lines,
+            ways,
+            seed,
+        )
+    }
+
+    /// The generic core behind [`new`](Self::new) and
+    /// [`with_policy`](Self::with_policy): `factory` produces one
+    /// [`AnyPolicy`] per monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modeled_sizes` is empty or unsorted, or if geometry is
+    /// invalid.
+    pub fn with_any_policy<F>(
+        factory: F,
+        modeled_sizes: &[u64],
+        monitor_lines: u64,
+        ways: usize,
+        seed: u64,
+    ) -> Self
+    where
+        F: Fn(u64) -> AnyPolicy,
+    {
         assert!(!modeled_sizes.is_empty(), "need at least one modelled size");
         assert!(
             modeled_sizes.windows(2).all(|w| w[0] < w[1]),
             "modelled sizes must be strictly increasing"
         );
-        let points = modeled_sizes
+        let points: Vec<Point> = modeled_sizes
             .iter()
             .enumerate()
             .map(|(i, &size)| {
@@ -112,7 +162,8 @@ impl CurveSampler {
                 let cap = cap.max(ways as u64);
                 Point {
                     modeled_lines: cap * ratio,
-                    filter: SampleFilter::new(ratio, seed.wrapping_add(i as u64 * 7919)),
+                    ratio,
+                    threshold: u64::MAX / ratio,
                     cache: SetAssocCache::new(
                         cap,
                         ways,
@@ -122,9 +173,15 @@ impl CurveSampler {
                 }
             })
             .collect();
+        // Sizes ascend, so ratios ascend and thresholds descend — the
+        // invariant the record loop's early exit depends on.
+        debug_assert!(points.windows(2).all(|w| w[0].threshold >= w[1].threshold));
         CurveSampler {
             points,
+            hash_seed: seed ^ 0x5A3D_1E6B_9C2F_84A7,
             accesses: 0,
+            scratch_lines: Vec::new(),
+            scratch_hashes: Vec::new(),
         }
     }
 
@@ -143,16 +200,68 @@ impl CurveSampler {
     pub fn modeled_sizes(&self) -> Vec<u64> {
         self.points.iter().map(|p| p.modeled_lines).collect()
     }
+
+    /// The sampling ratios of the bank's monitors (ascending; 1 = exact).
+    pub fn sampling_ratios(&self) -> Vec<u64> {
+        self.points.iter().map(|p| p.ratio).collect()
+    }
+
+    /// Whether `line` is sampled by point `index` — the nested-filter
+    /// predicate the record loop short-circuits on (tests assert the
+    /// telescoping property through this).
+    pub fn samples(&self, index: usize, line: LineAddr) -> bool {
+        mix64(self.hash_seed, line.value()) <= self.points[index].threshold
+    }
 }
 
 impl Monitor for CurveSampler {
     fn record(&mut self, line: LineAddr) {
         self.accesses += 1;
+        let h = mix64(self.hash_seed, line.value());
         let ctx = AccessCtx::new();
         for p in &mut self.points {
-            if p.filter.accepts(line) {
-                p.cache.access(line, &ctx);
+            if h > p.threshold {
+                // Nested filters: every finer-rate point also rejects.
+                break;
             }
+            p.cache.access(line, &ctx);
+        }
+    }
+
+    fn record_block(&mut self, lines: &[LineAddr]) {
+        self.accesses += lines.len() as u64;
+        let seed = self.hash_seed;
+        let ctx = AccessCtx::new();
+        // Point-major order (points are independent, so this is
+        // bit-for-bit the per-access order), with the survivor list
+        // compacted as the thresholds tighten: each point's sample is a
+        // subset of the previous point's (nested filters), so the filter
+        // work telescopes instead of rescanning the whole block per point,
+        // and every point ingests its survivors as one contiguous block.
+        self.scratch_lines.clear();
+        self.scratch_lines.extend_from_slice(lines);
+        self.scratch_hashes.clear();
+        self.scratch_hashes
+            .extend(lines.iter().map(|&l| mix64(seed, l.value())));
+        let mut live = lines.len();
+        let mut prev_threshold = u64::MAX;
+        for p in &mut self.points {
+            if p.threshold < prev_threshold {
+                let mut kept = 0;
+                for i in 0..live {
+                    if self.scratch_hashes[i] <= p.threshold {
+                        self.scratch_lines[kept] = self.scratch_lines[i];
+                        self.scratch_hashes[kept] = self.scratch_hashes[i];
+                        kept += 1;
+                    }
+                }
+                live = kept;
+                prev_threshold = p.threshold;
+            }
+            if live == 0 {
+                break; // finer points sample subsets: nothing left to see
+            }
+            p.cache.access_block(&self.scratch_lines[..live], &ctx);
         }
     }
 

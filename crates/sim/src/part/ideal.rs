@@ -82,6 +82,11 @@ impl PartitionedCacheModel for IdealPartitioned {
         self.parts[part.index()].access(line, ctx)
     }
 
+    fn access_block(&mut self, part: PartitionId, lines: &[LineAddr], ctx: &AccessCtx) {
+        // Resolve the partition once for the whole block.
+        self.parts[part.index()].access_block(lines, ctx);
+    }
+
     fn partition_stats(&self, part: PartitionId) -> &CacheStats {
         self.parts[part.index()].stats()
     }

@@ -58,6 +58,22 @@ pub trait PartitionedCacheModel {
     /// Implementations panic if `part` is out of range.
     fn access(&mut self, part: PartitionId, line: LineAddr, ctx: &AccessCtx) -> AccessResult;
 
+    /// Performs a block of accesses on behalf of `part`.
+    ///
+    /// Semantically identical to calling [`access`](Self::access) per
+    /// line, in order — bit-for-bit, property-tested. The schemes
+    /// specialize this to hoist partition-range lookups, bounds checks,
+    /// and stats updates out of the per-line loop.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `part` is out of range.
+    fn access_block(&mut self, part: PartitionId, lines: &[LineAddr], ctx: &AccessCtx) {
+        for &line in lines {
+            self.access(part, line, ctx);
+        }
+    }
+
     /// Hit/miss counters for one partition since the last reset.
     fn partition_stats(&self, part: PartitionId) -> &CacheStats;
 

@@ -28,6 +28,9 @@ pub struct SetPartitioned<P> {
     policy: P,
     hasher: H3Hasher,
     stats: Vec<CacheStats>,
+    /// `[0, 1, …, ways-1]`, precomputed so a full-set eviction does not
+    /// allocate a candidate vector on every miss.
+    all_ways: Vec<usize>,
 }
 
 impl<P: ReplacementPolicy> SetPartitioned<P> {
@@ -63,7 +66,36 @@ impl<P: ReplacementPolicy> SetPartitioned<P> {
             policy,
             hasher: H3Hasher::new(32, seed),
             stats: vec![CacheStats::new(); partitions],
+            all_ways: (0..ways).collect(),
         }
+    }
+
+    /// One access against an already-resolved set range; shared by the
+    /// per-access and block paths (stats are recorded by the caller).
+    /// The probe itself is [`crate::array::probe_set`], the same
+    /// single-pass body `SetAssocCache` runs.
+    #[inline]
+    fn access_inner(
+        &mut self,
+        base_set: usize,
+        count: usize,
+        line: LineAddr,
+        ctx: &AccessCtx,
+    ) -> AccessResult {
+        let ctx = &ctx.with_line(line); // signature-based policies need the address
+        if count == 0 {
+            return AccessResult::Miss; // bypass partition
+        }
+        let set = base_set + (self.hasher.hash_line(line) % count as u64) as usize;
+        crate::array::probe_set(
+            &mut self.tags,
+            &mut self.policy,
+            set,
+            self.ways,
+            line.value(),
+            &self.all_ways,
+            ctx,
+        )
     }
 
     /// The set range `[base, base+count)` currently owned by a partition.
@@ -96,31 +128,23 @@ impl<P: ReplacementPolicy> PartitionedCacheModel for SetPartitioned<P> {
         let p = part.index();
         assert!(p < self.num_partitions(), "unknown {part}");
         let (base_set, count) = self.ranges[p];
-        let ctx = &ctx.with_line(line); // signature-based policies need the address
-        let result = if count == 0 {
-            AccessResult::Miss // bypass partition
-        } else {
-            let set = base_set + (self.hasher.hash_line(line) % count as u64) as usize;
-            let tag = line.value();
-            let base = set * self.ways;
-            if let Some(way) = (0..self.ways).find(|&w| self.tags[base + w] == tag) {
-                self.policy.on_hit(set, way, ctx);
-                AccessResult::Hit
-            } else {
-                let way = match (0..self.ways).find(|&w| self.tags[base + w] == INVALID_TAG) {
-                    Some(w) => w,
-                    None => {
-                        let candidates: Vec<usize> = (0..self.ways).collect();
-                        self.policy.choose_victim(set, &candidates)
-                    }
-                };
-                self.tags[base + way] = tag;
-                self.policy.on_insert(set, way, ctx);
-                AccessResult::Miss
-            }
-        };
+        let result = self.access_inner(base_set, count, line, ctx);
         self.stats[p].record(result);
         result
+    }
+
+    fn access_block(&mut self, part: PartitionId, lines: &[LineAddr], ctx: &AccessCtx) {
+        let p = part.index();
+        assert!(p < self.num_partitions(), "unknown {part}");
+        // The set range is fixed for the whole block: resolve it once.
+        let (base_set, count) = self.ranges[p];
+        let mut hits = 0u64;
+        for &line in lines {
+            if self.access_inner(base_set, count, line, ctx) == AccessResult::Hit {
+                hits += 1;
+            }
+        }
+        self.stats[p].record_block(hits, lines.len() as u64 - hits);
     }
 
     fn partition_stats(&self, part: PartitionId) -> &CacheStats {

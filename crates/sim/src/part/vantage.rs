@@ -178,6 +178,53 @@ impl VantageLike {
         }
         best_slot
     }
+
+    /// One access with the partition index already validated; shared by
+    /// the per-access and block paths (stats are recorded by the caller).
+    #[inline]
+    fn access_inner(&mut self, p: usize, line: LineAddr, ctx: &AccessCtx) -> AccessResult {
+        let _ = ctx;
+        let tag = line.value();
+        self.clock += 1;
+        let mut hit_slot = None;
+        let mut empty_slot = None;
+        // Gather the W skewed candidates in one pass.
+        let mut cands = [0usize; 64];
+        debug_assert!(self.ways <= 64, "candidate buffer is sized for <= 64 ways");
+        for w in 0..self.ways {
+            let s = self.slot(line, w);
+            cands[w] = s;
+            if self.tags[s] == tag {
+                hit_slot = Some(s);
+                break;
+            }
+            if self.tags[s] == INVALID_TAG && empty_slot.is_none() {
+                empty_slot = Some(s);
+            }
+        }
+        if let Some(s) = hit_slot {
+            self.stamp[s] = self.clock;
+            AccessResult::Hit
+        } else if self.granted[p] == 0 {
+            AccessResult::Miss // zero-size partitions bypass
+        } else {
+            let s = match empty_slot {
+                Some(s) => s,
+                None => {
+                    let v = self.pick_victim(&cands[..self.ways]);
+                    let old = self.owner[v];
+                    debug_assert_ne!(old, NO_OWNER);
+                    self.occupancy[old as usize] -= 1;
+                    v
+                }
+            };
+            self.tags[s] = tag;
+            self.owner[s] = p as u32;
+            self.stamp[s] = self.clock;
+            self.occupancy[p] += 1;
+            AccessResult::Miss
+        }
+    }
 }
 
 impl PartitionedCacheModel for VantageLike {
@@ -214,51 +261,23 @@ impl PartitionedCacheModel for VantageLike {
     }
 
     fn access(&mut self, part: PartitionId, line: LineAddr, ctx: &AccessCtx) -> AccessResult {
-        let _ = ctx;
         let p = part.index();
         assert!(p < self.num_partitions(), "unknown {part}");
-        let tag = line.value();
-        self.clock += 1;
-        let mut hit_slot = None;
-        let mut empty_slot = None;
-        // Gather the W skewed candidates in one pass.
-        let mut cands = [0usize; 64];
-        debug_assert!(self.ways <= 64, "candidate buffer is sized for <= 64 ways");
-        for w in 0..self.ways {
-            let s = self.slot(line, w);
-            cands[w] = s;
-            if self.tags[s] == tag {
-                hit_slot = Some(s);
-                break;
-            }
-            if self.tags[s] == INVALID_TAG && empty_slot.is_none() {
-                empty_slot = Some(s);
-            }
-        }
-        let result = if let Some(s) = hit_slot {
-            self.stamp[s] = self.clock;
-            AccessResult::Hit
-        } else if self.granted[p] == 0 {
-            AccessResult::Miss // zero-size partitions bypass
-        } else {
-            let s = match empty_slot {
-                Some(s) => s,
-                None => {
-                    let v = self.pick_victim(&cands[..self.ways]);
-                    let old = self.owner[v];
-                    debug_assert_ne!(old, NO_OWNER);
-                    self.occupancy[old as usize] -= 1;
-                    v
-                }
-            };
-            self.tags[s] = tag;
-            self.owner[s] = p as u32;
-            self.stamp[s] = self.clock;
-            self.occupancy[p] += 1;
-            AccessResult::Miss
-        };
+        let result = self.access_inner(p, line, ctx);
         self.stats[p].record(result);
         result
+    }
+
+    fn access_block(&mut self, part: PartitionId, lines: &[LineAddr], ctx: &AccessCtx) {
+        let p = part.index();
+        assert!(p < self.num_partitions(), "unknown {part}");
+        let mut hits = 0u64;
+        for &line in lines {
+            if self.access_inner(p, line, ctx) == AccessResult::Hit {
+                hits += 1;
+            }
+        }
+        self.stats[p].record_block(hits, lines.len() as u64 - hits);
     }
 
     fn partition_stats(&self, part: PartitionId) -> &CacheStats {

@@ -101,6 +101,35 @@ impl<P: ReplacementPolicy> WayPartitioned<P> {
             (self.hasher.hash_line(line) % self.sets as u64) as usize
         }
     }
+
+    /// One access with the partition index already validated; shared by
+    /// the per-access and block paths (stats are recorded by the caller).
+    #[inline]
+    fn access_inner(&mut self, p: usize, line: LineAddr, ctx: &AccessCtx) -> AccessResult {
+        let set = self.set_of(line);
+        let tag = line.value();
+        let base = set * self.ways;
+        let ctx = &ctx.with_line(line); // signature-based policies need the address
+        if let Some(way) = (0..self.ways).find(|&w| self.tags[base + w] == tag) {
+            self.policy.on_hit(set, way, ctx);
+            AccessResult::Hit
+        } else if self.own_ways[p].is_empty() {
+            // Zero ways: bypass partition.
+            AccessResult::Miss
+        } else {
+            let way = match self.own_ways[p]
+                .iter()
+                .copied()
+                .find(|&w| self.tags[base + w] == INVALID_TAG)
+            {
+                Some(w) => w,
+                None => self.policy.choose_victim(set, &self.own_ways[p]),
+            };
+            self.tags[base + way] = tag;
+            self.policy.on_insert(set, way, ctx);
+            AccessResult::Miss
+        }
+    }
 }
 
 impl<P: ReplacementPolicy> PartitionedCacheModel for WayPartitioned<P> {
@@ -135,31 +164,21 @@ impl<P: ReplacementPolicy> PartitionedCacheModel for WayPartitioned<P> {
     fn access(&mut self, part: PartitionId, line: LineAddr, ctx: &AccessCtx) -> AccessResult {
         let p = part.index();
         assert!(p < self.num_partitions(), "unknown {part}");
-        let set = self.set_of(line);
-        let tag = line.value();
-        let base = set * self.ways;
-        let ctx = &ctx.with_line(line); // signature-based policies need the address
-        let result = if let Some(way) = (0..self.ways).find(|&w| self.tags[base + w] == tag) {
-            self.policy.on_hit(set, way, ctx);
-            AccessResult::Hit
-        } else if self.own_ways[p].is_empty() {
-            // Zero ways: bypass partition.
-            AccessResult::Miss
-        } else {
-            let way = match self.own_ways[p]
-                .iter()
-                .copied()
-                .find(|&w| self.tags[base + w] == INVALID_TAG)
-            {
-                Some(w) => w,
-                None => self.policy.choose_victim(set, &self.own_ways[p]),
-            };
-            self.tags[base + way] = tag;
-            self.policy.on_insert(set, way, ctx);
-            AccessResult::Miss
-        };
+        let result = self.access_inner(p, line, ctx);
         self.stats[p].record(result);
         result
+    }
+
+    fn access_block(&mut self, part: PartitionId, lines: &[LineAddr], ctx: &AccessCtx) {
+        let p = part.index();
+        assert!(p < self.num_partitions(), "unknown {part}");
+        let mut hits = 0u64;
+        for &line in lines {
+            if self.access_inner(p, line, ctx) == AccessResult::Hit {
+                hits += 1;
+            }
+        }
+        self.stats[p].record_block(hits, lines.len() as u64 - hits);
     }
 
     fn partition_stats(&self, part: PartitionId) -> &CacheStats {

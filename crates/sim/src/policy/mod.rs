@@ -141,6 +141,110 @@ impl ReplacementPolicy for Box<dyn ReplacementPolicy> {
     }
 }
 
+/// A runtime-selectable policy with *static* per-variant dispatch.
+///
+/// `Box<dyn ReplacementPolicy>` keeps cache construction flexible but
+/// costs an indirect call per policy callback — three per access on the
+/// hot simulation loop, none of them inlinable. `AnyPolicy` carries one
+/// enum variant per built-in [`PolicyKind`] instead, so a
+/// `SetAssocCache<AnyPolicy>` is a concrete type whose policy callbacks
+/// compile to a jump table over inlined monomorphic bodies. Policies this
+/// crate has never heard of still fit through the
+/// [`Custom`](AnyPolicy::Custom) escape hatch, which preserves exactly
+/// the old boxed behaviour.
+///
+/// Built-in variants behave bit-for-bit identically to the boxed policies
+/// [`PolicyKind::build`] returns (property-tested in
+/// `tests/properties.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use talus_sim::policy::{AnyPolicy, PolicyKind};
+/// use talus_sim::{AccessCtx, CacheModel, LineAddr, SetAssocCache};
+/// let mut cache = SetAssocCache::new(1024, 16, PolicyKind::Srrip.build_any(7), 42);
+/// assert!(cache.access(LineAddr(3), &AccessCtx::new()).is_miss());
+/// assert!(cache.access(LineAddr(3), &AccessCtx::new()).is_hit());
+/// ```
+#[derive(Debug)]
+pub enum AnyPolicy {
+    /// Least-recently-used.
+    Lru(Lru),
+    /// Static RRIP.
+    Srrip(Srrip),
+    /// Bimodal RRIP.
+    Brrip(Brrip),
+    /// Dynamic RRIP.
+    Drrip(Drrip),
+    /// Thread-aware DRRIP.
+    TaDrrip(TaDrrip),
+    /// Dynamic insertion policy.
+    Dip(Dip),
+    /// Protecting distance policy.
+    Pdp(Pdp),
+    /// SHiP-Mem.
+    Ship(Ship),
+    /// Uniform-random replacement.
+    Random(RandomRepl),
+    /// Offline Belady MIN (oracle-annotated traces only).
+    Belady(Belady),
+    /// Escape hatch for user-defined policies: dynamic dispatch, same as
+    /// passing the box straight to the cache.
+    Custom(Box<dyn ReplacementPolicy>),
+}
+
+/// Expands to a match over every `AnyPolicy` variant, binding the inner
+/// policy as `$p` in `$body`. Keeps the nine delegation methods from
+/// drifting out of sync variant by variant.
+macro_rules! any_delegate {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            AnyPolicy::Lru($p) => $body,
+            AnyPolicy::Srrip($p) => $body,
+            AnyPolicy::Brrip($p) => $body,
+            AnyPolicy::Drrip($p) => $body,
+            AnyPolicy::TaDrrip($p) => $body,
+            AnyPolicy::Dip($p) => $body,
+            AnyPolicy::Pdp($p) => $body,
+            AnyPolicy::Ship($p) => $body,
+            AnyPolicy::Random($p) => $body,
+            AnyPolicy::Belady($p) => $body,
+            AnyPolicy::Custom($p) => $body,
+        }
+    };
+}
+
+impl ReplacementPolicy for AnyPolicy {
+    fn attach(&mut self, sets: usize, ways: usize) {
+        any_delegate!(self, p => p.attach(sets, ways))
+    }
+
+    #[inline]
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
+        any_delegate!(self, p => p.on_hit(set, way, ctx))
+    }
+
+    #[inline]
+    fn choose_victim(&mut self, set: usize, candidates: &[usize]) -> usize {
+        any_delegate!(self, p => p.choose_victim(set, candidates))
+    }
+
+    #[inline]
+    fn on_insert(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
+        any_delegate!(self, p => p.on_insert(set, way, ctx))
+    }
+
+    fn name(&self) -> &'static str {
+        any_delegate!(self, p => p.name())
+    }
+}
+
+impl From<Box<dyn ReplacementPolicy>> for AnyPolicy {
+    fn from(boxed: Box<dyn ReplacementPolicy>) -> Self {
+        AnyPolicy::Custom(boxed)
+    }
+}
+
 /// Runtime-selectable policy kinds, mirroring the paper's evaluation
 /// (§VII-A). Construction helper for experiment drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -178,6 +282,23 @@ impl PolicyKind {
             PolicyKind::Pdp => Box::new(Pdp::new(seed)),
             PolicyKind::Ship => Box::new(Ship::new(seed)),
             PolicyKind::Random => Box::new(RandomRepl::new(seed)),
+        }
+    }
+
+    /// Instantiates the policy as a statically dispatched [`AnyPolicy`]
+    /// (same seeding, bit-for-bit identical behaviour to
+    /// [`build`](Self::build), no virtual calls on the access path).
+    pub fn build_any(self, seed: u64) -> AnyPolicy {
+        match self {
+            PolicyKind::Lru => AnyPolicy::Lru(Lru::new()),
+            PolicyKind::Srrip => AnyPolicy::Srrip(Srrip::new()),
+            PolicyKind::Brrip => AnyPolicy::Brrip(Brrip::new(seed)),
+            PolicyKind::Drrip => AnyPolicy::Drrip(Drrip::new(seed)),
+            PolicyKind::TaDrrip => AnyPolicy::TaDrrip(TaDrrip::new(seed)),
+            PolicyKind::Dip => AnyPolicy::Dip(Dip::new(seed)),
+            PolicyKind::Pdp => AnyPolicy::Pdp(Pdp::new(seed)),
+            PolicyKind::Ship => AnyPolicy::Ship(Ship::new(seed)),
+            PolicyKind::Random => AnyPolicy::Random(RandomRepl::new(seed)),
         }
     }
 

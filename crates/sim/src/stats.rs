@@ -46,11 +46,20 @@ impl CacheStats {
     }
 
     /// Records one access outcome.
+    #[inline]
     pub fn record(&mut self, result: AccessResult) {
         match result {
             AccessResult::Hit => self.hits += 1,
             AccessResult::Miss => self.misses += 1,
         }
+    }
+
+    /// Records a whole block's outcomes at once (the batched access paths
+    /// tally hits locally and fold them in here).
+    #[inline]
+    pub fn record_block(&mut self, hits: u64, misses: u64) {
+        self.hits += hits;
+        self.misses += misses;
     }
 
     /// Number of hits recorded.

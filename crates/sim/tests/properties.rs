@@ -3,9 +3,14 @@
 //! arbitrary access streams, not just the unit tests' hand-picked ones.
 
 use proptest::prelude::*;
-use talus_sim::monitor::{MattsonMonitor, Monitor, SampledMattson};
-use talus_sim::part::{FutilityScaled, PartitionedCacheModel, VantageLike};
-use talus_sim::policy::PolicyKind;
+use talus_sim::monitor::{
+    AdaptiveCurveSampler, CurveSampler, MattsonMonitor, Monitor, SampledMattson,
+};
+use talus_sim::part::{
+    FutilityScaled, IdealPartitioned, PartitionedCacheModel, SetPartitioned, VantageLike,
+    WayPartitioned,
+};
+use talus_sim::policy::{Lru, PolicyKind};
 use talus_sim::{
     AccessCtx, CacheModel, FullyAssocLru, LineAddr, PartitionId, SetAssocCache, ShadowSampler,
 };
@@ -13,6 +18,35 @@ use talus_sim::{
 /// Strategy: a short access stream over a bounded address space.
 fn arb_stream() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(0u64..4096, 64..2048)
+}
+
+/// The three stream shapes the fast-path equivalence suite runs on: a
+/// uniform random mix, a cyclic scan (the canonical cliff), and a phase
+/// change (uniform working set, then a scan over fresh addresses).
+fn equivalence_streams(len: usize, seed: u64) -> Vec<(&'static str, Vec<LineAddr>)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let uniform: Vec<LineAddr> = (0..len).map(|_| LineAddr(next() % 3000)).collect();
+    let scan: Vec<LineAddr> = (0..len as u64).map(|i| LineAddr(i % 1500)).collect();
+    let phase: Vec<LineAddr> = (0..len as u64)
+        .map(|i| {
+            if (i as usize) < len / 2 {
+                LineAddr(next() % 1024)
+            } else {
+                LineAddr((1 << 20) | (i % 2048))
+            }
+        })
+        .collect();
+    vec![
+        ("uniform", uniform),
+        ("scan", scan),
+        ("phase-change", phase),
+    ]
 }
 
 /// All online policies (Belady needs oracle annotations; tested separately).
@@ -256,5 +290,226 @@ proptest! {
         let full = sampled.curve_on_grid(&[lines - guard, lines + guard]);
         prop_assert!(full.value_at((lines - guard) as f64) > 0.9, "below the cliff");
         prop_assert!(full.value_at((lines + guard) as f64) < 0.1, "above the cliff");
+    }
+}
+
+/// Splits `lines` into irregular chunks (1, 7, 64, 256, 3, …) so block
+/// paths are exercised across degenerate and large block sizes alike.
+fn irregular_chunks(lines: &[LineAddr]) -> Vec<&[LineAddr]> {
+    const SIZES: [usize; 5] = [1, 7, 64, 256, 3];
+    let mut chunks = Vec::new();
+    let mut rest = lines;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = SIZES[i % SIZES.len()].min(rest.len());
+        let (head, tail) = rest.split_at(take);
+        chunks.push(head);
+        rest = tail;
+        i += 1;
+    }
+    chunks
+}
+
+/// Per-access vs enum-dispatch and per-access vs block equivalence: the
+/// fast paths this PR introduced must be *bit-for-bit* identical to the
+/// original `Box<dyn ReplacementPolicy>` / one-access-at-a-time code, not
+/// just statistically close.
+mod fast_path_equivalence {
+    use super::*;
+
+    /// Every built-in `PolicyKind` produces the identical hit/miss
+    /// *sequence* through `AnyPolicy` as through its old boxed
+    /// construction, on uniform, scan, and phase-change streams.
+    #[test]
+    fn any_policy_matches_boxed_dispatch() {
+        for kind in online_policies() {
+            for (label, stream) in equivalence_streams(30_000, 0xA11F ^ kind.label().len() as u64) {
+                let mut boxed = SetAssocCache::new(2048, 16, kind.build(7), 11);
+                let mut enumd = SetAssocCache::new(2048, 16, kind.build_any(7), 11);
+                for (i, &line) in stream.iter().enumerate() {
+                    // Rotate issuing threads so thread-aware policies
+                    // (TA-DRRIP) exercise per-thread state too.
+                    let ctx = AccessCtx::from_thread(talus_sim::ThreadId((i % 3) as u16));
+                    assert_eq!(
+                        boxed.access(line, &ctx),
+                        enumd.access(line, &ctx),
+                        "{} diverged on {label} at access {i}",
+                        kind.label()
+                    );
+                }
+                assert_eq!(boxed.stats(), enumd.stats(), "{} on {label}", kind.label());
+            }
+        }
+    }
+
+    /// `SetAssocCache::access_block` is the per-access loop, bit for bit,
+    /// for every built-in policy.
+    #[test]
+    fn set_assoc_block_matches_per_access() {
+        for kind in online_policies() {
+            for (label, stream) in equivalence_streams(30_000, 0xB10C) {
+                let ctx = AccessCtx::new();
+                let mut single = SetAssocCache::new(1024, 16, kind.build_any(3), 5);
+                let mut block = SetAssocCache::new(1024, 16, kind.build_any(3), 5);
+                for &line in &stream {
+                    single.access(line, &ctx);
+                }
+                for chunk in irregular_chunks(&stream) {
+                    block.access_block(chunk, &ctx);
+                }
+                assert_eq!(single.stats(), block.stats(), "{} on {label}", kind.label());
+                // Contents must agree too: replay a probe pass and compare
+                // every outcome.
+                for &line in stream.iter().rev().take(2000) {
+                    assert_eq!(
+                        single.access(line, &ctx),
+                        block.access(line, &ctx),
+                        "{} probe diverged on {label}",
+                        kind.label()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every partition scheme's `access_block` is its per-access loop,
+    /// bit for bit, including partition stats.
+    #[test]
+    fn partitioned_block_matches_per_access() {
+        let (_, stream) = equivalence_streams(30_000, 0xCAFE).swap_remove(0);
+        let parts: Vec<PartitionId> = (0..stream.len())
+            .map(|i| PartitionId((i % 2) as u32))
+            .collect();
+        let run = |cache: &mut dyn PartitionedCacheModel, blocked: bool| {
+            let ctx = AccessCtx::new();
+            cache.set_partition_sizes(&[1536, 512]);
+            if blocked {
+                // Per-partition blocks: split the stream into runs of the
+                // same partition, preserving order.
+                let mut start = 0;
+                while start < stream.len() {
+                    let p = parts[start];
+                    let end = (start..stream.len())
+                        .find(|&i| parts[i] != p)
+                        .unwrap_or(stream.len());
+                    cache.access_block(p, &stream[start..end], &ctx);
+                    start = end;
+                }
+            } else {
+                for (i, &line) in stream.iter().enumerate() {
+                    cache.access(parts[i], line, &ctx);
+                }
+            }
+            (
+                *cache.partition_stats(PartitionId(0)),
+                *cache.partition_stats(PartitionId(1)),
+            )
+        };
+        // Interleaving partitions access-by-access equals blocking runs
+        // only when runs preserve the global order — which they do here.
+        let schemes: Vec<(&str, Box<dyn Fn() -> Box<dyn PartitionedCacheModel>>)> = vec![
+            (
+                "way",
+                Box::new(|| Box::new(WayPartitioned::new(2048, 16, 2, Lru::new(), 9))),
+            ),
+            (
+                "set",
+                Box::new(|| Box::new(SetPartitioned::new(2048, 16, 2, Lru::new(), 9))),
+            ),
+            (
+                "vantage",
+                Box::new(|| Box::new(VantageLike::new(2048, 16, 2, 9))),
+            ),
+            (
+                "futility",
+                Box::new(|| Box::new(FutilityScaled::new(2048, 16, 2, 9))),
+            ),
+            (
+                "ideal",
+                Box::new(|| Box::new(IdealPartitioned::new(2048, 2))),
+            ),
+        ];
+        for (name, build) in schemes {
+            let mut single = build();
+            let mut block = build();
+            assert_eq!(
+                run(single.as_mut(), false),
+                run(block.as_mut(), true),
+                "{name} block path diverged"
+            );
+        }
+    }
+
+    /// `CurveSampler::record_block` produces the identical curve (every
+    /// point, exactly) as per-access `record`, for static and custom
+    /// dispatch alike.
+    #[test]
+    fn curve_sampler_block_matches_per_access() {
+        let sizes: Vec<u64> = (1..=16).map(|i| i * 1024).collect();
+        for (label, stream) in equivalence_streams(60_000, 0x5EED) {
+            let mut single = CurveSampler::new(PolicyKind::Srrip, &sizes, 512, 16, 5);
+            let mut block = CurveSampler::new(PolicyKind::Srrip, &sizes, 512, 16, 5);
+            for &line in &stream {
+                single.record(line);
+            }
+            for chunk in irregular_chunks(&stream) {
+                block.record_block(chunk);
+            }
+            assert_eq!(single.sampled_accesses(), block.sampled_accesses());
+            let (cs, cb) = (single.curve(), block.curve());
+            assert_eq!(
+                cs.points(),
+                cb.points(),
+                "sampler curves diverged on {label}"
+            );
+        }
+    }
+
+    /// Same for the adaptive bank, across a re-aim boundary.
+    #[test]
+    fn adaptive_sampler_block_matches_per_access() {
+        let (_, stream) = equivalence_streams(60_000, 0xADA9).swap_remove(1);
+        let mut single = AdaptiveCurveSampler::from_kind(PolicyKind::Srrip, 8, 8192, 512, 16, 3);
+        let mut block = AdaptiveCurveSampler::from_kind(PolicyKind::Srrip, 8, 8192, 512, 16, 3);
+        for round in 0..2 {
+            for &line in &stream {
+                single.record(line);
+            }
+            for chunk in irregular_chunks(&stream) {
+                block.record_block(chunk);
+            }
+            assert_eq!(
+                single.curve().points(),
+                block.curve().points(),
+                "adaptive curves diverged in round {round}"
+            );
+            // Interval boundary: both banks re-aim identically.
+            single.reset();
+            block.reset();
+            assert_eq!(single.modeled_sizes(), block.modeled_sizes());
+        }
+    }
+
+    /// The single-hash bank's nested-filter property: a line sampled by
+    /// point *i* is sampled by every coarser-rate point *j < i*, so the
+    /// record loop's first-reject early exit never skips an acceptance.
+    #[test]
+    fn sampler_filters_are_nested() {
+        let sizes: Vec<u64> = (1..=16).map(|i| i * 1024).collect();
+        let s = CurveSampler::new(PolicyKind::Lru, &sizes, 512, 16, 77);
+        let ratios = s.sampling_ratios();
+        assert!(ratios.windows(2).all(|w| w[0] <= w[1]), "{ratios:?}");
+        for v in 0..50_000u64 {
+            let line = LineAddr(v * 2654435761 % (1 << 30));
+            for i in 1..s.num_points() {
+                if s.samples(i, line) {
+                    assert!(
+                        s.samples(i - 1, line),
+                        "line {line:?} sampled at point {i} but not {}",
+                        i - 1
+                    );
+                }
+            }
+        }
     }
 }
