@@ -1,0 +1,187 @@
+//! Reconfiguration-plane ingest throughput: submissions + epochs.
+//!
+//! The serving claim behind `ShardedReconfigService`: per-cache state
+//! behind one registry lock bounds miss-curve ingest, so hash-sharding by
+//! cache id (and planning each shard's epochs on its own worker) should
+//! scale submissions and replanning across cores with zero plan change.
+//! These benches measure exactly that claim on the `multi_tenant`
+//! interference workload: four producer threads stream monitor-measured
+//! curve updates for 32 logical caches (striped across producers), then
+//! the plane drains its dirty queues — one iteration is the full
+//! submissions + epochs cycle.
+//!
+//! Variants:
+//! - `single`: the unsharded [`ReconfigService`] (one registry lock);
+//! - `sharded_1`: [`ShardedReconfigService`] with one shard — measures
+//!   pure router overhead, expected within noise of `single`;
+//! - `sharded_4`: four shards, epochs on the calling thread — measures
+//!   ingest-contention relief alone;
+//! - `sharded_4_threaded`: four shards, each planning on its own worker —
+//!   the full scale-out configuration. Speedup vs `single` is bounded by
+//!   available cores; on a single-core machine expect parity, not gain.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::thread;
+use talus_core::MissCurve;
+use talus_serve::{CacheId, CacheSpec, ReconfigService, ShardedReconfigService};
+use talus_sim::monitor::{MonitorSource, SampledMattson};
+use talus_sim::LineAddr;
+use talus_workloads::{multi_tenant, AccessGenerator};
+
+/// Logical caches on the plane.
+const CACHES: usize = 32;
+/// Tenants per cache (each cache hosts one multi-tenant interference
+/// workload).
+const TENANTS: usize = 4;
+/// Producer threads, striped over caches.
+const PRODUCERS: usize = 4;
+/// Curve-update rounds per iteration: each (cache, tenant) submits this
+/// many successive monitor-measured updates. Epochs coalesce them (only
+/// the latest curve is planned), so rounds weight the mix toward ingest —
+/// the contended path sharding is for.
+const ROUNDS: usize = 8;
+/// Lines per logical cache.
+const CAPACITY: u64 = 512;
+/// Accesses per monitoring interval per tenant (feeding the fixture).
+const INTERVAL: u64 = 10_000;
+/// Footprint shrink factor for the interference profile.
+const SCALE: f64 = 1.0 / 256.0;
+
+/// Monitor-measured curves for every (cache, tenant, round), produced
+/// once: the benches measure the serving plane, not the monitors.
+struct Fixture {
+    /// `curves[cache][tenant][round]`.
+    curves: Vec<Vec<Vec<MissCurve>>>,
+}
+
+impl Fixture {
+    fn build() -> Self {
+        let profile = multi_tenant(TENANTS).scaled(SCALE);
+        let curves = (0..CACHES)
+            .map(|c| {
+                (0..TENANTS)
+                    .map(|t| {
+                        let mut gen = profile.tenant_generator(t, 7 + c as u64);
+                        let next: Box<dyn FnMut() -> LineAddr> = Box::new(move || gen.next_line());
+                        let monitor =
+                            SampledMattson::new(2 * CAPACITY, 8, 0xCAFE + (c * TENANTS + t) as u64);
+                        let mut source = MonitorSource::new(monitor, INTERVAL, next);
+                        source.warm_up(INTERVAL / 2);
+                        (0..ROUNDS)
+                            .map(|_| {
+                                talus_core::CurveSource::next_curve(&mut source)
+                                    .expect("monitors never exhaust")
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Fixture { curves }
+    }
+}
+
+/// The two plane configurations under one face, so the measured loop is
+/// shared verbatim.
+enum Plane {
+    Single(ReconfigService),
+    Sharded(ShardedReconfigService),
+}
+
+impl Plane {
+    fn register(&self, spec: CacheSpec) -> CacheId {
+        match self {
+            Plane::Single(s) => s.register(spec),
+            Plane::Sharded(s) => s.register(spec),
+        }
+    }
+
+    fn submit(&self, id: CacheId, tenant: usize, curve: MissCurve) {
+        match self {
+            Plane::Single(s) => s.submit(id, tenant, curve),
+            Plane::Sharded(s) => s.submit(id, tenant, curve),
+        }
+        .expect("cache registered and tenant in range")
+    }
+
+    fn drain(&self) -> usize {
+        let reports = match self {
+            Plane::Single(s) => s.run_until_clean(),
+            Plane::Sharded(s) => s.run_until_clean(),
+        };
+        reports.iter().map(|r| r.planned.len()).sum()
+    }
+}
+
+/// One full ingest cycle: `PRODUCERS` threads submit every round's curves
+/// for their cache stripes, then the plane drains its dirty queues.
+fn ingest_cycle(plane: &Plane, ids: &[CacheId], fixture: &Fixture) -> usize {
+    thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for (c, id) in ids.iter().enumerate() {
+                        if c % PRODUCERS != p {
+                            continue;
+                        }
+                        for (t, rounds) in fixture.curves[c].iter().enumerate() {
+                            plane.submit(*id, t, rounds[round].clone());
+                        }
+                    }
+                }
+            });
+        }
+    });
+    plane.drain()
+}
+
+fn bench_plane(c: &mut Criterion, name: &str, plane: Plane, fixture: &Fixture) {
+    let ids: Vec<CacheId> = (0..CACHES)
+        .map(|_| plane.register(CacheSpec::new(CAPACITY, TENANTS)))
+        .collect();
+    // Warm the plane into steady state (every cache has a published plan).
+    assert_eq!(ingest_cycle(&plane, &ids, fixture), CACHES);
+    c.bench_function(name, |b| {
+        b.iter(|| black_box(ingest_cycle(&plane, &ids, fixture)))
+    });
+}
+
+fn bench_serve_ingest(c: &mut Criterion) {
+    let fixture = Fixture::build();
+    bench_plane(
+        c,
+        "serve_ingest/single",
+        Plane::Single(ReconfigService::new()),
+        &fixture,
+    );
+    bench_plane(
+        c,
+        "serve_ingest/sharded_1",
+        Plane::Sharded(ShardedReconfigService::new(1)),
+        &fixture,
+    );
+    bench_plane(
+        c,
+        "serve_ingest/sharded_4",
+        Plane::Sharded(ShardedReconfigService::new(4)),
+        &fixture,
+    );
+    bench_plane(
+        c,
+        "serve_ingest/sharded_4_threaded",
+        Plane::Sharded(ShardedReconfigService::new(4).with_threads()),
+        &fixture,
+    );
+}
+
+criterion_group!(name = benches; config = fast_criterion();
+    targets = bench_serve_ingest);
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_main!(benches);

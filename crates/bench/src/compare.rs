@@ -13,9 +13,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Bench-name prefixes considered hot paths: the planning pipeline the
-/// online service leans on (hulls, plan, allocation), the monitor
-/// record/curve paths, and the per-access cache loops. A regression
-/// beyond threshold on these fails the comparison (unless warn-only).
+/// online service leans on (hulls, plan, allocation), the serving plane's
+/// ingest cycle, the monitor record/curve paths, and the per-access cache
+/// loops. A regression beyond threshold on these fails the comparison
+/// (unless warn-only).
 pub const HOT_PREFIXES: &[&str] = &[
     "convex_hull/",
     "plan/",
@@ -23,6 +24,7 @@ pub const HOT_PREFIXES: &[&str] = &[
     "preprocess_hulls",
     "talus_reconfigure",
     "interval_software",
+    "serve_ingest/",
     "monitor_record/",
     "monitor_curve/",
     "set_assoc_access/",

@@ -62,6 +62,7 @@ pub mod bypass;
 mod config;
 mod curve;
 mod error;
+mod hash;
 mod hull;
 pub mod source;
 
@@ -71,5 +72,6 @@ pub use config::{
 };
 pub use curve::{CurvePoint, MissCurve};
 pub use error::{CurveError, PlanError};
+pub use hash::mix64;
 pub use hull::ConvexHull;
 pub use source::{CurveSource, ReplaySource};

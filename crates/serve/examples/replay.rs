@@ -1,18 +1,22 @@
-//! Replay a multi-tenant workload through the reconfiguration service.
+//! Replay a multi-tenant workload through the reconfiguration plane —
+//! both configurations of it.
 //!
 //! Two logical caches — one shared by three SPEC-shaped tenants, one by
-//! two — stream monitor-measured miss curves into `ReconfigService` over
-//! several monitoring intervals. After each interval the service runs one
-//! epoch, and we check the published snapshot against a from-scratch
-//! offline computation (talus-core hulls + talus-partition hill climbing
-//! + shadow planning) on the very same curves.
+//! two — stream monitor-measured miss curves into a single-shard
+//! `ReconfigService` **and** a 2-shard, threaded
+//! `ShardedReconfigService` over several monitoring intervals. After each
+//! interval both services run one epoch, and we check every published
+//! snapshot against a from-scratch offline computation (talus-core hulls
+//! + talus-partition hill climbing + shadow planning) on the very same
+//! curves — and the sharded plane's snapshots against the single
+//! service's, bit for bit: the router adds placement, never policy.
 //!
 //! Curves come from exact Mattson monitors (the checks are bit-exact, so
 //! determinism matters more than speed here); ingest still rides the
 //! batched path — `MonitorSource` feeds every monitor through
 //! `Monitor::record_block`. The `talus-serve` driver binary shows the
 //! production-shaped configuration: the same source over the SHARDS-style
-//! `SampledMattson`.
+//! `SampledMattson`, sharded and threaded.
 //!
 //! ```text
 //! cargo run -p talus-serve --example replay
@@ -22,7 +26,7 @@ use std::collections::HashMap;
 
 use talus_core::{plan_with_hull, MissCurve, TalusOptions};
 use talus_partition::hill_climb;
-use talus_serve::{CacheId, CacheSpec, ReconfigService};
+use talus_serve::{CacheId, CacheSpec, ReconfigService, ShardedReconfigService};
 use talus_sim::monitor::{MattsonMonitor, MonitorSource};
 use talus_sim::LineAddr;
 use talus_workloads::{profile, AccessGenerator};
@@ -36,6 +40,8 @@ const INTERVAL: u64 = 50_000;
 const WARMUP: u64 = 25_000;
 /// Monitoring intervals to replay.
 const INTERVALS: usize = 3;
+/// Shards in the sharded twin of the service.
+const SHARDS: usize = 2;
 
 type Source = MonitorSource<MattsonMonitor, Box<dyn FnMut() -> LineAddr>>;
 
@@ -83,22 +89,22 @@ fn assert_matches_offline(
 
 fn main() {
     let service = ReconfigService::new();
+    let sharded = ShardedReconfigService::new(SHARDS).with_threads();
 
     // Cache A: three tenants with very different curve shapes (a scan
     // cliff, a gentle convex decay, a mid-size working set) share 4096
-    // lines. Cache B: two tenants share 2048 lines.
-    let caches: Vec<(CacheId, u64, Vec<&str>)> = vec![
-        (
-            service.register(CacheSpec::new(4096, 3)),
-            4096,
-            vec!["libquantum", "omnetpp", "xalancbmk"],
-        ),
-        (
-            service.register(CacheSpec::new(2048, 2)),
-            2048,
-            vec!["milc", "mcf"],
-        ),
-    ];
+    // lines. Cache B: two tenants share 2048 lines. Both services
+    // register in the same order, so their CacheIds coincide.
+    let mut caches: Vec<(CacheId, u64, Vec<&str>)> = Vec::new();
+    for (capacity, tenants) in [
+        (4096u64, vec!["libquantum", "omnetpp", "xalancbmk"]),
+        (2048, vec!["milc", "mcf"]),
+    ] {
+        let id = service.register(CacheSpec::new(capacity, tenants.len()));
+        let twin = sharded.register(CacheSpec::new(capacity, tenants.len()));
+        assert_eq!(id, twin, "id allocation matches across configurations");
+        caches.push((id, capacity, tenants));
+    }
 
     let mut sources: HashMap<(u64, usize), Source> = HashMap::new();
     for (id, capacity, tenants) in &caches {
@@ -112,7 +118,8 @@ fn main() {
 
     let mut published_epochs = 0u64;
     for interval in 0..INTERVALS {
-        // Producers: one curve update per tenant per interval.
+        // Producers: one curve update per tenant per interval, fed to
+        // both configurations.
         let mut latest: HashMap<u64, Vec<MissCurve>> = HashMap::new();
         for (id, _, tenants) in &caches {
             let mut curves = Vec::new();
@@ -123,29 +130,49 @@ fn main() {
                 service
                     .submit(*id, t, curve.clone())
                     .expect("cache is registered and tenant in range");
+                sharded
+                    .submit(*id, t, curve.clone())
+                    .expect("cache is registered and tenant in range");
                 curves.push(curve);
             }
             latest.insert(id.value(), curves);
         }
 
-        // The planner: one epoch batches every dirty cache.
+        // The planner: one epoch batches every dirty cache (per shard, on
+        // worker threads, in the sharded twin).
         let report = service.run_epoch();
+        let sharded_report = sharded.run_epoch();
         println!(
-            "interval {interval}: epoch {} planned {} cache(s), {} deferred, {} failed",
+            "interval {interval}: epoch {} planned {} cache(s), {} deferred, {} failed \
+             (sharded twin planned {})",
             report.epoch,
             report.planned.len(),
             report.deferred.len(),
-            report.failed.len()
+            report.failed.len(),
+            sharded_report.planned.len(),
         );
         assert_eq!(report.planned.len(), caches.len());
+        assert_eq!(
+            report.planned, sharded_report.planned,
+            "both configurations plan the same caches, in CacheId order"
+        );
         published_epochs += 1;
 
-        // Readers: snapshots must equal the offline planner's output.
+        // Readers: snapshots must equal the offline planner's output, and
+        // the sharded plane's snapshots must equal the single service's.
         for (id, capacity, _) in &caches {
             assert_matches_offline(&service, *id, *capacity, &latest[&id.value()]);
             let snap = service.snapshot(*id).expect("published");
+            let sharded_snap = sharded.snapshot(*id).expect("published");
+            assert_eq!(
+                snap.plan, sharded_snap.plan,
+                "{id}: sharded plan diverges from single-service plan"
+            );
+            assert_eq!(snap.version, sharded_snap.version);
+            assert_eq!(snap.updates, sharded_snap.updates);
             println!(
-                "  {id}: version {} (epoch {}, {} updates) allocations {:?}",
+                "  {id} [shard {}]: version {} (epoch {}, {} updates) allocations {:?}",
+                sharded.shard_index(*id),
                 snap.version,
                 snap.epoch,
                 snap.updates,
@@ -168,7 +195,9 @@ fn main() {
         "replay must publish at least two plan epochs"
     );
     println!(
-        "OK: {published_epochs} plan epochs published for {} caches; every snapshot matches the offline planner.",
+        "OK: {published_epochs} plan epochs published for {} caches; every snapshot matches the \
+         offline planner, and the {SHARDS}-shard threaded plane matches the single service bit \
+         for bit.",
         caches.len()
     );
 }

@@ -38,6 +38,20 @@
 //! same curves. The integration tests (and a property test over random
 //! curve sets) assert exactly that.
 //!
+//! ## Scaling out: sharding by cache id
+//!
+//! [`ReconfigService`] guards all per-cache state with one registry lock,
+//! so ingest throughput is ultimately bounded by that lock and epochs plan
+//! on one thread. [`ShardedReconfigService`] removes both bounds with the
+//! same public API: per-cache state lives on one of N independent shards
+//! selected by `mix64(cache_id) % N`, submissions for caches on different
+//! shards never contend, each shard batches its own epochs, and an
+//! optional thread-pool mode re-plans shards concurrently (workers for
+//! shards 1..N, the epoch caller planning shard 0). Because
+//! caches never share state, the published plans are identical for every
+//! shard count and threading mode (property-tested in
+//! `tests/sharding.rs`), so callers migrate with zero semantic change.
+//!
 //! ```
 //! use talus_core::MissCurve;
 //! use talus_serve::{CacheSpec, ReconfigService};
@@ -64,8 +78,11 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod router;
 mod service;
+mod shard;
 mod snapshot;
 
+pub use router::ShardedReconfigService;
 pub use service::{CacheSpec, EpochReport, ReconfigService, ServeError};
 pub use snapshot::{CacheId, PlanSnapshot};

@@ -1,21 +1,26 @@
-//! `talus-serve` driver: a threaded, single-node reconfiguration service
-//! demo. Producer threads stream monitor-measured curve updates for many
-//! logical caches while the planner thread batches dirty caches into
-//! epochs and publishes versioned snapshots.
+//! `talus-serve` driver: a threaded, sharded reconfiguration-plane demo.
+//! Producer threads stream monitor-measured curve updates for many logical
+//! caches — each cache a multi-tenant interference workload — while the
+//! planner thread batches dirty caches into per-shard epochs and publishes
+//! versioned snapshots.
 //!
 //! ```text
-//! cargo run -p talus-serve --release [-- <caches> <tenants> <intervals>]
+//! cargo run -p talus-serve --release [-- <caches> <tenants> <intervals> <shards> <threaded 0|1>]
 //! ```
+//!
+//! With `<shards> > 1` the service is a [`ShardedReconfigService`]:
+//! submissions for caches on different shards never contend, and with
+//! `<threaded> = 1` each shard plans its epochs on a dedicated worker.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use talus_serve::{CacheId, CacheSpec, ReconfigService};
+use talus_serve::{CacheId, CacheSpec, ShardedReconfigService};
 use talus_sim::monitor::{MonitorSource, SampledMattson};
 use talus_sim::LineAddr;
-use talus_workloads::{memory_intensive, AccessGenerator};
+use talus_workloads::{multi_tenant, AccessGenerator};
 
 /// Footprint shrink factor for the demo workloads.
 const SCALE: f64 = 1.0 / 256.0;
@@ -41,29 +46,36 @@ fn main() {
     let caches = arg(1, 4);
     let tenants = arg(2, 3);
     let intervals = arg(3, 4);
-    println!("talus-serve: {caches} caches x {tenants} tenants, {intervals} monitoring intervals");
+    let shards = arg(4, 4).max(1);
+    let threaded = arg(5, 1) != 0;
+    println!(
+        "talus-serve: {caches} caches x {tenants} tenants, {intervals} monitoring intervals, \
+         {shards} shard(s){}",
+        if threaded { " (threaded epochs)" } else { "" }
+    );
 
-    let service = Arc::new(ReconfigService::new());
+    let service = ShardedReconfigService::new(shards);
+    let service = Arc::new(if threaded {
+        service.with_threads()
+    } else {
+        service
+    });
     let producers_done = Arc::new(AtomicBool::new(false));
-    let pool = memory_intensive();
 
-    // One producer thread per logical cache: measure each tenant's miss
-    // curve over an interval, submit, repeat.
+    // One producer thread per logical cache: each cache hosts one
+    // multi-tenant interference workload (phase-shifted sweeps over a
+    // shared region), measured per tenant and submitted every interval.
     let mut producer_handles = Vec::new();
     let mut ids: Vec<CacheId> = Vec::new();
     for c in 0..caches {
         let id = service.register(CacheSpec::new(CAPACITY, tenants));
         ids.push(id);
         let service = Arc::clone(&service);
-        let profiles: Vec<_> = (0..tenants)
-            .map(|t| pool[(c * tenants + t) % pool.len()].scaled(SCALE))
-            .collect();
+        let profile = multi_tenant(tenants).scaled(SCALE);
         producer_handles.push(thread::spawn(move || {
-            let mut sources: Vec<_> = profiles
-                .iter()
-                .enumerate()
-                .map(|(t, p)| {
-                    let mut gen = p.generator(7 + c as u64, t as u64);
+            let mut sources: Vec<_> = (0..tenants)
+                .map(|t| {
+                    let mut gen = profile.tenant_generator(t, 7 + c as u64);
                     let next: Box<dyn FnMut() -> LineAddr> = Box::new(move || gen.next_line());
                     let monitor =
                         SampledMattson::new(2 * CAPACITY, SAMPLE_RATIO, 0xCAFE + c as u64);
@@ -82,8 +94,8 @@ fn main() {
         }));
     }
 
-    // The planner thread: batch dirty caches into epochs until producers
-    // finish and the queue drains.
+    // The planner thread: every run_epoch call batches each shard's dirty
+    // caches (concurrently across shards in threaded mode).
     let planner = {
         let service = Arc::clone(&service);
         let done = Arc::clone(&producers_done);
@@ -125,17 +137,22 @@ fn main() {
     for id in &ids {
         match service.snapshot(*id) {
             Some(snap) => println!(
-                "  {id}: version {} (epoch {}, {} updates) allocations {:?}",
+                "  {id} [shard {}]: version {} (epoch {}, {} updates) allocations {:?}",
+                service.shard_index(*id),
                 snap.version,
                 snap.epoch,
                 snap.updates,
                 snap.allocations()
             ),
-            None => println!("  {id}: no plan published"),
+            None => println!(
+                "  {id} [shard {}]: no plan published",
+                service.shard_index(*id)
+            ),
         }
     }
     println!(
-        "{} epochs run, {planned_total} cache replans published.",
-        service.epochs()
+        "{} epochs run, {planned_total} cache replans published across {} shard(s).",
+        service.epochs(),
+        service.shards()
     );
 }

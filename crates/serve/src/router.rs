@@ -1,0 +1,536 @@
+//! The sharded reconfiguration plane: N [`Shard`]s behind a hash router.
+//!
+//! [`ShardedReconfigService`] exposes the exact public API of
+//! [`ReconfigService`](crate::ReconfigService) — `register`, `deregister`,
+//! `submit`, `submit_from`, `submit_latest`, `snapshot`, `run_epoch`,
+//! `run_until_clean` — but spreads per-cache state across N independent
+//! shards selected by `mix64(cache_id) % N`. Caches never share state, so
+//! sharding needs no cross-shard coordination: a submission touches one
+//! shard's lock, producers for caches on different shards never contend,
+//! and each shard plans its own epoch batch. With
+//! [`with_threads`](ShardedReconfigService::with_threads), shards 1..N
+//! run their epochs on dedicated worker threads while the epoch-driving
+//! thread plans shard 0 itself (leader participates), so independent
+//! caches re-plan in parallel.
+//!
+//! Plan equivalence is the migration contract: for any submission
+//! sequence, the plan published for a cache is identical to what a
+//! single-shard [`ReconfigService`](crate::ReconfigService) publishes
+//! (property-tested in `tests/sharding.rs`) — the router adds
+//! *placement*, never *policy*.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use crate::service::{CacheSpec, EpochReport, ServeError};
+use crate::shard::Shard;
+use crate::snapshot::{CacheId, PlanSnapshot};
+use talus_core::{mix64, CurveSource, MissCurve};
+
+/// Seed folded into the router hash, so shard placement is a fixed,
+/// documented function of the cache id alone (stable across restarts with
+/// the same shard count).
+const ROUTER_SEED: u64 = 0x7A1D_5EED_CA0E_51D5;
+
+/// One "run an epoch" request handed to a shard's worker thread.
+struct EpochJob {
+    epoch: u64,
+    reply: mpsc::Sender<EpochReport>,
+}
+
+/// One dedicated worker thread per shard, parked on a job channel.
+#[derive(Debug)]
+struct WorkerPool {
+    /// Job channels, one per shard. Behind a mutex so the service stays
+    /// `Sync` independent of `mpsc::Sender`'s (toolchain-dependent)
+    /// auto-traits; the lock is held only while enqueueing jobs.
+    senders: Mutex<Vec<mpsc::Sender<EpochJob>>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns one worker per shard in `shards[1..]`. Shard 0 has no
+    /// worker: the epoch-driving thread plans it itself (leader
+    /// participates), so an epoch costs N−1 thread handoffs, not N.
+    fn spawn(shards: &[Arc<Shard>]) -> Self {
+        let mut senders = Vec::with_capacity(shards.len() - 1);
+        let mut handles = Vec::with_capacity(shards.len() - 1);
+        for (i, shard) in shards.iter().enumerate().skip(1) {
+            let (tx, rx) = mpsc::channel::<EpochJob>();
+            let shard = Arc::clone(shard);
+            let handle = thread::Builder::new()
+                .name(format!("talus-serve-shard-{i}"))
+                .spawn(move || {
+                    // Exits when the pool drops its sender.
+                    while let Ok(job) = rx.recv() {
+                        // A dropped reply receiver just means the caller
+                        // gave up on the epoch; keep serving.
+                        let _ = job.reply.send(shard.run_epoch(job.epoch));
+                    }
+                })
+                .expect("spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            senders: Mutex::new(senders),
+            handles,
+        }
+    }
+
+    /// Runs `epoch` on every shard concurrently; returns the per-shard
+    /// reports (in completion order — the caller sorts after merging).
+    ///
+    /// Leader participates: the calling thread plans shard 0 itself while
+    /// the workers handle shards 1..N, so thread-pool mode costs N−1
+    /// handoffs per epoch, not N (and a 1-shard "pool" costs none).
+    fn run_epoch(&self, shards: &[Arc<Shard>], epoch: u64) -> Vec<EpochReport> {
+        let (reply, results) = mpsc::channel();
+        let dispatched = {
+            let senders = self.senders.lock().expect("worker pool poisoned");
+            for tx in senders.iter() {
+                tx.send(EpochJob {
+                    epoch,
+                    reply: reply.clone(),
+                })
+                .expect("shard worker alive while pool exists");
+            }
+            senders.len()
+        };
+        drop(reply);
+        let mut reports = vec![shards[0].run_epoch(epoch)];
+        reports.extend(results.iter());
+        assert_eq!(reports.len(), dispatched + 1, "every shard reports");
+        reports
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels lets every worker's `recv` fail and the
+        // thread exit; then reap them.
+        if let Ok(mut senders) = self.senders.lock() {
+            senders.clear();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// N independent [`ReconfigService`]-shaped shards behind a
+/// `mix64(cache_id)`-hash router. Same public API, same published plans
+/// (property-tested), but ingest and epoch planning scale across shards.
+///
+/// All methods take `&self`; the service is `Send + Sync` and is shared
+/// across producer, planner, and reader threads behind an `Arc`.
+///
+/// ```
+/// use talus_core::MissCurve;
+/// use talus_serve::{CacheSpec, ShardedReconfigService};
+///
+/// let service = ShardedReconfigService::new(4);
+/// let cache = service.register(CacheSpec::new(1024, 2));
+///
+/// let cliff = MissCurve::from_samples(&[0.0, 512.0, 1024.0], &[10.0, 10.0, 1.0])?;
+/// let gentle = MissCurve::from_samples(&[0.0, 512.0, 1024.0], &[4.0, 2.0, 1.5])?;
+/// service.submit(cache, 0, cliff)?;
+/// service.submit(cache, 1, gentle)?;
+///
+/// let report = service.run_epoch();
+/// assert_eq!(report.planned, vec![cache]);
+/// let snap = service.snapshot(cache).expect("published");
+/// assert_eq!(snap.plan.allocations().iter().sum::<u64>(), 1024);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// [`ReconfigService`]: crate::ReconfigService
+#[derive(Debug)]
+pub struct ShardedReconfigService {
+    shards: Vec<Arc<Shard>>,
+    next_id: AtomicU64,
+    epochs: AtomicU64,
+    /// `Some` in thread-pool mode: one worker per shard.
+    pool: Option<WorkerPool>,
+}
+
+impl ShardedReconfigService {
+    /// A plane of `shards` shards, each replanning at most 64 caches per
+    /// epoch, with epochs run sequentially on the calling thread.
+    ///
+    /// Shard count is a capacity knob, not a semantic one: plans are
+    /// identical for every value. Pick roughly the number of cores you
+    /// want planning to spread over (see ARCHITECTURE.md §L5); `new(1)`
+    /// is behaviourally — and, within noise, performance- — equivalent to
+    /// [`ReconfigService`](crate::ReconfigService).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedReconfigService {
+            shards: (0..shards).map(|_| Arc::new(Shard::new(64))).collect(),
+            next_id: AtomicU64::new(0),
+            epochs: AtomicU64::new(0),
+            pool: None,
+        }
+    }
+
+    /// Caps how many caches each **shard** replans per epoch (so a plane
+    /// of N shards replans at most `N × max_batch` caches per epoch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero, or if thread-pool mode is already
+    /// enabled (configure batching before [`with_threads`]).
+    ///
+    /// [`with_threads`]: ShardedReconfigService::with_threads
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(self.pool.is_none(), "set max_batch before enabling threads");
+        for shard in &mut self.shards {
+            Arc::get_mut(shard)
+                .expect("shards unshared before threads start")
+                .set_max_batch(max_batch);
+        }
+        self
+    }
+
+    /// Enables thread-pool mode: shards 1..N each get a dedicated worker
+    /// thread (`talus-serve-shard-<i>`), and
+    /// [`run_epoch`](ShardedReconfigService::run_epoch) dispatches to all
+    /// of them concurrently while planning shard 0 on the calling thread
+    /// (leader participates — N−1 thread handoffs per epoch, and a
+    /// 1-shard plane spawns no workers at all). Independent caches then
+    /// re-plan in parallel; reports (and plans) are bit-identical to
+    /// sequential mode.
+    ///
+    /// Workers are joined when the service drops.
+    pub fn with_threads(mut self) -> Self {
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::spawn(&self.shards));
+        }
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether epochs run on per-shard worker threads.
+    pub fn is_threaded(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// The shard index `id` routes to: `mix64(id) % shards`. Stable for a
+    /// given shard count; exposed for observability (logs, dashboards).
+    pub fn shard_index(&self, id: CacheId) -> usize {
+        (mix64(ROUTER_SEED, id.value()) % self.shards.len() as u64) as usize
+    }
+
+    fn shard_of(&self, id: CacheId) -> &Shard {
+        &self.shards[self.shard_index(id)]
+    }
+
+    /// Registers a logical cache; returns its handle. Ids are allocated
+    /// from one plane-wide counter (never reused), then routed to a shard
+    /// by hash. The cache publishes no plan until every tenant has
+    /// submitted at least one curve and an epoch has run.
+    pub fn register(&self, spec: CacheSpec) -> CacheId {
+        let id = CacheId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.shard_of(id).insert(id.value(), spec);
+        id
+    }
+
+    /// Removes a cache and its published snapshot. In-flight planning for
+    /// the cache (if any) is discarded at publication time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownCache`] if the id was never registered or was
+    /// already removed.
+    pub fn deregister(&self, id: CacheId) -> Result<(), ServeError> {
+        self.shard_of(id).remove(id)
+    }
+
+    /// Stores tenant `tenant`'s latest miss curve and marks the cache
+    /// dirty on its shard. Only that one shard's lock is taken: producers
+    /// feeding caches on different shards never contend.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownCache`] / [`ServeError::TenantOutOfRange`].
+    pub fn submit(&self, id: CacheId, tenant: usize, curve: MissCurve) -> Result<(), ServeError> {
+        self.shard_of(id).submit(id, tenant, curve)
+    }
+
+    /// Pulls one update from a [`CurveSource`] and submits it. Returns
+    /// `Ok(false)` (without marking anything dirty) once the source is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](ShardedReconfigService::submit).
+    pub fn submit_from(
+        &self,
+        id: CacheId,
+        tenant: usize,
+        source: &mut dyn CurveSource,
+    ) -> Result<bool, ServeError> {
+        match source.next_curve() {
+            Some(curve) => self.submit(id, tenant, curve).map(|_| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Drains up to `max` pending updates from a [`CurveSource`] and
+    /// submits only the newest — the backlog-coalescing ingest path. See
+    /// [`ReconfigService::submit_latest`](crate::ReconfigService::submit_latest)
+    /// for when (not) to use it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](ShardedReconfigService::submit).
+    pub fn submit_latest(
+        &self,
+        id: CacheId,
+        tenant: usize,
+        source: &mut dyn CurveSource,
+        max: usize,
+    ) -> Result<usize, ServeError> {
+        let mut curves = source.next_curves(max);
+        let drained = curves.len();
+        if let Some(curve) = curves.pop() {
+            self.submit(id, tenant, curve)?;
+        }
+        Ok(drained)
+    }
+
+    /// The latest published plan for `id`, if any epoch has planned it.
+    ///
+    /// The reader hot path: one shard's read-lock held for one `Arc`
+    /// clone.
+    pub fn snapshot(&self, id: CacheId) -> Option<Arc<PlanSnapshot>> {
+        self.shard_of(id).snapshot(id)
+    }
+
+    /// Epochs run so far (plane-wide: one `run_epoch` call is one epoch,
+    /// whichever shards it touched).
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Dirty caches currently queued, summed across shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.pending()).sum()
+    }
+
+    /// Registered caches, summed across shards.
+    pub fn registered(&self) -> usize {
+        self.shards.iter().map(|s| s.registered()).sum()
+    }
+
+    /// Runs one planning epoch on **every** shard — sequentially on this
+    /// thread, or concurrently on the per-shard workers in thread-pool
+    /// mode — and merges the per-shard results into one report. Each
+    /// shard drains up to its own `max_batch` (per-shard epoch batching),
+    /// and the merged report lists caches in ascending [`CacheId`] order
+    /// regardless of shard layout or completion order.
+    pub fn run_epoch(&self) -> EpochReport {
+        let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        let reports = match &self.pool {
+            Some(pool) => pool.run_epoch(&self.shards, epoch),
+            None => self.shards.iter().map(|s| s.run_epoch(epoch)).collect(),
+        };
+        merge_reports(epoch, reports)
+    }
+
+    /// Runs epochs until every shard's dirty queue is empty; returns the
+    /// merged reports. (Deferred caches leave their queue until new data
+    /// arrives, so this always terminates.)
+    pub fn run_until_clean(&self) -> Vec<EpochReport> {
+        let mut reports = Vec::new();
+        while self.pending() > 0 {
+            reports.push(self.run_epoch());
+        }
+        reports
+    }
+}
+
+/// Folds per-shard epoch reports into one plane-wide report, re-sorting
+/// into CacheId order (shard reports arrive in arbitrary completion
+/// order in thread-pool mode).
+fn merge_reports(epoch: u64, reports: Vec<EpochReport>) -> EpochReport {
+    let mut merged = EpochReport {
+        epoch,
+        planned: Vec::new(),
+        deferred: Vec::new(),
+        failed: Vec::new(),
+        remaining_dirty: 0,
+    };
+    for report in reports {
+        merged.planned.extend(report.planned);
+        merged.deferred.extend(report.deferred);
+        merged.failed.extend(report.failed);
+        merged.remaining_dirty += report.remaining_dirty;
+    }
+    merged.planned.sort_unstable();
+    merged.deferred.sort_unstable();
+    merged.failed.sort_unstable_by_key(|(id, _)| *id);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(cliff_at: f64, cap: f64) -> MissCurve {
+        MissCurve::from_samples(
+            &[0.0, cliff_at / 2.0, cliff_at, cap],
+            &[10.0, 10.0, 1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    fn service_is_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shareable_across_threads() {
+        service_is_send_sync::<ShardedReconfigService>();
+    }
+
+    #[test]
+    fn routes_caches_across_shards() {
+        let s = ShardedReconfigService::new(4);
+        let ids: Vec<CacheId> = (0..64)
+            .map(|_| s.register(CacheSpec::new(1024, 1)))
+            .collect();
+        assert_eq!(s.registered(), 64);
+        // mix64 routing spreads sequential ids over all shards.
+        let mut per_shard = [0usize; 4];
+        for id in &ids {
+            per_shard[s.shard_index(*id)] += 1;
+        }
+        assert!(
+            per_shard.iter().all(|&n| n >= 4),
+            "unbalanced routing: {per_shard:?}"
+        );
+        // Routing is a pure function of the id.
+        assert_eq!(s.shard_index(ids[7]), s.shard_index(ids[7]));
+    }
+
+    #[test]
+    fn one_epoch_drains_every_shard_in_id_order() {
+        let s = ShardedReconfigService::new(3);
+        let ids: Vec<CacheId> = (0..12)
+            .map(|_| s.register(CacheSpec::new(1024, 1)))
+            .collect();
+        for id in ids.iter().rev() {
+            s.submit(*id, 0, curve(512.0, 1024.0)).unwrap();
+        }
+        let report = s.run_epoch();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.planned, ids, "merged report is in CacheId order");
+        assert_eq!(report.remaining_dirty, 0);
+        for id in &ids {
+            assert_eq!(s.snapshot(*id).unwrap().version, 1);
+        }
+        assert!(s.run_epoch().is_idle());
+        assert_eq!(s.epochs(), 2);
+    }
+
+    #[test]
+    fn threaded_mode_publishes_identical_reports() {
+        let seq = ShardedReconfigService::new(4);
+        let par = ShardedReconfigService::new(4).with_threads();
+        assert!(par.is_threaded() && !seq.is_threaded());
+        for _ in 0..10 {
+            let a = seq.register(CacheSpec::new(2048, 2));
+            let b = par.register(CacheSpec::new(2048, 2));
+            assert_eq!(a, b, "same id allocation order");
+            for t in 0..2 {
+                seq.submit(a, t, curve(512.0 + 64.0 * t as f64, 2048.0))
+                    .unwrap();
+                par.submit(b, t, curve(512.0 + 64.0 * t as f64, 2048.0))
+                    .unwrap();
+            }
+        }
+        let r_seq = seq.run_epoch();
+        let r_par = par.run_epoch();
+        assert_eq!(r_seq, r_par);
+        for id in r_seq.planned {
+            let a = seq.snapshot(id).unwrap();
+            let b = par.snapshot(id).unwrap();
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(
+                (a.version, a.updates, a.epoch),
+                (b.version, b.updates, b.epoch)
+            );
+        }
+    }
+
+    #[test]
+    fn deferred_and_failed_merge_in_id_order() {
+        let s = ShardedReconfigService::new(2);
+        // Mix of: complete single-tenant caches (plan), a two-tenant cache
+        // missing one curve (defer), and a cache whose curve's domain
+        // excludes its fair share (fail).
+        let ok_a = s.register(CacheSpec::new(1024, 1));
+        let lagging = s.register(CacheSpec::new(1024, 2));
+        let ok_b = s.register(CacheSpec::new(1024, 1));
+        let failing = s.register(CacheSpec::new(1024, 2));
+        s.submit(ok_b, 0, curve(512.0, 1024.0)).unwrap();
+        s.submit(ok_a, 0, curve(512.0, 1024.0)).unwrap();
+        s.submit(lagging, 0, curve(512.0, 1024.0)).unwrap();
+        s.submit(failing, 0, curve(512.0, 1024.0)).unwrap();
+        s.submit(
+            failing,
+            1,
+            MissCurve::from_samples(&[768.0, 1024.0], &[5.0, 1.0]).unwrap(),
+        )
+        .unwrap();
+        let report = s.run_epoch();
+        assert_eq!(report.planned, vec![ok_a, ok_b]);
+        assert_eq!(report.deferred, vec![lagging]);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].0, failing);
+    }
+
+    #[test]
+    fn run_until_clean_drains_all_shards() {
+        let s = ShardedReconfigService::new(4).with_max_batch(1);
+        let ids: Vec<CacheId> = (0..8)
+            .map(|_| s.register(CacheSpec::new(1024, 1)))
+            .collect();
+        for id in &ids {
+            s.submit(*id, 0, curve(512.0, 1024.0)).unwrap();
+        }
+        let reports = s.run_until_clean();
+        assert!(s.pending() == 0);
+        let planned: usize = reports.iter().map(|r| r.planned.len()).sum();
+        assert_eq!(planned, 8);
+        // Per-shard batching: one epoch plans at most one cache per shard.
+        assert!(reports.iter().all(|r| r.planned.len() <= 4));
+    }
+
+    #[test]
+    fn deregister_on_the_right_shard() {
+        let s = ShardedReconfigService::new(4).with_threads();
+        let id = s.register(CacheSpec::new(1024, 1));
+        s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+        s.run_epoch();
+        assert!(s.snapshot(id).is_some());
+        s.deregister(id).unwrap();
+        assert!(s.snapshot(id).is_none());
+        assert_eq!(s.deregister(id), Err(ServeError::UnknownCache(id)));
+        assert_eq!(s.registered(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedReconfigService::new(0);
+    }
+}

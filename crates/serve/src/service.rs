@@ -1,11 +1,17 @@
-//! The reconfiguration service: registry, dirty-queue batching, epochs.
+//! The single-shard reconfiguration service and the shared API types
+//! (specs, errors, epoch reports).
+//!
+//! [`ReconfigService`] is one [`Shard`](crate::shard::Shard) plus id and
+//! epoch allocation — the single-lock configuration. The sharded,
+//! router-fronted configuration with the same public API is
+//! [`ShardedReconfigService`](crate::ShardedReconfigService).
 
-use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 
+use crate::shard::Shard;
 use crate::snapshot::{CacheId, PlanSnapshot};
 use talus_core::{CurveSource, MissCurve, PlanError};
 use talus_partition::Planner;
@@ -98,9 +104,13 @@ impl Error for ServeError {
 }
 
 /// What one [`run_epoch`](ReconfigService::run_epoch) call did.
+///
+/// Caches are listed in ascending [`CacheId`] order in every field —
+/// deterministic regardless of submission interleaving, queue layout, or
+/// (for the sharded service) which shard each cache landed on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochReport {
-    /// The epoch number (global, monotone from 1).
+    /// The epoch number (monotone from 1 per service).
     pub epoch: u64,
     /// Caches whose new plans were published this epoch.
     pub planned: Vec<CacheId>,
@@ -120,41 +130,22 @@ impl EpochReport {
     }
 }
 
-/// Per-cache mutable state, guarded by the registry lock.
-#[derive(Debug)]
-struct CacheEntry {
-    spec: CacheSpec,
-    /// Latest curve per tenant (`None` until the tenant's first update).
-    curves: Vec<Option<MissCurve>>,
-    /// Total curve updates accepted since registration.
-    updates: u64,
-    /// Successful plans published (the snapshot version counter).
-    version: u64,
-    /// Whether the cache sits in the dirty queue.
-    dirty: bool,
-}
-
-#[derive(Debug, Default)]
-struct Registry {
-    next_id: u64,
-    caches: HashMap<u64, CacheEntry>,
-    /// FIFO of dirty cache ids; an id appears at most once (the `dirty`
-    /// flag dedups).
-    dirty_queue: VecDeque<u64>,
-}
-
 /// The online reconfiguration service. See the crate docs for the
 /// concurrency contract.
 ///
 /// All methods take `&self`; the service is `Send + Sync` and is shared
 /// across producer, planner, and reader threads behind an `Arc`.
+///
+/// Internally this is exactly one shard (`shard::Shard`) — all per-cache
+/// state behind one registry lock. When ingest or planning throughput on
+/// that lock becomes the bottleneck, [`ShardedReconfigService`] offers
+/// the same API over N shards.
+///
+/// [`ShardedReconfigService`]: crate::ShardedReconfigService
 #[derive(Debug)]
 pub struct ReconfigService {
-    /// Most caches replanned per epoch; overflow stays queued.
-    max_batch: usize,
-    registry: Mutex<Registry>,
-    /// Reader-facing snapshot map: the only state readers touch.
-    published: RwLock<HashMap<u64, Arc<PlanSnapshot>>>,
+    shard: Shard,
+    next_id: AtomicU64,
     epochs: AtomicU64,
 }
 
@@ -168,9 +159,8 @@ impl ReconfigService {
     /// A service replanning at most 64 caches per epoch.
     pub fn new() -> Self {
         ReconfigService {
-            max_batch: 64,
-            registry: Mutex::new(Registry::default()),
-            published: RwLock::new(HashMap::new()),
+            shard: Shard::new(64),
+            next_id: AtomicU64::new(0),
             epochs: AtomicU64::new(0),
         }
     }
@@ -182,32 +172,16 @@ impl ReconfigService {
     ///
     /// Panics if `max_batch` is zero.
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
-        assert!(max_batch > 0, "epoch batch must be positive");
-        self.max_batch = max_batch;
+        self.shard.set_max_batch(max_batch);
         self
-    }
-
-    fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
-        self.registry.lock().expect("registry lock poisoned")
     }
 
     /// Registers a logical cache; returns its handle. The cache publishes
     /// no plan until every tenant has submitted at least one curve and an
     /// epoch has run.
     pub fn register(&self, spec: CacheSpec) -> CacheId {
-        let mut reg = self.lock_registry();
-        let id = reg.next_id;
-        reg.next_id += 1;
-        reg.caches.insert(
-            id,
-            CacheEntry {
-                curves: vec![None; spec.tenants],
-                spec,
-                updates: 0,
-                version: 0,
-                dirty: false,
-            },
-        );
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shard.insert(id, spec);
         CacheId(id)
     }
 
@@ -219,19 +193,7 @@ impl ReconfigService {
     /// [`ServeError::UnknownCache`] if the id was never registered or was
     /// already removed.
     pub fn deregister(&self, id: CacheId) -> Result<(), ServeError> {
-        {
-            let mut reg = self.lock_registry();
-            reg.caches
-                .remove(&id.0)
-                .ok_or(ServeError::UnknownCache(id))?;
-            // The id may linger in dirty_queue; the epoch drain skips
-            // entries with no registry record.
-        }
-        self.published
-            .write()
-            .expect("published lock poisoned")
-            .remove(&id.0);
-        Ok(())
+        self.shard.remove(id)
     }
 
     /// Stores tenant `tenant`'s latest miss curve and marks the cache
@@ -242,26 +204,7 @@ impl ReconfigService {
     ///
     /// [`ServeError::UnknownCache`] / [`ServeError::TenantOutOfRange`].
     pub fn submit(&self, id: CacheId, tenant: usize, curve: MissCurve) -> Result<(), ServeError> {
-        let mut reg = self.lock_registry();
-        let entry = reg
-            .caches
-            .get_mut(&id.0)
-            .ok_or(ServeError::UnknownCache(id))?;
-        let tenants = entry.spec.tenants;
-        if tenant >= tenants {
-            return Err(ServeError::TenantOutOfRange {
-                cache: id,
-                tenant,
-                tenants,
-            });
-        }
-        entry.curves[tenant] = Some(curve);
-        entry.updates += 1;
-        if !entry.dirty {
-            entry.dirty = true;
-            reg.dirty_queue.push_back(id.0);
-        }
-        Ok(())
+        self.shard.submit(id, tenant, curve)
     }
 
     /// Pulls one update from a [`CurveSource`] and submits it. Returns
@@ -322,11 +265,7 @@ impl ReconfigService {
     ///
     /// This is the reader hot path: a read-lock held for one `Arc` clone.
     pub fn snapshot(&self, id: CacheId) -> Option<Arc<PlanSnapshot>> {
-        self.published
-            .read()
-            .expect("published lock poisoned")
-            .get(&id.0)
-            .cloned()
+        self.shard.snapshot(id)
     }
 
     /// Epochs run so far.
@@ -336,120 +275,21 @@ impl ReconfigService {
 
     /// Dirty caches currently queued.
     pub fn pending(&self) -> usize {
-        self.lock_registry().dirty_queue.len()
+        self.shard.pending()
     }
 
     /// Registered caches.
     pub fn registered(&self) -> usize {
-        self.lock_registry().caches.len()
+        self.shard.registered()
     }
 
     /// Runs one planning epoch: drain a batch of dirty caches, re-plan
     /// them through the shared [`Planner`] pipeline with **no locks
-    /// held**, then publish the new snapshots in one epoch swap.
+    /// held**, then publish the new snapshots in one epoch swap. The
+    /// report lists caches in ascending [`CacheId`] order.
     pub fn run_epoch(&self) -> EpochReport {
         let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
-
-        // Phase 1 — drain (brief registry lock): copy out the curves of up
-        // to `max_batch` ready caches.
-        struct Job {
-            id: CacheId,
-            planner: Planner,
-            capacity: u64,
-            curves: Vec<MissCurve>,
-            round: u64,
-            updates: u64,
-        }
-        let mut jobs: Vec<Job> = Vec::new();
-        let mut deferred = Vec::new();
-        let remaining_dirty;
-        {
-            let mut reg = self.lock_registry();
-            while jobs.len() < self.max_batch {
-                let Some(id) = reg.dirty_queue.pop_front() else {
-                    break;
-                };
-                let Some(entry) = reg.caches.get_mut(&id) else {
-                    continue; // deregistered while queued
-                };
-                entry.dirty = false;
-                if entry.curves.iter().any(Option::is_none) {
-                    // Not every tenant has reported yet: wait for data. The
-                    // missing tenant's first submission re-queues the cache.
-                    deferred.push(CacheId(id));
-                    continue;
-                }
-                jobs.push(Job {
-                    id: CacheId(id),
-                    planner: entry.spec.planner,
-                    capacity: entry.spec.capacity,
-                    curves: entry.curves.iter().flatten().cloned().collect(),
-                    round: entry.version,
-                    updates: entry.updates,
-                });
-            }
-            remaining_dirty = reg.dirty_queue.len();
-        }
-
-        // Phase 2 — plan (no locks): the expensive part.
-        let mut planned = Vec::new();
-        let mut failed = Vec::new();
-        let mut ready = Vec::new();
-        for job in jobs {
-            match job.planner.plan(&job.curves, job.capacity, job.round) {
-                Ok(plan) => ready.push((job.id, job.updates, plan)),
-                Err(source) => failed.push((
-                    job.id,
-                    ServeError::Plan {
-                        cache: job.id,
-                        source,
-                    },
-                )),
-            }
-        }
-
-        // Phase 3 — publish: version assignment and the epoch swap happen
-        // atomically (published write lock nested inside the registry
-        // lock), so a concurrent deregister can never interleave between
-        // the two and strand an orphaned snapshot, and a concurrent epoch
-        // that already landed fresher curves is never overwritten by this
-        // (older) result. Lock order registry → published is never
-        // inverted elsewhere (deregister takes them sequentially).
-        if !ready.is_empty() {
-            let mut reg = self.lock_registry();
-            let mut published = self.published.write().expect("published lock poisoned");
-            for (id, updates, plan) in ready {
-                let Some(entry) = reg.caches.get_mut(&id.0) else {
-                    continue; // deregistered mid-plan: drop the result
-                };
-                if published
-                    .get(&id.0)
-                    .is_some_and(|snap| snap.updates > updates)
-                {
-                    continue; // a fresher plan already landed: keep it
-                }
-                entry.version += 1;
-                published.insert(
-                    id.0,
-                    Arc::new(PlanSnapshot {
-                        cache: id,
-                        epoch,
-                        version: entry.version,
-                        updates,
-                        plan,
-                    }),
-                );
-                planned.push(id);
-            }
-        }
-
-        EpochReport {
-            epoch,
-            planned,
-            deferred,
-            failed,
-            remaining_dirty,
-        }
+        self.shard.run_epoch(epoch)
     }
 
     /// Runs epochs until the dirty queue is empty; returns the reports.
@@ -529,6 +369,21 @@ mod tests {
         assert_eq!(r3.planned, vec![ids[4]]);
         assert!(s.run_epoch().is_idle());
         assert_eq!(s.epochs(), 4);
+    }
+
+    #[test]
+    fn epoch_report_is_in_cache_id_order_not_queue_order() {
+        let s = ReconfigService::new();
+        let ids: Vec<CacheId> = (0..4)
+            .map(|_| s.register(CacheSpec::new(1024, 1)))
+            .collect();
+        // Dirty the queue in reverse registration order; the report must
+        // come back ascending anyway.
+        for id in ids.iter().rev() {
+            s.submit(*id, 0, curve(512.0, 1024.0)).unwrap();
+        }
+        let report = s.run_epoch();
+        assert_eq!(report.planned, ids);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! One shard of the reconfiguration plane: the per-cache state — registry
+//! entry, dirty-queue slot, published snapshot — plus the epoch machinery
+//! that drains, plans, and publishes it.
+//!
+//! A [`Shard`] is the single-lock unit [`ReconfigService`] used to be:
+//! [`ReconfigService`](crate::ReconfigService) wraps exactly one, and
+//! [`ShardedReconfigService`](crate::ShardedReconfigService) fronts N of
+//! them with a hash router. Cache-id allocation and epoch numbering live
+//! with the caller (service or router), so a shard never needs to know its
+//! siblings exist — caches never share state, and neither do shards.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::service::{CacheSpec, EpochReport, ServeError};
+use crate::snapshot::{CacheId, PlanSnapshot};
+use talus_core::MissCurve;
+use talus_partition::Planner;
+
+/// Per-cache mutable state, guarded by the shard's registry lock.
+#[derive(Debug)]
+struct CacheEntry {
+    spec: CacheSpec,
+    /// Latest curve per tenant (`None` until the tenant's first update).
+    curves: Vec<Option<MissCurve>>,
+    /// Total curve updates accepted since registration.
+    updates: u64,
+    /// Successful plans published (the snapshot version counter).
+    version: u64,
+    /// Whether the cache sits in the dirty queue.
+    dirty: bool,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    caches: HashMap<u64, CacheEntry>,
+    /// FIFO of dirty cache ids; an id appears at most once (the `dirty`
+    /// flag dedups).
+    dirty_queue: VecDeque<u64>,
+}
+
+/// One independent slice of the reconfiguration plane. See the module
+/// docs; all methods take `&self` and the type is `Send + Sync`.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    /// Most caches replanned per epoch; overflow stays queued.
+    max_batch: usize,
+    registry: Mutex<Registry>,
+    /// Reader-facing snapshot map: the only state readers touch.
+    published: RwLock<HashMap<u64, Arc<PlanSnapshot>>>,
+}
+
+impl Shard {
+    /// A shard replanning at most `max_batch` caches per epoch.
+    pub(crate) fn new(max_batch: usize) -> Self {
+        assert!(max_batch > 0, "epoch batch must be positive");
+        Shard {
+            max_batch,
+            registry: Mutex::new(Registry::default()),
+            published: RwLock::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn set_max_batch(&mut self, max_batch: usize) {
+        assert!(max_batch > 0, "epoch batch must be positive");
+        self.max_batch = max_batch;
+    }
+
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.registry.lock().expect("registry lock poisoned")
+    }
+
+    /// Inserts a cache under an id the caller allocated. The cache
+    /// publishes no plan until every tenant has submitted at least one
+    /// curve and an epoch has run.
+    pub(crate) fn insert(&self, id: u64, spec: CacheSpec) {
+        let mut reg = self.lock_registry();
+        reg.caches.insert(
+            id,
+            CacheEntry {
+                curves: vec![None; spec.tenants],
+                spec,
+                updates: 0,
+                version: 0,
+                dirty: false,
+            },
+        );
+    }
+
+    /// Removes a cache and its published snapshot. In-flight planning for
+    /// the cache (if any) is discarded at publication time.
+    pub(crate) fn remove(&self, id: CacheId) -> Result<(), ServeError> {
+        {
+            let mut reg = self.lock_registry();
+            reg.caches
+                .remove(&id.0)
+                .ok_or(ServeError::UnknownCache(id))?;
+            // The id may linger in dirty_queue; the epoch drain skips
+            // entries with no registry record.
+        }
+        self.published
+            .write()
+            .expect("published lock poisoned")
+            .remove(&id.0);
+        Ok(())
+    }
+
+    /// Stores tenant `tenant`'s latest miss curve and marks the cache
+    /// dirty (queued for the shard's next epoch).
+    pub(crate) fn submit(
+        &self,
+        id: CacheId,
+        tenant: usize,
+        curve: MissCurve,
+    ) -> Result<(), ServeError> {
+        let mut reg = self.lock_registry();
+        let entry = reg
+            .caches
+            .get_mut(&id.0)
+            .ok_or(ServeError::UnknownCache(id))?;
+        let tenants = entry.spec.tenants;
+        if tenant >= tenants {
+            return Err(ServeError::TenantOutOfRange {
+                cache: id,
+                tenant,
+                tenants,
+            });
+        }
+        entry.curves[tenant] = Some(curve);
+        entry.updates += 1;
+        if !entry.dirty {
+            entry.dirty = true;
+            reg.dirty_queue.push_back(id.0);
+        }
+        Ok(())
+    }
+
+    /// The latest published plan for `id`, if any epoch has planned it.
+    ///
+    /// This is the reader hot path: a read-lock held for one `Arc` clone.
+    pub(crate) fn snapshot(&self, id: CacheId) -> Option<Arc<PlanSnapshot>> {
+        self.published
+            .read()
+            .expect("published lock poisoned")
+            .get(&id.0)
+            .cloned()
+    }
+
+    /// Dirty caches currently queued on this shard.
+    pub(crate) fn pending(&self) -> usize {
+        self.lock_registry().dirty_queue.len()
+    }
+
+    /// Caches registered on this shard.
+    pub(crate) fn registered(&self) -> usize {
+        self.lock_registry().caches.len()
+    }
+
+    /// Runs one planning epoch on this shard: drain a batch of dirty
+    /// caches, re-plan them through the shared [`Planner`] pipeline with
+    /// **no locks held**, then publish the new snapshots in one epoch
+    /// swap. `epoch` is the caller-scoped epoch number stamped onto the
+    /// report and the published snapshots.
+    ///
+    /// The report lists caches in ascending [`CacheId`] order — never in
+    /// drain (queue) order — so reports are deterministic regardless of
+    /// how submissions interleaved or how caches landed on shards.
+    pub(crate) fn run_epoch(&self, epoch: u64) -> EpochReport {
+        // Phase 1 — drain (brief registry lock): copy out the curves of up
+        // to `max_batch` ready caches.
+        struct Job {
+            id: CacheId,
+            planner: Planner,
+            capacity: u64,
+            curves: Vec<MissCurve>,
+            round: u64,
+            updates: u64,
+        }
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut deferred = Vec::new();
+        let remaining_dirty;
+        {
+            let mut reg = self.lock_registry();
+            while jobs.len() < self.max_batch {
+                let Some(id) = reg.dirty_queue.pop_front() else {
+                    break;
+                };
+                let Some(entry) = reg.caches.get_mut(&id) else {
+                    continue; // deregistered while queued
+                };
+                entry.dirty = false;
+                if entry.curves.iter().any(Option::is_none) {
+                    // Not every tenant has reported yet: wait for data. The
+                    // missing tenant's first submission re-queues the cache.
+                    deferred.push(CacheId(id));
+                    continue;
+                }
+                jobs.push(Job {
+                    id: CacheId(id),
+                    planner: entry.spec.planner,
+                    capacity: entry.spec.capacity,
+                    curves: entry.curves.iter().flatten().cloned().collect(),
+                    round: entry.version,
+                    updates: entry.updates,
+                });
+            }
+            remaining_dirty = reg.dirty_queue.len();
+        }
+
+        // Phase 2 — plan (no locks): the expensive part.
+        let mut planned = Vec::new();
+        let mut failed = Vec::new();
+        let mut ready = Vec::new();
+        for job in jobs {
+            match job.planner.plan(&job.curves, job.capacity, job.round) {
+                Ok(plan) => ready.push((job.id, job.updates, plan)),
+                Err(source) => failed.push((
+                    job.id,
+                    ServeError::Plan {
+                        cache: job.id,
+                        source,
+                    },
+                )),
+            }
+        }
+
+        // Phase 3 — publish: version assignment and the epoch swap happen
+        // atomically (published write lock nested inside the registry
+        // lock), so a concurrent deregister can never interleave between
+        // the two and strand an orphaned snapshot, and a concurrent epoch
+        // that already landed fresher curves is never overwritten by this
+        // (older) result. Lock order registry → published is never
+        // inverted elsewhere (remove takes them sequentially).
+        if !ready.is_empty() {
+            let mut reg = self.lock_registry();
+            let mut published = self.published.write().expect("published lock poisoned");
+            for (id, updates, plan) in ready {
+                let Some(entry) = reg.caches.get_mut(&id.0) else {
+                    continue; // deregistered mid-plan: drop the result
+                };
+                if published
+                    .get(&id.0)
+                    .is_some_and(|snap| snap.updates > updates)
+                {
+                    continue; // a fresher plan already landed: keep it
+                }
+                entry.version += 1;
+                published.insert(
+                    id.0,
+                    Arc::new(PlanSnapshot {
+                        cache: id,
+                        epoch,
+                        version: entry.version,
+                        updates,
+                        plan,
+                    }),
+                );
+                planned.push(id);
+            }
+        }
+
+        // Deterministic CacheId order, independent of queue layout.
+        planned.sort_unstable();
+        deferred.sort_unstable();
+        failed.sort_unstable_by_key(|(id, _)| *id);
+
+        EpochReport {
+            epoch,
+            planned,
+            deferred,
+            failed,
+            remaining_dirty,
+        }
+    }
+}

@@ -138,31 +138,15 @@ impl H3Hasher {
     }
 }
 
-/// A cheap, high-quality 64-bit mixing hash (the SplitMix64 finalizer with
-/// a seed fold).
-///
-/// H3 is the *hardware-faithful* hash — a mask-and-parity network cheap in
-/// gates but, in software, a loop of `count_ones` calls per output bit.
-/// Monitors on the software hot path (the Mattson `last_seen` map, the
-/// SHARDS-style sampling filter of
-/// [`SampledMattson`](crate::monitor::SampledMattson)) instead use this
-/// three-multiply avalanche mix: every input bit affects every output bit,
-/// at a fixed cost of a handful of ALU ops.
-///
-/// # Examples
-///
-/// ```
-/// use talus_sim::mix64;
-/// assert_eq!(mix64(0xFEED, 42), mix64(0xFEED, 42)); // deterministic
-/// assert_ne!(mix64(0xFEED, 42), mix64(0xBEEF, 42)); // seed matters
-/// ```
-#[inline]
-pub fn mix64(seed: u64, value: u64) -> u64 {
-    let mut z = value ^ seed ^ 0x9E37_79B9_7F4A_7C15;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// H3 is the *hardware-faithful* hash — a mask-and-parity network cheap in
+// gates but, in software, a loop of table lookups. Monitors on the
+// software hot path (the Mattson `last_seen` map, the SHARDS-style
+// sampling filter of `SampledMattson`) instead use `mix64`, the
+// three-multiply avalanche mix. It is pure integer math, so it lives in
+// `talus-core` (where `talus-serve`'s shard router can reach it without
+// pulling in the simulator); the re-export keeps `talus_sim::mix64` and
+// every monitor call site working unchanged.
+pub use talus_core::mix64;
 
 /// A [`std::hash::BuildHasher`] over [`mix64`] for `HashMap`s keyed by
 /// line addresses (or any small integer key).

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod generator;
+pub mod interference;
 pub mod prefetch;
 pub mod spec;
 
@@ -27,5 +28,6 @@ pub use generator::{
     collect_trace, AccessGenerator, Mixture, Phased, PointerChase, Scan, StridedScan,
     UniformRandom, Zipfian,
 };
+pub use interference::{multi_tenant, MultiTenantProfile};
 pub use prefetch::{AccessKind, StreamPrefetcher};
 pub use spec::{all_profiles, memory_intensive, profile, AppProfile, Component, ComponentKind};
