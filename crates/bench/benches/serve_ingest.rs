@@ -19,11 +19,19 @@
 //! - `sharded_4_threaded`: four shards, each planning on its own worker —
 //!   the full scale-out configuration. Speedup vs `single` is bounded by
 //!   available cores; on a single-core machine expect parity, not gain.
+//! - `rpc`: the same cycle through the network layer — each producer is
+//!   a persistent `RpcClient` staging its round into one framed batch
+//!   over a loopback socket, and epochs are driven by a remote
+//!   `run_epoch`. The delta vs `sharded_4` prices the wire protocol
+//!   (encode + TCP + decode) on the ingest hot path.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use talus_core::MissCurve;
-use talus_serve::{CacheId, CacheSpec, ReconfigService, ShardedReconfigService};
+use talus_serve::{
+    CacheId, CacheSpec, ReconfigService, RpcClient, RpcServer, ShardedReconfigService,
+};
 use talus_sim::monitor::{MonitorSource, SampledMattson};
 use talus_sim::LineAddr;
 use talus_workloads::{multi_tenant, AccessGenerator};
@@ -146,6 +154,72 @@ fn bench_plane(c: &mut Criterion, name: &str, plane: Plane, fixture: &Fixture) {
     });
 }
 
+/// One full ingest cycle over the wire: each producer thread holds a
+/// persistent connection, stages its stripe's curves round by round
+/// (one framed batch per round), and a control client drains the dirty
+/// queues with remote epochs.
+fn rpc_cycle(
+    service: &ShardedReconfigService,
+    control: &mut RpcClient,
+    clients: &[Mutex<RpcClient>],
+    ids: &[CacheId],
+    fixture: &Fixture,
+) -> usize {
+    thread::scope(|scope| {
+        for (p, client) in clients.iter().enumerate() {
+            scope.spawn(move || {
+                let mut client = client.lock().expect("client not poisoned");
+                for round in 0..ROUNDS {
+                    for (c, id) in ids.iter().enumerate() {
+                        if c % PRODUCERS != p {
+                            continue;
+                        }
+                        for (t, rounds) in fixture.curves[c].iter().enumerate() {
+                            client
+                                .stage(*id, t, rounds[round].clone())
+                                .expect("staged within frame budget");
+                        }
+                    }
+                    client.flush().expect("flush over rpc");
+                }
+            });
+        }
+    });
+    let mut planned = 0;
+    while service.pending() > 0 {
+        planned += control.run_epoch().expect("epoch over rpc").planned.len();
+    }
+    planned
+}
+
+fn bench_rpc(c: &mut Criterion, fixture: &Fixture) {
+    let service = Arc::new(ShardedReconfigService::new(4));
+    let handle = RpcServer::bind("127.0.0.1:0", Arc::clone(&service))
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.local_addr();
+    let mut control = RpcClient::connect(addr).expect("connect control");
+    let ids: Vec<CacheId> = (0..CACHES)
+        .map(|_| {
+            control
+                .register(CAPACITY, TENANTS as u32)
+                .expect("register over rpc")
+        })
+        .collect();
+    let clients: Vec<Mutex<RpcClient>> = (0..PRODUCERS)
+        .map(|_| Mutex::new(RpcClient::connect(addr).expect("connect producer")))
+        .collect();
+    assert_eq!(
+        rpc_cycle(&service, &mut control, &clients, &ids, fixture),
+        CACHES
+    );
+    c.bench_function("serve_ingest/rpc", |b| {
+        b.iter(|| black_box(rpc_cycle(&service, &mut control, &clients, &ids, fixture)))
+    });
+    handle.shutdown();
+}
+
 fn bench_serve_ingest(c: &mut Criterion) {
     let fixture = Fixture::build();
     bench_plane(
@@ -172,6 +246,7 @@ fn bench_serve_ingest(c: &mut Criterion) {
         Plane::Sharded(ShardedReconfigService::new(4).with_threads()),
         &fixture,
     );
+    bench_rpc(c, &fixture);
 }
 
 criterion_group!(name = benches; config = fast_criterion();

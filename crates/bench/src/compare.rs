@@ -14,9 +14,10 @@ use std::fmt;
 
 /// Bench-name prefixes considered hot paths: the planning pipeline the
 /// online service leans on (hulls, plan, allocation), the serving plane's
-/// ingest cycle, the monitor record/curve paths, and the per-access cache
-/// loops. A regression beyond threshold on these fails the comparison
-/// (unless warn-only).
+/// ingest cycle (`serve_ingest/` covers the local variants and the
+/// `serve_ingest/rpc` loopback wire-protocol cycle alike), the monitor
+/// record/curve paths, and the per-access cache loops. A regression
+/// beyond threshold on these fails the comparison (unless warn-only).
 pub const HOT_PREFIXES: &[&str] = &[
     "convex_hull/",
     "plan/",

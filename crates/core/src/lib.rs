@@ -23,7 +23,10 @@
 //! - [`bypass`]: the optimal-bypassing model of §V-C, which Talus provably
 //!   dominates (Corollary 8);
 //! - [`source`]: the [`CurveSource`] seam separating curve producers
-//!   (monitors, models, replays) from curve consumers (planners, services).
+//!   (monitors, models, replays) from curve consumers (planners, services);
+//! - [`limits`]: interchange bounds (frame/curve/batch sizes) every
+//!   serialization of these types — e.g. `talus-serve`'s wire protocol —
+//!   must agree on.
 //!
 //! ## Quickstart
 //!
@@ -64,6 +67,7 @@ mod curve;
 mod error;
 mod hash;
 mod hull;
+pub mod limits;
 pub mod source;
 
 pub use config::{

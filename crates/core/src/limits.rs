@@ -1,0 +1,57 @@
+//! Interchange limits: shared bounds for serialized core types.
+//!
+//! Any component that moves [`MissCurve`](crate::MissCurve)s or cache
+//! ids across a process boundary — today `talus-serve`'s length-prefixed
+//! wire protocol, tomorrow a persistence layer — needs agreed-on bounds
+//! so a decoder can reject hostile input *before* allocating for it.
+//! The constants live here, next to the types they bound, because every
+//! producer and consumer of an encoded curve must agree on them; the
+//! frame layout itself (headers, opcodes, versioning) belongs to the
+//! transport crates.
+//!
+//! These are protocol constants: changing any of them is a wire-format
+//! change and must bump the transport's version byte.
+
+/// Largest frame payload a decoder will accept, in bytes (1 MiB). A
+/// length prefix above this is rejected *before* any buffer is
+/// allocated, so a hostile 4-GiB length field costs the receiver
+/// nothing.
+pub const WIRE_MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Most sample points in one encoded miss curve. Real monitors emit
+/// tens of points (a UMON has one per way; the sampled Mattson monitor
+/// log-buckets); 4096 leaves two orders of magnitude of headroom while
+/// keeping the worst-case curve ~64 KiB on the wire.
+pub const WIRE_MAX_CURVE_POINTS: u32 = 4096;
+
+/// Most (cache, tenant, curve) entries in one encoded submission batch.
+/// Batching amortizes framing, but a batch is also the atomic unit a
+/// receiver must buffer before applying, so it stays bounded.
+pub const WIRE_MAX_BATCH: u32 = 1024;
+
+/// Most tenants in one registered logical cache. The service allocates
+/// one curve slot per tenant at registration, so this bounds the
+/// allocation a single remote register request can cause.
+pub const WIRE_MAX_TENANTS: u32 = 1024;
+
+/// Most cache ids in one encoded id list (epoch-report fields). With
+/// 8-byte ids this is at most half a maximum frame.
+pub const WIRE_MAX_IDS: u32 = WIRE_MAX_FRAME_LEN / 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_curve_fits_a_frame() {
+        // One curve of maximum points (16 bytes per point plus the count)
+        // must encode well within a frame, with room for batch framing.
+        let worst_curve = 4 + 16 * WIRE_MAX_CURVE_POINTS;
+        assert!(worst_curve * 4 < WIRE_MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn id_lists_fit_a_frame() {
+        assert!(WIRE_MAX_IDS * 8 <= WIRE_MAX_FRAME_LEN / 2);
+    }
+}

@@ -3,13 +3,15 @@
 //!
 //! Two logical caches — one shared by three SPEC-shaped tenants, one by
 //! two — stream monitor-measured miss curves into a single-shard
-//! `ReconfigService` **and** a 2-shard, threaded
-//! `ShardedReconfigService` over several monitoring intervals. After each
-//! interval both services run one epoch, and we check every published
-//! snapshot against a from-scratch offline computation (talus-core hulls
-//! + talus-partition hill climbing + shadow planning) on the very same
-//! curves — and the sharded plane's snapshots against the single
-//! service's, bit for bit: the router adds placement, never policy.
+//! `ReconfigService`, a 2-shard, threaded `ShardedReconfigService`,
+//! **and** a third sharded plane reached only through `RpcClient` →
+//! `RpcServer` over a real loopback TCP socket, over several monitoring
+//! intervals. After each interval all three run one epoch, and we check
+//! every published snapshot against a from-scratch offline computation
+//! (talus-core hulls + talus-partition hill climbing + shadow planning)
+//! on the very same curves — and the sharded and RPC-fed planes against
+//! the single service, bit for bit: neither the router nor the wire adds
+//! policy.
 //!
 //! Curves come from exact Mattson monitors (the checks are bit-exact, so
 //! determinism matters more than speed here); ingest still rides the
@@ -26,7 +28,9 @@ use std::collections::HashMap;
 
 use talus_core::{plan_with_hull, MissCurve, TalusOptions};
 use talus_partition::hill_climb;
-use talus_serve::{CacheId, CacheSpec, ReconfigService, ShardedReconfigService};
+use talus_serve::{
+    CacheId, CacheSpec, ReconfigService, RpcClient, RpcServer, ShardedReconfigService,
+};
 use talus_sim::monitor::{MattsonMonitor, MonitorSource};
 use talus_sim::LineAddr;
 use talus_workloads::{profile, AccessGenerator};
@@ -91,6 +95,15 @@ fn main() {
     let service = ReconfigService::new();
     let sharded = ShardedReconfigService::new(SHARDS).with_threads();
 
+    // The third twin sits behind a real loopback socket; everything it
+    // ingests crosses the v1 wire protocol.
+    let remote = std::sync::Arc::new(ShardedReconfigService::new(SHARDS));
+    let rpc = RpcServer::bind("127.0.0.1:0", std::sync::Arc::clone(&remote))
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn accept loop");
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+
     // Cache A: three tenants with very different curve shapes (a scan
     // cliff, a gentle convex decay, a mid-size working set) share 4096
     // lines. Cache B: two tenants share 2048 lines. Both services
@@ -103,6 +116,10 @@ fn main() {
         let id = service.register(CacheSpec::new(capacity, tenants.len()));
         let twin = sharded.register(CacheSpec::new(capacity, tenants.len()));
         assert_eq!(id, twin, "id allocation matches across configurations");
+        let wire_twin = client
+            .register(capacity, tenants.len() as u32)
+            .expect("register over rpc");
+        assert_eq!(id, wire_twin, "the rpc plane mints the same ids");
         caches.push((id, capacity, tenants));
     }
 
@@ -133,6 +150,9 @@ fn main() {
                 sharded
                     .submit(*id, t, curve.clone())
                     .expect("cache is registered and tenant in range");
+                client
+                    .stage(*id, t, curve.clone())
+                    .expect("staging never hits the wire until flush");
                 curves.push(curve);
             }
             latest.insert(id.value(), curves);
@@ -142,6 +162,13 @@ fn main() {
         // worker threads, in the sharded twin).
         let report = service.run_epoch();
         let sharded_report = sharded.run_epoch();
+        // run_epoch flushes the staged batch first, so every curve above
+        // is visible; the report must be bit-identical to the local ones.
+        let rpc_report = client.run_epoch().expect("epoch over rpc");
+        assert_eq!(
+            rpc_report, sharded_report,
+            "the rpc-fed plane reports a different epoch"
+        );
         println!(
             "interval {interval}: epoch {} planned {} cache(s), {} deferred, {} failed \
              (sharded twin planned {})",
@@ -170,6 +197,21 @@ fn main() {
             );
             assert_eq!(snap.version, sharded_snap.version);
             assert_eq!(snap.updates, sharded_snap.updates);
+            // The RPC-fed plane: bit-identical server-side, and the wire
+            // summary a remote applier reads must mirror that snapshot.
+            let rpc_snap = remote.snapshot(*id).expect("published");
+            assert_eq!(
+                snap.plan, rpc_snap.plan,
+                "{id}: rpc-fed plan diverges from single-service plan"
+            );
+            assert_eq!(snap.version, rpc_snap.version);
+            let summary = client
+                .report(*id)
+                .expect("report over rpc")
+                .expect("published");
+            assert_eq!(summary.version, rpc_snap.version);
+            let wire_allocs: Vec<u64> = summary.tenants.iter().map(|t| t.capacity).collect();
+            assert_eq!(wire_allocs, rpc_snap.allocations());
             println!(
                 "  {id} [shard {}]: version {} (epoch {}, {} updates) allocations {:?}",
                 sharded.shard_index(*id),
@@ -196,8 +238,9 @@ fn main() {
     );
     println!(
         "OK: {published_epochs} plan epochs published for {} caches; every snapshot matches the \
-         offline planner, and the {SHARDS}-shard threaded plane matches the single service bit \
-         for bit.",
+         offline planner, and both the {SHARDS}-shard threaded plane and the rpc-fed loopback \
+         plane match the single service bit for bit.",
         caches.len()
     );
+    rpc.shutdown();
 }

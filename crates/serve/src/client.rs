@@ -1,0 +1,385 @@
+//! `RpcClient`: a blocking TCP client for the reconfiguration plane.
+//!
+//! The client speaks the [`wire`](crate::wire) protocol over one
+//! `std::net::TcpStream`, one request/response pair at a time, and
+//! mirrors the local [`ReconfigService`](crate::ReconfigService) API so
+//! a curve producer can point at a remote plane unchanged. The batching
+//! seam is the same one the local service uses:
+//! [`submit_latest`](RpcClient::submit_latest) drains
+//! `CurveSource::next_curves` and sends only the newest curve, and
+//! [`stage`](RpcClient::stage)/[`flush`](RpcClient::flush) coalesce many
+//! tenants' updates into one framed batch, bounded by both the entry cap
+//! and the frame byte budget.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::service::{EpochReport, ServeError};
+use crate::snapshot::CacheId;
+use crate::wire::{self, read_frame, Request, Response, SnapshotSummary, SubmitEntry, WireError};
+use talus_core::limits::{WIRE_MAX_BATCH, WIRE_MAX_FRAME_LEN};
+use talus_core::{CurveSource, MissCurve};
+
+/// Errors surfaced by the RPC client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcError {
+    /// The transport or codec failed (connection lost, malformed reply).
+    Wire(WireError),
+    /// The server processed the request and rejected it — the same
+    /// [`ServeError`] the local service would have returned.
+    Serve(ServeError),
+    /// The server replied with a well-formed message of the wrong kind.
+    Unexpected {
+        /// What the server sent instead.
+        got: &'static str,
+    },
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Wire(e) => write!(f, "rpc transport failed: {e}"),
+            RpcError::Serve(e) => write!(f, "server rejected request: {e}"),
+            RpcError::Unexpected { got } => {
+                write!(f, "server sent an unexpected {got} reply")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Wire(e) => Some(e),
+            RpcError::Serve(e) => Some(e),
+            RpcError::Unexpected { .. } => None,
+        }
+    }
+}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> Self {
+        RpcError::Wire(e)
+    }
+}
+
+/// Bytes one submit entry occupies on the wire: id + tenant + point
+/// count + 16 bytes per point.
+fn entry_wire_bytes(curve: &MissCurve) -> usize {
+    8 + 4 + 4 + 16 * curve.len()
+}
+
+/// Byte budget for a staged batch: a maximum frame minus generous
+/// headroom for the frame header and batch count.
+const BATCH_BYTE_BUDGET: usize = (WIRE_MAX_FRAME_LEN as usize) - 64;
+
+/// A blocking client for a remote reconfiguration plane.
+///
+/// Each method sends one request frame and waits for its reply, so a
+/// client is also a unit of backpressure: a server draining slowly
+/// pushes back through TCP flow control and the pending reply.
+/// Submission batching happens above that, via
+/// [`stage`](RpcClient::stage)/[`flush`](RpcClient::flush).
+#[derive(Debug)]
+pub struct RpcClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    staged: Vec<SubmitEntry>,
+    staged_bytes: usize,
+}
+
+impl RpcClient {
+    /// Connects to a plane at `addr` (e.g. the address returned by
+    /// [`RpcServer::local_addr`](crate::RpcServer::local_addr)).
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Wire`] with the underlying I/O error kind.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, RpcError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        stream.set_nodelay(true).map_err(WireError::from)?;
+        let reader = BufReader::new(stream.try_clone().map_err(WireError::from)?);
+        let writer = BufWriter::new(stream);
+        Ok(RpcClient {
+            reader,
+            writer,
+            staged: Vec::new(),
+            staged_bytes: 0,
+        })
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, req: &Request) -> Result<Response, RpcError> {
+        self.writer
+            .write_all(&wire::encode_request(req))
+            .map_err(WireError::from)?;
+        self.writer.flush().map_err(WireError::from)?;
+        let payload = read_frame(&mut self.reader)?.ok_or(WireError::Truncated)?;
+        Ok(wire::decode_response(&payload)?)
+    }
+
+    /// Extracts a request-level error reply into [`RpcError::Serve`].
+    fn reject(resp: Response, expected: &'static str) -> RpcError {
+        match resp {
+            Response::Error(e) => RpcError::Serve(e),
+            _ => RpcError::Unexpected { got: expected },
+        }
+    }
+
+    /// Registers a cache with the default planner (capacity/64 grain),
+    /// mirroring `CacheSpec::new`. Returns the plane-minted id.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Wire`] on transport failure; the server validates
+    /// `capacity > 0` and `0 < tenants <=` the wire tenant cap at decode
+    /// time, so out-of-range arguments surface as a closed connection.
+    pub fn register(&mut self, capacity: u64, tenants: u32) -> Result<CacheId, RpcError> {
+        match self.call(&Request::Register { capacity, tenants })? {
+            Response::Registered { id } => Ok(CacheId(id)),
+            other => Err(Self::reject(other, "register")),
+        }
+    }
+
+    /// Removes a cache and its published snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Serve`] with [`ServeError::UnknownCache`] if the id
+    /// is not registered — exactly the local `deregister` error.
+    pub fn deregister(&mut self, id: CacheId) -> Result<(), RpcError> {
+        match self.call(&Request::Deregister { id: id.value() })? {
+            Response::Deregistered => Ok(()),
+            other => Err(Self::reject(other, "deregister")),
+        }
+    }
+
+    /// Submits one curve immediately (a one-entry batch). Any staged
+    /// entries are flushed first so ordering is preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Serve`] mirroring the local `submit` errors, or a
+    /// transport error.
+    pub fn submit(&mut self, id: CacheId, tenant: usize, curve: MissCurve) -> Result<(), RpcError> {
+        self.flush()?;
+        let results = self.submit_batch(vec![SubmitEntry {
+            id: id.value(),
+            tenant: tenant as u32,
+            curve,
+        }])?;
+        match results.into_iter().next() {
+            Some(Ok(())) => Ok(()),
+            Some(Err(e)) => Err(RpcError::Serve(e)),
+            None => Err(RpcError::Unexpected {
+                got: "empty submit",
+            }),
+        }
+    }
+
+    /// Sends a batch of entries in one frame; returns one result per
+    /// entry, in order — exactly what local `submit` calls would return.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Wire`] on transport failure. Per-entry rejections are
+    /// data, not errors: they come back in the result vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or exceeds the wire batch cap;
+    /// [`stage`](RpcClient::stage) manages both bounds automatically.
+    pub fn submit_batch(
+        &mut self,
+        entries: Vec<SubmitEntry>,
+    ) -> Result<Vec<Result<(), ServeError>>, RpcError> {
+        assert!(!entries.is_empty(), "empty batch");
+        assert!(
+            entries.len() <= WIRE_MAX_BATCH as usize,
+            "batch exceeds wire cap"
+        );
+        match self.call(&Request::Submit { entries })? {
+            Response::SubmitReply { results } => Ok(results),
+            other => Err(Self::reject(other, "submit")),
+        }
+    }
+
+    /// Stages one curve update for a later [`flush`](RpcClient::flush),
+    /// coalescing many tenants' updates into one frame. Auto-flushes
+    /// when the staged batch reaches the wire entry cap or would
+    /// overflow the frame byte budget; returns the flushed results in
+    /// that case (`None` means the entry was staged without sending).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from an auto-flush.
+    #[allow(clippy::type_complexity)]
+    pub fn stage(
+        &mut self,
+        id: CacheId,
+        tenant: usize,
+        curve: MissCurve,
+    ) -> Result<Option<Vec<Result<(), ServeError>>>, RpcError> {
+        let bytes = entry_wire_bytes(&curve);
+        let mut flushed = None;
+        if !self.staged.is_empty() && self.staged_bytes + bytes > BATCH_BYTE_BUDGET {
+            flushed = Some(self.flush_staged()?);
+        }
+        self.staged.push(SubmitEntry {
+            id: id.value(),
+            tenant: tenant as u32,
+            curve,
+        });
+        self.staged_bytes += bytes;
+        if self.staged.len() >= WIRE_MAX_BATCH as usize {
+            flushed = Some(match flushed {
+                None => self.flush_staged()?,
+                Some(mut prior) => {
+                    prior.extend(self.flush_staged()?);
+                    prior
+                }
+            });
+        }
+        Ok(flushed)
+    }
+
+    /// Sends any staged entries as one batch. A no-op on an empty stage.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; per-entry rejections come back in the vector.
+    pub fn flush(&mut self) -> Result<Vec<Result<(), ServeError>>, RpcError> {
+        if self.staged.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.flush_staged()
+    }
+
+    fn flush_staged(&mut self) -> Result<Vec<Result<(), ServeError>>, RpcError> {
+        let entries = std::mem::take(&mut self.staged);
+        self.staged_bytes = 0;
+        self.submit_batch(entries)
+    }
+
+    /// Entries currently staged and not yet sent.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Pulls one update from a [`CurveSource`] and submits it, mirroring
+    /// the local [`submit_from`](crate::ReconfigService::submit_from):
+    /// returns `Ok(false)` once the source is exhausted. This is the
+    /// live-monitor path — one interval of measurement, one submission.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](RpcClient::submit).
+    pub fn submit_from(
+        &mut self,
+        id: CacheId,
+        tenant: usize,
+        source: &mut dyn CurveSource,
+    ) -> Result<bool, RpcError> {
+        match source.next_curve() {
+            Some(curve) => self.submit(id, tenant, curve).map(|_| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Drains up to `max` pending updates from a [`CurveSource`] and
+    /// submits only the newest — the same backlog-coalescing contract as
+    /// the local [`submit_latest`](crate::ReconfigService::submit_latest),
+    /// with the coalescing happening client-side so the stale backlog
+    /// never crosses the wire. Returns how many updates were drained.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](RpcClient::submit).
+    pub fn submit_latest(
+        &mut self,
+        id: CacheId,
+        tenant: usize,
+        source: &mut dyn CurveSource,
+        max: usize,
+    ) -> Result<usize, RpcError> {
+        let mut curves = source.next_curves(max);
+        let drained = curves.len();
+        if let Some(curve) = curves.pop() {
+            self.submit(id, tenant, curve)?;
+        }
+        Ok(drained)
+    }
+
+    /// Runs one planning epoch on the remote plane; staged entries are
+    /// flushed first so everything staged is visible to the epoch.
+    /// Returns the merged [`EpochReport`], bit-identical to what the
+    /// plane's local `run_epoch` returned.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or per-entry rejections from the implicit
+    /// flush surfacing as [`RpcError::Serve`] on the first rejection.
+    pub fn run_epoch(&mut self) -> Result<EpochReport, RpcError> {
+        for result in self.flush()? {
+            result.map_err(RpcError::Serve)?;
+        }
+        match self.call(&Request::RunEpoch)? {
+            Response::Epoch(report) => Ok(report),
+            other => Err(Self::reject(other, "epoch")),
+        }
+    }
+
+    /// Fetches the published snapshot summary for a cache, or `None` if
+    /// no epoch has planned it yet.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn report(&mut self, id: CacheId) -> Result<Option<SnapshotSummary>, RpcError> {
+        match self.call(&Request::Report { id: id.value() })? {
+            Response::Snapshot(summary) => Ok(summary),
+            other => Err(Self::reject(other, "report")),
+        }
+    }
+
+    /// Liveness probe: one full round trip through the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn ping(&mut self) -> Result<(), RpcError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(Self::reject(other, "ping")),
+        }
+    }
+
+    /// Tears down the connection, abandoning any staged entries. Useful
+    /// in tests that simulate a client crash; dropping the client has
+    /// the same effect.
+    pub fn abort(self) {
+        // Dropping the halves closes the socket; an explicit shutdown
+        // makes the intent visible to the peer immediately.
+        let _ = self.writer.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Writes raw bytes to the connection, bypassing the codec — test
+    /// hook for failure injection (truncated frames, garbage). Hidden
+    /// from docs; not part of the client contract.
+    #[doc(hidden)]
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), RpcError> {
+        self.writer.write_all(bytes).map_err(WireError::from)?;
+        self.writer.flush().map_err(WireError::from)?;
+        Ok(())
+    }
+
+    /// Reads one reply frame and decodes it — test hook paired with
+    /// [`send_raw`](RpcClient::send_raw).
+    #[doc(hidden)]
+    pub fn recv_raw(&mut self) -> Result<Option<Response>, RpcError> {
+        match read_frame(&mut self.reader)? {
+            None => Ok(None),
+            Some(payload) => Ok(Some(wire::decode_response(&payload)?)),
+        }
+    }
+}

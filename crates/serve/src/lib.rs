@@ -52,6 +52,22 @@
 //! shard count and threading mode (property-tested in
 //! `tests/sharding.rs`), so callers migrate with zero semantic change.
 //!
+//! ## Going remote: the RPC front-end
+//!
+//! The paper's reconfiguration loop assumes curves arrive at the
+//! allocator every ~100ms; at fleet scale the monitors producing those
+//! curves live in other processes. The [`wire`] module defines a
+//! length-prefixed, versioned binary protocol for exactly the service
+//! API above (register / submit / run-epoch / report), [`RpcClient`]
+//! speaks it over `std::net` TCP — riding the same
+//! `CurveSource::next_curves` batching seam, so any producer points at a
+//! remote plane unchanged — and [`RpcServer`] accepts connections and
+//! feeds a shared [`ShardedReconfigService`]. The equivalence discipline
+//! extends across the wire: a plane fed via RPC produces bit-identical
+//! `EpochReport`s and snapshots to one fed locally
+//! (`tests/rpc_equivalence.rs`), and the decoder is total — hostile
+//! bytes produce typed errors, never panics (`tests/wire.rs`).
+//!
 //! ```
 //! use talus_core::MissCurve;
 //! use talus_serve::{CacheSpec, ReconfigService};
@@ -78,11 +94,16 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod client;
 mod router;
+mod rpc_server;
 mod service;
 mod shard;
 mod snapshot;
+pub mod wire;
 
+pub use client::{RpcClient, RpcError};
 pub use router::ShardedReconfigService;
+pub use rpc_server::{RpcServer, ServerHandle, DEFAULT_MAX_CONNECTIONS};
 pub use service::{CacheSpec, EpochReport, ReconfigService, ServeError};
 pub use snapshot::{CacheId, PlanSnapshot};

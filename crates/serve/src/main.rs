@@ -5,19 +5,26 @@
 //! versioned snapshots.
 //!
 //! ```text
-//! cargo run -p talus-serve --release [-- <caches> <tenants> <intervals> <shards> <threaded 0|1>]
+//! cargo run -p talus-serve --release [-- <caches> <tenants> <intervals> <shards> <threaded 0|1> [rpc]]
 //! ```
 //!
 //! With `<shards> > 1` the service is a [`ShardedReconfigService`]:
 //! submissions for caches on different shards never contend, and with
 //! `<threaded> = 1` each shard plans its epochs on a dedicated worker.
+//!
+//! With a trailing `rpc` argument the same profile runs through a real
+//! loopback TCP socket: an [`RpcServer`] fronts the plane, every
+//! producer thread is an [`RpcClient`] streaming curves over the wire,
+//! epochs are driven by a remote `run_epoch`, and the final snapshots
+//! are read back via remote `report` calls — the CI smoke test for the
+//! whole network layer.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use talus_serve::{CacheId, CacheSpec, ShardedReconfigService};
+use talus_serve::{CacheId, CacheSpec, RpcClient, RpcServer, ShardedReconfigService};
 use talus_sim::monitor::{MonitorSource, SampledMattson};
 use talus_sim::LineAddr;
 use talus_workloads::{multi_tenant, AccessGenerator};
@@ -48,10 +55,12 @@ fn main() {
     let intervals = arg(3, 4);
     let shards = arg(4, 4).max(1);
     let threaded = arg(5, 1) != 0;
+    let rpc = std::env::args().nth(6).as_deref() == Some("rpc");
     println!(
         "talus-serve: {caches} caches x {tenants} tenants, {intervals} monitoring intervals, \
-         {shards} shard(s){}",
-        if threaded { " (threaded epochs)" } else { "" }
+         {shards} shard(s){}{}",
+        if threaded { " (threaded epochs)" } else { "" },
+        if rpc { " (loopback rpc)" } else { "" }
     );
 
     let service = ShardedReconfigService::new(shards);
@@ -60,6 +69,10 @@ fn main() {
     } else {
         service
     });
+    if rpc {
+        run_rpc(service, caches, tenants, intervals);
+        return;
+    }
     let producers_done = Arc::new(AtomicBool::new(false));
 
     // One producer thread per logical cache: each cache hosts one
@@ -155,4 +168,116 @@ fn main() {
         service.epochs(),
         service.shards()
     );
+}
+
+/// The same multi-tenant profile, but every interaction with the plane —
+/// registration, curve ingest, epoch control, snapshot reads — crosses a
+/// real loopback TCP socket through the v1 wire protocol.
+fn run_rpc(service: Arc<ShardedReconfigService>, caches: usize, tenants: usize, intervals: usize) {
+    let server = RpcServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind loopback");
+    let handle = server.spawn().expect("spawn accept loop");
+    let addr = handle.local_addr();
+    println!("rpc server listening on {addr}");
+
+    let mut control = RpcClient::connect(addr).expect("connect control client");
+    control.ping().expect("server answers ping");
+    let ids: Vec<CacheId> = (0..caches)
+        .map(|_| {
+            control
+                .register(CAPACITY, tenants as u32)
+                .expect("register over rpc")
+        })
+        .collect();
+
+    let producers_done = Arc::new(AtomicBool::new(false));
+    let mut producer_handles = Vec::new();
+    for (c, &id) in ids.iter().enumerate() {
+        let profile = multi_tenant(tenants).scaled(SCALE);
+        producer_handles.push(thread::spawn(move || {
+            let mut client = RpcClient::connect(addr).expect("connect producer client");
+            let mut sources: Vec<_> = (0..tenants)
+                .map(|t| {
+                    let mut gen = profile.tenant_generator(t, 7 + c as u64);
+                    let next: Box<dyn FnMut() -> LineAddr> = Box::new(move || gen.next_line());
+                    let monitor =
+                        SampledMattson::new(2 * CAPACITY, SAMPLE_RATIO, 0xCAFE + c as u64);
+                    let mut s = MonitorSource::new(monitor, INTERVAL, next);
+                    s.warm_up(INTERVAL / 2);
+                    s
+                })
+                .collect();
+            for _ in 0..intervals {
+                for (t, source) in sources.iter_mut().enumerate() {
+                    client
+                        .submit_from(id, t, source)
+                        .expect("cache registered and tenant in range");
+                }
+            }
+        }));
+    }
+
+    // The epoch driver is remote too: one client looping run_epoch.
+    let planner = {
+        let service = Arc::clone(&service);
+        let done = Arc::clone(&producers_done);
+        thread::spawn(move || {
+            let mut client = RpcClient::connect(addr).expect("connect planner client");
+            let mut planned_total = 0usize;
+            loop {
+                let report = client.run_epoch().expect("run epoch over rpc");
+                planned_total += report.planned.len();
+                if !report.is_idle() {
+                    println!(
+                        "epoch {:>3}: planned {:>2}, deferred {}, failed {}, queued {}",
+                        report.epoch,
+                        report.planned.len(),
+                        report.deferred.len(),
+                        report.failed.len(),
+                        report.remaining_dirty
+                    );
+                }
+                if done.load(Ordering::Acquire) && service.pending() == 0 {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+            planned_total
+        })
+    };
+
+    for h in producer_handles {
+        h.join().expect("producer thread panicked");
+    }
+    producers_done.store(true, Ordering::Release);
+    let planned_total = planner.join().expect("planner thread panicked");
+
+    println!("\nfinal published snapshots (read back over rpc):");
+    for id in &ids {
+        match control.report(*id).expect("report over rpc") {
+            Some(summary) => {
+                let allocations: Vec<u64> = summary.tenants.iter().map(|t| t.capacity).collect();
+                println!(
+                    "  {id} [shard {}]: version {} (epoch {}, {} updates) allocations {allocations:?}",
+                    service.shard_index(*id),
+                    summary.version,
+                    summary.epoch,
+                    summary.updates,
+                );
+                // The wire summary must mirror the in-process snapshot.
+                let snap = service.snapshot(*id).expect("snapshot exists");
+                assert_eq!(snap.allocations(), allocations, "rpc report drifted");
+                assert_eq!(snap.version, summary.version, "rpc report drifted");
+            }
+            None => println!(
+                "  {id} [shard {}]: no plan published",
+                service.shard_index(*id)
+            ),
+        }
+    }
+    println!(
+        "{} epochs run, {planned_total} cache replans published across {} shard(s), all over rpc.",
+        service.epochs(),
+        service.shards()
+    );
+    handle.shutdown();
 }

@@ -1,0 +1,245 @@
+//! `RpcServer`: the TCP accept loop fronting a [`ShardedReconfigService`].
+//!
+//! Each accepted connection gets a handler thread that processes frames
+//! strictly one at a time: read a full frame, decode, execute against
+//! the shared service, write the reply. That synchronous loop *is* the
+//! per-connection backpressure — at most one frame (≤ the wire frame
+//! cap) is buffered per connection, and a client that outruns the plane
+//! stalls on TCP flow control waiting for its previous reply. Floods
+//! that do get through are absorbed by the service's dirty-queue dedup:
+//! resubmitting a cache between epochs coalesces to one replan.
+//!
+//! Any [`WireError`](crate::wire::WireError) — truncation, a hostile
+//! length prefix, garbage bytes — closes that connection and nothing
+//! else: frames are fully received before they are decoded and decoded
+//! before they are applied, so a batch from a client that dies
+//! mid-frame is dropped atomically and the plane stays consistent.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::router::ShardedReconfigService;
+use crate::service::CacheSpec;
+use crate::snapshot::CacheId;
+use crate::wire::{self, read_frame, Request, Response, SnapshotSummary};
+
+/// Default cap on concurrently served connections; beyond it, new
+/// connections are accepted and immediately closed, bounding server
+/// memory at `connections × max frame` regardless of client count.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// A TCP front-end for a sharded reconfiguration plane.
+///
+/// Bind, then [`spawn`](RpcServer::spawn) to start serving on a
+/// background accept thread:
+///
+/// ```
+/// use std::sync::Arc;
+/// use talus_serve::{RpcClient, RpcServer, ShardedReconfigService};
+///
+/// let plane = Arc::new(ShardedReconfigService::new(2));
+/// let server = RpcServer::bind("127.0.0.1:0", plane)?;
+/// let handle = server.spawn()?;
+///
+/// let mut client = RpcClient::connect(handle.local_addr())?;
+/// client.ping()?;
+/// handle.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct RpcServer {
+    listener: TcpListener,
+    service: Arc<ShardedReconfigService>,
+    max_connections: usize,
+}
+
+impl RpcServer {
+    /// Binds a listener at `addr` (use port 0 for an ephemeral port)
+    /// fronting `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<ShardedReconfigService>,
+    ) -> std::io::Result<Self> {
+        Ok(RpcServer {
+            listener: TcpListener::bind(addr)?,
+            service,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+        })
+    }
+
+    /// Caps concurrently served connections (default
+    /// [`DEFAULT_MAX_CONNECTIONS`]). Excess connections are closed on
+    /// accept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        assert!(max > 0, "need at least one connection");
+        self.max_connections = max;
+        self
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener's address cannot be read (the socket is
+    /// already bound, so this does not happen in practice).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// The plane this server fronts. Tests use this to inspect
+    /// snapshots server-side and compare them bit-for-bit with a local
+    /// plane's.
+    pub fn service(&self) -> &Arc<ShardedReconfigService> {
+        &self.service
+    }
+
+    /// Starts the accept loop on a background thread and returns a
+    /// handle that stops it (and is also stopped on drop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener clone failures.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::clone(&self.service);
+        let accept_stop = Arc::clone(&stop);
+        let live = Arc::new(AtomicUsize::new(0));
+        let max_connections = self.max_connections;
+        let listener = self.listener;
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if live.load(Ordering::Acquire) >= max_connections {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
+                live.fetch_add(1, Ordering::AcqRel);
+                let service = Arc::clone(&service);
+                let live = Arc::clone(&live);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &service);
+                    live.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+        });
+        Ok(ServerHandle {
+            addr,
+            service: self.service,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Handle to a running [`RpcServer`]; stops the accept loop on
+/// [`shutdown`](ServerHandle::shutdown) or drop. Connections already
+/// being served run until their client disconnects.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    service: Arc<ShardedReconfigService>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The plane this server fronts.
+    pub fn service(&self) -> &Arc<ShardedReconfigService> {
+        &self.service
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        let Some(thread) = self.accept_thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `accept`; a throwaway connection
+        // wakes it so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Serves one connection until clean EOF or the first protocol error.
+fn serve_connection(
+    stream: TcpStream,
+    service: &ShardedReconfigService,
+) -> Result<(), wire::WireError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(wire::WireError::from)?);
+    let mut writer = BufWriter::new(stream);
+    // One frame in flight per connection: read, apply, reply, repeat.
+    while let Some(payload) = read_frame(&mut reader)? {
+        let request = wire::decode_request(&payload)?;
+        let response = handle_request(request, service);
+        writer
+            .write_all(&wire::encode_response(&response))
+            .map_err(wire::WireError::from)?;
+        writer.flush().map_err(wire::WireError::from)?;
+    }
+    Ok(())
+}
+
+/// Executes one decoded request against the plane. Decode has already
+/// bounds-checked every field, so nothing here can panic on remote
+/// input; request-level rejections become [`Response::Error`].
+fn handle_request(request: Request, service: &ShardedReconfigService) -> Response {
+    match request {
+        Request::Register { capacity, tenants } => {
+            // Decode guarantees capacity > 0 and 0 < tenants <= cap, the
+            // exact preconditions of `CacheSpec::new`.
+            let id = service.register(CacheSpec::new(capacity, tenants as usize));
+            Response::Registered { id: id.value() }
+        }
+        Request::Deregister { id } => match service.deregister(CacheId(id)) {
+            Ok(()) => Response::Deregistered,
+            Err(e) => Response::Error(e),
+        },
+        Request::Submit { entries } => Response::SubmitReply {
+            results: entries
+                .into_iter()
+                .map(|e| service.submit(CacheId(e.id), e.tenant as usize, e.curve))
+                .collect(),
+        },
+        Request::RunEpoch => Response::Epoch(service.run_epoch()),
+        Request::Report { id } => Response::Snapshot(
+            service
+                .snapshot(CacheId(id))
+                .map(|snap| SnapshotSummary::from(&*snap)),
+        ),
+        Request::Ping => Response::Pong,
+    }
+}

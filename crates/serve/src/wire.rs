@@ -1,0 +1,919 @@
+//! The v1 wire protocol: length-prefixed, little-endian binary frames
+//! for curve ingest and epoch control.
+//!
+//! Every frame is
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length N (LE u32), 2 ≤ N ≤ WIRE_MAX_FRAME_LEN
+//! 4       1     protocol version (WIRE_VERSION = 1)
+//! 5       1     opcode
+//! 6       N−2   body (message-specific, see Request/Response)
+//! ```
+//!
+//! The length prefix counts everything after itself (version + opcode +
+//! body). Integers are little-endian; `f64`s are IEEE-754 bit patterns
+//! (LE), so curves and plan errors round-trip bit-exactly. A
+//! [`MissCurve`] encodes as a point count followed by `(size, misses)`
+//! pairs; vectors encode as a `u32` count followed by elements.
+//!
+//! ## Decoding is total
+//!
+//! `decode_request` / `decode_response` and [`read_frame`] never panic
+//! and never allocate proportionally to attacker-controlled fields:
+//!
+//! - the length prefix is bounded by
+//!   [`talus_core::limits::WIRE_MAX_FRAME_LEN`] *before* the payload
+//!   buffer is allocated;
+//! - every element count is checked against both its protocol cap
+//!   (`WIRE_MAX_*`) and the bytes actually remaining in the frame
+//!   *before* any `Vec` is reserved;
+//! - curve payloads are validated through [`MissCurve::from_samples`],
+//!   so a decoded curve upholds every invariant a locally built one does;
+//! - trailing bytes after a well-formed body are an error, so every byte
+//!   of an accepted frame is accounted for.
+//!
+//! All failures surface as the typed [`WireError`]; the adversarial
+//! suite in `tests/wire.rs` drives truncations, oversized prefixes,
+//! wrong versions, garbage opcodes, and random byte soup through the
+//! decoder and asserts typed errors throughout.
+//!
+//! ## Versioning rules
+//!
+//! The version byte is checked on every frame. Any change to the frame
+//! layout, an opcode's body, or the limits in `talus_core::limits` bumps
+//! [`WIRE_VERSION`]; the golden-bytes fixture test pins the v1 encoding
+//! so accidental format drift fails CI.
+
+use std::io::Read;
+
+use crate::service::{EpochReport, ServeError};
+use crate::snapshot::{CacheId, PlanSnapshot};
+use talus_core::limits::{
+    WIRE_MAX_BATCH, WIRE_MAX_CURVE_POINTS, WIRE_MAX_FRAME_LEN, WIRE_MAX_IDS, WIRE_MAX_TENANTS,
+};
+use talus_core::{CurveError, MissCurve, PlanError};
+
+/// Protocol version carried in every frame header.
+pub const WIRE_VERSION: u8 = 1;
+
+// Request opcodes (client → server).
+const OP_REGISTER: u8 = 0x01;
+const OP_DEREGISTER: u8 = 0x02;
+const OP_SUBMIT: u8 = 0x03;
+const OP_RUN_EPOCH: u8 = 0x04;
+const OP_REPORT: u8 = 0x05;
+const OP_PING: u8 = 0x06;
+
+// Response opcodes (server → client); high bit set.
+const OP_REGISTERED: u8 = 0x81;
+const OP_DEREGISTERED: u8 = 0x82;
+const OP_SUBMIT_REPLY: u8 = 0x83;
+const OP_EPOCH: u8 = 0x84;
+const OP_SNAPSHOT: u8 = 0x85;
+const OP_PONG: u8 = 0x86;
+const OP_ERROR: u8 = 0x8F;
+
+/// Everything that can go wrong reading or decoding a frame. Decode
+/// functions return these; they never panic on any input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The stream ended (or the frame ran out of bytes) before the
+    /// declared length was satisfied.
+    Truncated,
+    /// The length prefix exceeds [`WIRE_MAX_FRAME_LEN`]; rejected before
+    /// any allocation.
+    Oversized {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// The frame's version byte is not [`WIRE_VERSION`].
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The opcode is not one this decoder knows.
+    BadOpcode {
+        /// The opcode byte received.
+        got: u8,
+    },
+    /// An element count exceeds its protocol cap (or the bytes remaining
+    /// in the frame could not possibly hold that many elements).
+    BadCount {
+        /// The declared count.
+        count: u32,
+        /// The cap it violated.
+        max: u32,
+    },
+    /// A curve payload violates [`MissCurve`]'s invariants.
+    Curve(CurveError),
+    /// A structurally invalid body: bad enum tag, zero field that must be
+    /// positive, or trailing bytes after the message.
+    Malformed(&'static str),
+    /// The underlying stream failed.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds {WIRE_MAX_FRAME_LEN}")
+            }
+            WireError::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (expected {WIRE_VERSION})"
+                )
+            }
+            WireError::BadOpcode { got } => write!(f, "unknown opcode {got:#04x}"),
+            WireError::BadCount { count, max } => {
+                write!(f, "element count {count} exceeds bound {max}")
+            }
+            WireError::Curve(e) => write!(f, "invalid curve payload: {e}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::Io(kind) => write!(f, "stream error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Curve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.kind())
+        }
+    }
+}
+
+/// One (cache, tenant, curve) element of a submission batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitEntry {
+    /// Raw cache id (as returned by a register reply).
+    pub id: u64,
+    /// Tenant index within the cache.
+    pub tenant: u32,
+    /// The tenant's latest miss curve.
+    pub curve: MissCurve,
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a logical cache (default planner at `capacity/64` grain).
+    Register {
+        /// Capacity budget in lines (positive).
+        capacity: u64,
+        /// Tenant count (1..=[`WIRE_MAX_TENANTS`]).
+        tenants: u32,
+    },
+    /// Remove a cache and its published snapshot.
+    Deregister {
+        /// Raw cache id.
+        id: u64,
+    },
+    /// Submit a batch of curve updates, applied in order, atomically
+    /// received (a partially transmitted batch is never applied).
+    Submit {
+        /// The batch (1..=[`WIRE_MAX_BATCH`] entries).
+        entries: Vec<SubmitEntry>,
+    },
+    /// Run one planning epoch across every shard.
+    RunEpoch,
+    /// Fetch the published snapshot summary for a cache.
+    Report {
+        /// Raw cache id.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// A per-tenant slice of a [`SnapshotSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Lines allocated to the tenant.
+    pub capacity: u64,
+    /// Miss metric the plan expects at that allocation.
+    pub expected_misses: f64,
+    /// The shadow-partition configuration, if the allocation sits on a
+    /// hull segment (`None` = unpartitioned).
+    pub shadow: Option<ShadowSummary>,
+}
+
+/// The wire form of a shadow configuration: the fields an applier needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowSummary {
+    /// Hull vertex the α partition emulates.
+    pub alpha: f64,
+    /// Hull vertex the β partition emulates.
+    pub beta: f64,
+    /// Fraction of accesses steered to the α partition.
+    pub rho: f64,
+}
+
+/// The wire form of a published [`PlanSnapshot`]: versioning metadata
+/// plus per-tenant allocations and shadow configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSummary {
+    /// Raw cache id.
+    pub cache: u64,
+    /// Service epoch that produced the plan.
+    pub epoch: u64,
+    /// Per-cache plan version.
+    pub version: u64,
+    /// Curve updates folded into the plan.
+    pub updates: u64,
+    /// Reconfiguration round the plan was computed in.
+    pub round: u64,
+    /// One entry per tenant, in tenant order.
+    pub tenants: Vec<TenantSummary>,
+}
+
+impl From<&PlanSnapshot> for SnapshotSummary {
+    fn from(snap: &PlanSnapshot) -> Self {
+        SnapshotSummary {
+            cache: snap.cache.value(),
+            epoch: snap.epoch,
+            version: snap.version,
+            updates: snap.updates,
+            round: snap.plan.round,
+            tenants: snap
+                .plan
+                .tenants
+                .iter()
+                .map(|t| TenantSummary {
+                    capacity: t.capacity,
+                    expected_misses: t.plan.expected_misses(),
+                    shadow: t.plan.shadow().map(|s| ShadowSummary {
+                        alpha: s.alpha,
+                        beta: s.beta,
+                        rho: s.rho,
+                    }),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Register`]: the minted cache id.
+    Registered {
+        /// Raw cache id.
+        id: u64,
+    },
+    /// Reply to a successful [`Request::Deregister`].
+    Deregistered,
+    /// Reply to [`Request::Submit`]: one result per entry, in order.
+    SubmitReply {
+        /// Per-entry outcomes, exactly what local `submit` returned.
+        results: Vec<Result<(), ServeError>>,
+    },
+    /// Reply to [`Request::RunEpoch`]: the merged epoch report.
+    Epoch(EpochReport),
+    /// Reply to [`Request::Report`]: the snapshot, if one is published.
+    Snapshot(Option<SnapshotSummary>),
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Request-level failure (e.g. deregistering an unknown cache).
+    Error(ServeError),
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Builds one frame: 4-byte length placeholder patched on `finish`.
+struct FrameWriter {
+    buf: Vec<u8>,
+}
+
+impl FrameWriter {
+    fn new(version: u8, opcode: u8) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&[0, 0, 0, 0]);
+        buf.push(version);
+        buf.push(opcode);
+        FrameWriter { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn curve(&mut self, curve: &MissCurve) {
+        self.u32(curve.len() as u32);
+        for p in curve.iter() {
+            self.f64(p.size);
+            self.f64(p.misses);
+        }
+    }
+
+    fn ids(&mut self, ids: &[CacheId]) {
+        self.u32(ids.len() as u32);
+        for id in ids {
+            self.u64(id.value());
+        }
+    }
+
+    fn serve_error(&mut self, e: &ServeError) {
+        match e {
+            ServeError::UnknownCache(id) => {
+                self.u8(1);
+                self.u64(id.value());
+            }
+            ServeError::TenantOutOfRange {
+                cache,
+                tenant,
+                tenants,
+            } => {
+                self.u8(2);
+                self.u64(cache.value());
+                self.u32(*tenant as u32);
+                self.u32(*tenants as u32);
+            }
+            ServeError::Plan { cache, source } => {
+                self.u8(3);
+                self.u64(cache.value());
+                match source {
+                    PlanError::SizeOutOfRange { size, min, max } => {
+                        self.u8(1);
+                        self.f64(*size);
+                        self.f64(*min);
+                        self.f64(*max);
+                    }
+                    PlanError::InvalidSize { size } => {
+                        self.u8(2);
+                        self.f64(*size);
+                    }
+                    PlanError::InvalidMargin { margin } => {
+                        self.u8(3);
+                        self.f64(*margin);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let len = (self.buf.len() - 4) as u32;
+        debug_assert!(len <= WIRE_MAX_FRAME_LEN, "encoded frame exceeds cap");
+        self.buf[..4].copy_from_slice(&len.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Encodes a request as one complete frame (length prefix included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w;
+    match req {
+        Request::Register { capacity, tenants } => {
+            w = FrameWriter::new(WIRE_VERSION, OP_REGISTER);
+            w.u64(*capacity);
+            w.u32(*tenants);
+        }
+        Request::Deregister { id } => {
+            w = FrameWriter::new(WIRE_VERSION, OP_DEREGISTER);
+            w.u64(*id);
+        }
+        Request::Submit { entries } => {
+            w = FrameWriter::new(WIRE_VERSION, OP_SUBMIT);
+            w.u32(entries.len() as u32);
+            for e in entries {
+                w.u64(e.id);
+                w.u32(e.tenant);
+                w.curve(&e.curve);
+            }
+        }
+        Request::RunEpoch => w = FrameWriter::new(WIRE_VERSION, OP_RUN_EPOCH),
+        Request::Report { id } => {
+            w = FrameWriter::new(WIRE_VERSION, OP_REPORT);
+            w.u64(*id);
+        }
+        Request::Ping => w = FrameWriter::new(WIRE_VERSION, OP_PING),
+    }
+    w.finish()
+}
+
+/// Encodes a response as one complete frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w;
+    match resp {
+        Response::Registered { id } => {
+            w = FrameWriter::new(WIRE_VERSION, OP_REGISTERED);
+            w.u64(*id);
+        }
+        Response::Deregistered => w = FrameWriter::new(WIRE_VERSION, OP_DEREGISTERED),
+        Response::SubmitReply { results } => {
+            w = FrameWriter::new(WIRE_VERSION, OP_SUBMIT_REPLY);
+            w.u32(results.len() as u32);
+            for r in results {
+                match r {
+                    Ok(()) => w.u8(0),
+                    Err(e) => {
+                        w.u8(1);
+                        w.serve_error(e);
+                    }
+                }
+            }
+        }
+        Response::Epoch(report) => {
+            w = FrameWriter::new(WIRE_VERSION, OP_EPOCH);
+            w.u64(report.epoch);
+            w.ids(&report.planned);
+            w.ids(&report.deferred);
+            w.u32(report.failed.len() as u32);
+            for (id, err) in &report.failed {
+                w.u64(id.value());
+                w.serve_error(err);
+            }
+            w.u64(report.remaining_dirty as u64);
+        }
+        Response::Snapshot(summary) => {
+            w = FrameWriter::new(WIRE_VERSION, OP_SNAPSHOT);
+            match summary {
+                None => w.u8(0),
+                Some(s) => {
+                    w.u8(1);
+                    w.u64(s.cache);
+                    w.u64(s.epoch);
+                    w.u64(s.version);
+                    w.u64(s.updates);
+                    w.u64(s.round);
+                    w.u32(s.tenants.len() as u32);
+                    for t in &s.tenants {
+                        w.u64(t.capacity);
+                        w.f64(t.expected_misses);
+                        match &t.shadow {
+                            None => w.u8(0),
+                            Some(sh) => {
+                                w.u8(1);
+                                w.f64(sh.alpha);
+                                w.f64(sh.beta);
+                                w.f64(sh.rho);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Response::Pong => w = FrameWriter::new(WIRE_VERSION, OP_PONG),
+        Response::Error(e) => {
+            w = FrameWriter::new(WIRE_VERSION, OP_ERROR);
+            w.serve_error(e);
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over one frame payload. Every read method
+/// fails with [`WireError::Truncated`] instead of slicing out of range.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an element count, rejecting it if it exceeds `cap` or if
+    /// the frame cannot possibly hold `count` elements of at least
+    /// `min_elem_bytes` each — checked *before* any allocation, so a
+    /// hostile count never reserves memory.
+    fn count(&mut self, cap: u32, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let count = self.u32()?;
+        if count > cap {
+            return Err(WireError::BadCount { count, max: cap });
+        }
+        if (count as usize).saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(count as usize)
+    }
+
+    fn curve(&mut self) -> Result<MissCurve, WireError> {
+        let points = self.count(WIRE_MAX_CURVE_POINTS, 16)?;
+        if points == 0 {
+            return Err(WireError::Curve(CurveError::Empty));
+        }
+        let mut sizes = Vec::with_capacity(points);
+        let mut misses = Vec::with_capacity(points);
+        for _ in 0..points {
+            sizes.push(self.f64()?);
+            misses.push(self.f64()?);
+        }
+        MissCurve::from_samples(&sizes, &misses).map_err(WireError::Curve)
+    }
+
+    fn ids(&mut self) -> Result<Vec<CacheId>, WireError> {
+        let count = self.count(WIRE_MAX_IDS, 8)?;
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            ids.push(CacheId(self.u64()?));
+        }
+        Ok(ids)
+    }
+
+    fn serve_error(&mut self) -> Result<ServeError, WireError> {
+        match self.u8()? {
+            1 => Ok(ServeError::UnknownCache(CacheId(self.u64()?))),
+            2 => Ok(ServeError::TenantOutOfRange {
+                cache: CacheId(self.u64()?),
+                tenant: self.u32()? as usize,
+                tenants: self.u32()? as usize,
+            }),
+            3 => {
+                let cache = CacheId(self.u64()?);
+                let source = match self.u8()? {
+                    1 => PlanError::SizeOutOfRange {
+                        size: self.f64()?,
+                        min: self.f64()?,
+                        max: self.f64()?,
+                    },
+                    2 => PlanError::InvalidSize { size: self.f64()? },
+                    3 => PlanError::InvalidMargin {
+                        margin: self.f64()?,
+                    },
+                    _ => return Err(WireError::Malformed("unknown plan-error tag")),
+                };
+                Ok(ServeError::Plan { cache, source })
+            }
+            _ => Err(WireError::Malformed("unknown serve-error tag")),
+        }
+    }
+
+    /// Asserts the body was fully consumed: accepted frames account for
+    /// every byte.
+    fn end(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed("trailing bytes after message"));
+        }
+        Ok(())
+    }
+}
+
+/// Splits a frame payload into `(opcode, body)`, validating the version.
+fn frame_parts(payload: &[u8]) -> Result<(u8, &[u8]), WireError> {
+    if payload.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    if payload[0] != WIRE_VERSION {
+        return Err(WireError::BadVersion { got: payload[0] });
+    }
+    Ok((payload[1], &payload[2..]))
+}
+
+/// Decodes a request from a frame payload (version byte onward, without
+/// the length prefix). Total: returns a typed error on any input.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let (opcode, body) = frame_parts(payload)?;
+    let mut r = Reader::new(body);
+    let req = match opcode {
+        OP_REGISTER => {
+            let capacity = r.u64()?;
+            let tenants = r.u32()?;
+            if capacity == 0 {
+                return Err(WireError::Malformed("zero capacity"));
+            }
+            if tenants == 0 {
+                return Err(WireError::Malformed("zero tenants"));
+            }
+            if tenants > WIRE_MAX_TENANTS {
+                return Err(WireError::BadCount {
+                    count: tenants,
+                    max: WIRE_MAX_TENANTS,
+                });
+            }
+            Request::Register { capacity, tenants }
+        }
+        OP_DEREGISTER => Request::Deregister { id: r.u64()? },
+        OP_SUBMIT => {
+            // Each entry is at least id + tenant + point count + 1 point.
+            let count = r.count(WIRE_MAX_BATCH, 8 + 4 + 4 + 16)?;
+            if count == 0 {
+                return Err(WireError::Malformed("empty submit batch"));
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(SubmitEntry {
+                    id: r.u64()?,
+                    tenant: r.u32()?,
+                    curve: r.curve()?,
+                });
+            }
+            Request::Submit { entries }
+        }
+        OP_RUN_EPOCH => Request::RunEpoch,
+        OP_REPORT => Request::Report { id: r.u64()? },
+        OP_PING => Request::Ping,
+        got => return Err(WireError::BadOpcode { got }),
+    };
+    r.end()?;
+    Ok(req)
+}
+
+/// Decodes a response from a frame payload (version byte onward, without
+/// the length prefix). Total: returns a typed error on any input.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let (opcode, body) = frame_parts(payload)?;
+    let mut r = Reader::new(body);
+    let resp = match opcode {
+        OP_REGISTERED => Response::Registered { id: r.u64()? },
+        OP_DEREGISTERED => Response::Deregistered,
+        OP_SUBMIT_REPLY => {
+            let count = r.count(WIRE_MAX_BATCH, 1)?;
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                results.push(match r.u8()? {
+                    0 => Ok(()),
+                    1 => Err(r.serve_error()?),
+                    _ => return Err(WireError::Malformed("unknown submit-result tag")),
+                });
+            }
+            Response::SubmitReply { results }
+        }
+        OP_EPOCH => {
+            let epoch = r.u64()?;
+            let planned = r.ids()?;
+            let deferred = r.ids()?;
+            let failures = r.count(WIRE_MAX_IDS, 9)?;
+            let mut failed = Vec::with_capacity(failures);
+            for _ in 0..failures {
+                failed.push((CacheId(r.u64()?), r.serve_error()?));
+            }
+            let remaining_dirty = r.u64()? as usize;
+            Response::Epoch(EpochReport {
+                epoch,
+                planned,
+                deferred,
+                failed,
+                remaining_dirty,
+            })
+        }
+        OP_SNAPSHOT => match r.u8()? {
+            0 => Response::Snapshot(None),
+            1 => {
+                let cache = r.u64()?;
+                let epoch = r.u64()?;
+                let version = r.u64()?;
+                let updates = r.u64()?;
+                let round = r.u64()?;
+                let count = r.count(WIRE_MAX_TENANTS, 8 + 8 + 1)?;
+                let mut tenants = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let capacity = r.u64()?;
+                    let expected_misses = r.f64()?;
+                    let shadow = match r.u8()? {
+                        0 => None,
+                        1 => Some(ShadowSummary {
+                            alpha: r.f64()?,
+                            beta: r.f64()?,
+                            rho: r.f64()?,
+                        }),
+                        _ => return Err(WireError::Malformed("unknown shadow tag")),
+                    };
+                    tenants.push(TenantSummary {
+                        capacity,
+                        expected_misses,
+                        shadow,
+                    });
+                }
+                Response::Snapshot(Some(SnapshotSummary {
+                    cache,
+                    epoch,
+                    version,
+                    updates,
+                    round,
+                    tenants,
+                }))
+            }
+            _ => return Err(WireError::Malformed("unknown snapshot tag")),
+        },
+        OP_PONG => Response::Pong,
+        OP_ERROR => Response::Error(r.serve_error()?),
+        got => return Err(WireError::BadOpcode { got }),
+    };
+    r.end()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Framed stream I/O
+// ---------------------------------------------------------------------
+
+/// Reads one frame payload (version byte onward) from a stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a frame boundary. The
+/// length prefix is validated against [`WIRE_MAX_FRAME_LEN`] *before*
+/// the payload buffer is allocated, so a hostile length field costs
+/// nothing; end-of-stream mid-frame surfaces as
+/// [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before any length byte means the peer closed between
+    // frames; EOF after at least one byte is a truncated frame.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > WIRE_MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len });
+    }
+    if len < 2 {
+        return Err(WireError::Malformed("frame shorter than its header"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> MissCurve {
+        MissCurve::from_samples(&[0.0, 256.0, 512.0], &[8.0, 4.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn frame_layout_is_len_version_opcode() {
+        let bytes = encode_request(&Request::Ping);
+        assert_eq!(bytes.len(), 6);
+        assert_eq!(u32::from_le_bytes(bytes[..4].try_into().unwrap()), 2);
+        assert_eq!(bytes[4], WIRE_VERSION);
+        assert_eq!(bytes[5], OP_PING);
+    }
+
+    #[test]
+    fn stream_roundtrip_preserves_messages() {
+        let reqs = [
+            Request::Register {
+                capacity: 1024,
+                tenants: 3,
+            },
+            Request::Submit {
+                entries: vec![SubmitEntry {
+                    id: 7,
+                    tenant: 2,
+                    curve: curve(),
+                }],
+            },
+            Request::RunEpoch,
+        ];
+        let mut stream = Vec::new();
+        for req in &reqs {
+            stream.extend_from_slice(&encode_request(req));
+        }
+        let mut r = &stream[..];
+        for req in &reqs {
+            let payload = read_frame(&mut r).unwrap().expect("frame present");
+            assert_eq!(&decode_request(&payload).unwrap(), req);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_reading_payload() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(WIRE_MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r),
+            Err(WireError::Oversized {
+                len: WIRE_MAX_FRAME_LEN + 1
+            })
+        );
+    }
+
+    #[test]
+    fn hostile_counts_never_reserve_memory() {
+        // A submit frame declaring u32::MAX entries in a 10-byte body must
+        // fail the count check (remaining-bytes bound), not allocate.
+        let mut w = FrameWriter::new(WIRE_VERSION, OP_SUBMIT);
+        w.u32(u32::MAX);
+        let frame = w.finish();
+        assert_eq!(
+            decode_request(&frame[4..]),
+            Err(WireError::BadCount {
+                count: u32::MAX,
+                max: WIRE_MAX_BATCH
+            })
+        );
+        // Within the cap but beyond the body: truncation, pre-allocation.
+        let mut w = FrameWriter::new(WIRE_VERSION, OP_SUBMIT);
+        w.u32(WIRE_MAX_BATCH);
+        let frame = w.finish();
+        assert_eq!(decode_request(&frame[4..]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn submit_reply_roundtrips_every_error_variant() {
+        let resp = Response::SubmitReply {
+            results: vec![
+                Ok(()),
+                Err(ServeError::UnknownCache(CacheId(9))),
+                Err(ServeError::TenantOutOfRange {
+                    cache: CacheId(3),
+                    tenant: 7,
+                    tenants: 4,
+                }),
+                Err(ServeError::Plan {
+                    cache: CacheId(5),
+                    source: PlanError::SizeOutOfRange {
+                        size: 1.5,
+                        min: 2.0,
+                        max: 8.0,
+                    },
+                }),
+            ],
+        };
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes[4..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn wire_errors_display_and_source() {
+        let e = WireError::Curve(CurveError::Empty);
+        assert!(!e.to_string().is_empty());
+        assert!(std::error::Error::source(&e).is_some());
+        for e in [
+            WireError::Truncated,
+            WireError::Oversized { len: 1 << 30 },
+            WireError::BadVersion { got: 9 },
+            WireError::BadOpcode { got: 0x7F },
+            WireError::BadCount { count: 5, max: 4 },
+            WireError::Malformed("x"),
+            WireError::Io(std::io::ErrorKind::ConnectionReset),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The network layer's defining invariant, extending the sharding
+//! discipline across the wire: for any interleaving of register /
+//! submit / deregister / epoch operations, a plane driven through
+//! `RpcClient` → loopback TCP → `RpcServer` returns bit-identical
+//! results — per-op errors, `EpochReport`s, and final published
+//! snapshots — to a local [`ShardedReconfigService`] fed the same
+//! interleaving. The wire adds *transport*, never *policy*.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use talus_core::{MissCurve, ReplaySource};
+use talus_serve::{
+    CacheId, CacheSpec, EpochReport, RpcClient, RpcError, RpcServer, ServeError,
+    ShardedReconfigService,
+};
+
+/// One step of a random plane history. Cache references are slot
+/// indices into the ids registered so far (mod the slot count), so any
+/// generated sequence is meaningful on any plane.
+#[derive(Debug, Clone)]
+enum Op {
+    Register {
+        capacity_grains: u64,
+        tenants: usize,
+    },
+    Submit {
+        slot: usize,
+        tenant: usize,
+        curve_seed: u64,
+    },
+    Deregister {
+        slot: usize,
+    },
+    RunEpoch,
+}
+
+/// Random monotone miss curve on a 0..=16 × 64-line grid, derived
+/// deterministically from a seed so both planes receive identical
+/// curves (the same family as `tests/sharding.rs`).
+fn curve_from_seed(seed: u64) -> MissCurve {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut m = 10.0 + (next() % 40) as f64;
+    let sizes: Vec<f64> = (0..=16).map(|i| i as f64 * 64.0).collect();
+    let misses: Vec<f64> = sizes
+        .iter()
+        .map(|_| {
+            let v = m;
+            m = (m - (next() % 12) as f64).max(0.0);
+            v
+        })
+        .collect();
+    MissCurve::from_samples(&sizes, &misses).expect("valid curve")
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Weighted mix by discriminant: 2/11 register, 6/11 submit,
+    // 1/11 deregister, 2/11 run-epoch.
+    (any::<u64>(), any::<u64>(), any::<usize>(), any::<u64>()).prop_map(
+        |(kind, shape, slot, curve_seed)| match kind % 11 {
+            0 | 1 => Op::Register {
+                // RPC registration always uses the default planner
+                // (capacity/64 grain), so capacities stay small to keep
+                // the grain coarse and planning fast.
+                capacity_grains: 4 + shape % 12,
+                tenants: 1 + (shape % 3) as usize,
+            },
+            2..=7 => Op::Submit {
+                slot,
+                tenant: (shape >> 8) as usize,
+                curve_seed,
+            },
+            8 => Op::Deregister { slot },
+            _ => Op::RunEpoch,
+        },
+    )
+}
+
+/// Flattens a client result into the local `submit`/`deregister` shape
+/// so per-op outcomes compare directly; transport errors are bugs.
+fn as_serve_result(result: Result<(), RpcError>) -> Result<(), ServeError> {
+    match result {
+        Ok(()) => Ok(()),
+        Err(RpcError::Serve(e)) => Err(e),
+        Err(other) => panic!("transport failed mid-property: {other}"),
+    }
+}
+
+/// Replays `ops` against the local plane and, via `client`, the remote
+/// one — asserting every per-op outcome matches along the way. Returns
+/// the ids ever registered (with liveness) and every explicit epoch's
+/// paired reports.
+fn apply_both(
+    local: &ShardedReconfigService,
+    client: &mut RpcClient,
+    ops: &[Op],
+) -> (Vec<(CacheId, bool)>, Vec<(EpochReport, EpochReport)>) {
+    let mut slots: Vec<(CacheId, bool, usize)> = Vec::new();
+    let mut reports = Vec::new();
+    for op in ops {
+        match op {
+            Op::Register {
+                capacity_grains,
+                tenants,
+            } => {
+                let capacity = capacity_grains * 64;
+                let id = local.register(CacheSpec::new(capacity, *tenants));
+                let remote_id = client
+                    .register(capacity, *tenants as u32)
+                    .expect("register over rpc");
+                assert_eq!(id, remote_id, "id minting must coincide");
+                slots.push((id, true, *tenants));
+            }
+            Op::Submit {
+                slot,
+                tenant,
+                curve_seed,
+            } => {
+                if slots.is_empty() {
+                    continue;
+                }
+                let (id, _, tenants) = slots[slot % slots.len()];
+                let tenant = tenant % tenants;
+                let curve = curve_from_seed(*curve_seed);
+                let local_result = local.submit(id, tenant, curve.clone());
+                let rpc_result = as_serve_result(client.submit(id, tenant, curve));
+                assert_eq!(local_result, rpc_result, "submit outcomes diverge");
+            }
+            Op::Deregister { slot } => {
+                if slots.is_empty() {
+                    continue;
+                }
+                let index = slot % slots.len();
+                let (id, live, _) = slots[index];
+                slots[index].1 = false;
+                let local_result = local.deregister(id);
+                let rpc_result = as_serve_result(client.deregister(id));
+                assert_eq!(local_result, rpc_result, "deregister outcomes diverge");
+                assert_eq!(local_result.is_ok(), live);
+            }
+            Op::RunEpoch => {
+                let local_report = local.run_epoch();
+                let rpc_report = client.run_epoch().expect("epoch over rpc");
+                reports.push((local_report, rpc_report));
+            }
+        }
+    }
+    (
+        slots.into_iter().map(|(id, live, _)| (id, live)).collect(),
+        reports,
+    )
+}
+
+/// Compares final published state: the remote plane's server-side
+/// snapshots bit-for-bit against the local plane's, and the wire
+/// summaries a remote applier would read against those snapshots.
+fn assert_same_final_state(
+    local: &ShardedReconfigService,
+    remote: &ShardedReconfigService,
+    client: &mut RpcClient,
+    ids: &[(CacheId, bool)],
+) {
+    assert_eq!(local.registered(), remote.registered());
+    for &(id, live) in ids {
+        let a = local.snapshot(id);
+        let b = remote.snapshot(id);
+        let summary = client.report(id).expect("report over rpc");
+        if !live {
+            assert!(a.is_none() && b.is_none(), "{id}: dead cache has no plan");
+            assert!(summary.is_none(), "{id}: dead cache has no wire summary");
+            continue;
+        }
+        match (a, b) {
+            (None, None) => assert!(summary.is_none()),
+            (Some(a), Some(b)) => {
+                assert_eq!(a.plan, b.plan, "{id}: plans diverge across the wire");
+                assert_eq!(a.allocations(), b.allocations());
+                assert_eq!(a.version, b.version, "{id}: versions diverge");
+                assert_eq!(a.updates, b.updates, "{id}: update counts diverge");
+                // The wire summary mirrors the snapshot, f64s bit-exact.
+                let summary = summary.expect("published plan has a summary");
+                assert_eq!(summary.cache, id.value());
+                assert_eq!(summary.version, b.version);
+                assert_eq!(summary.epoch, b.epoch);
+                assert_eq!(summary.updates, b.updates);
+                assert_eq!(summary.round, b.plan.round);
+                assert_eq!(summary.tenants.len(), b.plan.tenants.len());
+                for (wire, tenant) in summary.tenants.iter().zip(&b.plan.tenants) {
+                    assert_eq!(wire.capacity, tenant.capacity);
+                    assert_eq!(
+                        wire.expected_misses.to_bits(),
+                        tenant.plan.expected_misses().to_bits(),
+                        "{id}: expected misses not bit-exact over the wire"
+                    );
+                    match (&wire.shadow, tenant.plan.shadow()) {
+                        (None, None) => {}
+                        (Some(ws), Some(s)) => {
+                            assert_eq!(ws.alpha.to_bits(), s.alpha.to_bits());
+                            assert_eq!(ws.beta.to_bits(), s.beta.to_bits());
+                            assert_eq!(ws.rho.to_bits(), s.rho.to_bits());
+                        }
+                        (ws, s) => panic!(
+                            "{id}: shadow present on one side only \
+                             (wire: {}, snapshot: {})",
+                            ws.is_some(),
+                            s.is_some()
+                        ),
+                    }
+                }
+            }
+            (a, b) => panic!(
+                "{id}: published on one plane only (local: {}, rpc: {})",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+}
+
+/// One loopback plane: (server-side service handle, connected client,
+/// handle to keep the accept loop alive).
+fn loopback_plane(
+    shards: usize,
+) -> (
+    Arc<ShardedReconfigService>,
+    RpcClient,
+    talus_serve::ServerHandle,
+) {
+    let service = Arc::new(ShardedReconfigService::new(shards));
+    let handle = RpcServer::bind("127.0.0.1:0", Arc::clone(&service))
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn accept loop");
+    let client = RpcClient::connect(handle.local_addr()).expect("connect");
+    (service, client, handle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: any op interleaving produces identical
+    /// per-op results, identical `EpochReport`s, and bit-identical
+    /// final snapshots whether the plane is called locally or through
+    /// the loopback RPC stack.
+    #[test]
+    fn rpc_plane_equals_local_plane(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        shards in 1usize..4,
+    ) {
+        let local = ShardedReconfigService::new(shards);
+        let (remote, mut client, handle) = loopback_plane(shards);
+
+        let (ids, reports) = apply_both(&local, &mut client, &ops);
+        for (local_report, rpc_report) in reports {
+            prop_assert_eq!(local_report, rpc_report, "epoch reports diverge");
+        }
+
+        // Drain both planes the same way, comparing the drain reports.
+        while local.pending() > 0 || remote.pending() > 0 {
+            let local_report = local.run_epoch();
+            let rpc_report = client.run_epoch().expect("epoch over rpc");
+            prop_assert_eq!(local_report, rpc_report, "drain reports diverge");
+        }
+        assert_same_final_state(&local, &remote, &mut client, &ids);
+        handle.shutdown();
+    }
+}
+
+/// Staged batching is invisible to the plane: interleaved `stage` calls
+/// flushed in one frame publish exactly what one-at-a-time local
+/// submissions publish.
+#[test]
+fn staged_batches_equal_individual_submissions() {
+    let local = ShardedReconfigService::new(2);
+    let (remote, mut client, handle) = loopback_plane(2);
+
+    let caches = 6usize;
+    let tenants = 2usize;
+    let ids: Vec<CacheId> = (0..caches)
+        .map(|c| {
+            let id = local.register(CacheSpec::new(512, tenants));
+            let remote_id = client.register(512, tenants as u32).expect("register");
+            assert_eq!(id, remote_id);
+            let _ = c;
+            id
+        })
+        .collect();
+
+    for round in 0..3u64 {
+        for (c, id) in ids.iter().enumerate() {
+            for t in 0..tenants {
+                let curve = curve_from_seed((c as u64) << 20 | (t as u64) << 12 | round | 1);
+                local.submit(*id, t, curve.clone()).expect("registered");
+                client.stage(*id, t, curve).expect("staged");
+            }
+        }
+        assert!(client.staged_len() > 0, "stage defers the wire round trip");
+        let results = client.flush().expect("flush");
+        assert_eq!(results.len(), caches * tenants);
+        assert!(results.iter().all(Result::is_ok));
+        let local_report = local.run_epoch();
+        let rpc_report = client.run_epoch().expect("epoch over rpc");
+        assert_eq!(local_report, rpc_report);
+    }
+
+    for id in &ids {
+        let a = local.snapshot(*id).expect("published");
+        let b = remote.snapshot(*id).expect("published");
+        assert_eq!(a.plan, b.plan, "{id}: staged ingest changed the plan");
+        assert_eq!(a.version, b.version);
+        assert_eq!(a.updates, b.updates);
+    }
+    handle.shutdown();
+}
+
+/// The client-side `submit_latest` mirrors the local backlog-coalescing
+/// contract: same drained counts, same published plans, and the stale
+/// backlog never crosses the wire.
+#[test]
+fn submit_latest_coalesces_identically_across_the_wire() {
+    let local = ShardedReconfigService::new(1);
+    let (remote, mut client, handle) = loopback_plane(1);
+
+    let id = local.register(CacheSpec::new(512, 1));
+    assert_eq!(client.register(512, 1).expect("register"), id);
+
+    let backlog: Vec<MissCurve> = (0..5).map(|i| curve_from_seed(100 + i)).collect();
+    let mut local_source = ReplaySource::new(backlog.clone());
+    let mut rpc_source = ReplaySource::new(backlog);
+
+    let local_drained = local
+        .submit_latest(id, 0, &mut local_source, 8)
+        .expect("submit");
+    let rpc_drained = client
+        .submit_latest(id, 0, &mut rpc_source, 8)
+        .expect("submit over rpc");
+    assert_eq!(local_drained, rpc_drained);
+    assert_eq!(local_drained, 5);
+
+    assert_eq!(local.run_epoch(), client.run_epoch().expect("epoch"));
+    let a = local.snapshot(id).expect("published");
+    let b = remote.snapshot(id).expect("published");
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.updates, 1, "backlog coalesced to one update");
+    assert_eq!(b.updates, 1, "backlog coalesced to one update over rpc");
+
+    // Exhausted source: nothing drained, nothing queued, on both planes.
+    assert_eq!(
+        local
+            .submit_latest(id, 0, &mut local_source, 8)
+            .expect("ok"),
+        0
+    );
+    assert_eq!(
+        client.submit_latest(id, 0, &mut rpc_source, 8).expect("ok"),
+        0
+    );
+    assert_eq!(local.pending(), 0);
+    assert_eq!(remote.pending(), 0);
+    handle.shutdown();
+}

@@ -1,0 +1,581 @@
+//! The wire-protocol battery: round-trip properties for every message
+//! type, a golden-bytes fixture pinning the v1 format, and an
+//! adversarial suite proving the decoder is total — truncations,
+//! hostile length fields, wrong versions, garbage opcodes, and random
+//! byte soup all come back as typed errors, never panics, and never
+//! cost allocation proportional to an attacker-controlled length.
+
+use proptest::prelude::*;
+use talus_core::limits::{WIRE_MAX_BATCH, WIRE_MAX_FRAME_LEN, WIRE_MAX_TENANTS};
+use talus_core::{MissCurve, PlanError};
+use talus_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, Request,
+    Response, ShadowSummary, SnapshotSummary, SubmitEntry, TenantSummary, WireError, WIRE_VERSION,
+};
+use talus_serve::{CacheId, CacheSpec, EpochReport, ReconfigService, ServeError};
+
+/// Real `CacheId`s from a throwaway service: the handle type is opaque
+/// by design (only the plane mints ids), so tests that need ids in
+/// decoded positions register real caches.
+fn cache_ids(n: usize) -> Vec<CacheId> {
+    let service = ReconfigService::new();
+    (0..n)
+        .map(|_| service.register(CacheSpec::new(64, 1)))
+        .collect()
+}
+
+/// Random monotone miss curve derived deterministically from a seed
+/// (the same family the sharding property tests use).
+fn curve_from_seed(seed: u64) -> MissCurve {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let points = 2 + (next() % 15) as usize;
+    let mut m = 10.0 + (next() % 40) as f64;
+    let sizes: Vec<f64> = (0..points).map(|i| i as f64 * 64.0).collect();
+    let misses: Vec<f64> = sizes
+        .iter()
+        .map(|_| {
+            let v = m;
+            m = (m - (next() % 12) as f64).max(0.0);
+            v
+        })
+        .collect();
+    MissCurve::from_samples(&sizes, &misses).expect("valid curve")
+}
+
+/// A `ServeError` in every variant, picked by seed, over a pool of ids.
+fn serve_error_from_seed(seed: u64, ids: &[CacheId]) -> ServeError {
+    let id = ids[(seed >> 8) as usize % ids.len()];
+    match seed % 5 {
+        0 => ServeError::UnknownCache(id),
+        1 => ServeError::TenantOutOfRange {
+            cache: id,
+            tenant: (seed >> 16) as usize % 1000,
+            tenants: (seed >> 24) as usize % 1000,
+        },
+        2 => ServeError::Plan {
+            cache: id,
+            source: PlanError::SizeOutOfRange {
+                size: (seed % 1000) as f64 * 0.5,
+                min: 0.0,
+                max: (seed % 999) as f64,
+            },
+        },
+        3 => ServeError::Plan {
+            cache: id,
+            source: PlanError::InvalidSize {
+                size: -((seed % 17) as f64),
+            },
+        },
+        _ => ServeError::Plan {
+            cache: id,
+            source: PlanError::InvalidMargin {
+                margin: -0.25 * (seed % 9) as f64,
+            },
+        },
+    }
+}
+
+/// Every request variant, picked by discriminant (the shim has no
+/// `prop_oneof`, so weighting rides a modulus, as in `sharding.rs`).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(kind, a, b, seed)| {
+        match kind % 6 {
+            0 => Request::Register {
+                capacity: 1 + a % (1 << 32),
+                tenants: 1 + (b % WIRE_MAX_TENANTS as u64) as u32,
+            },
+            1 => Request::Deregister { id: a },
+            2 => {
+                let entries = (0..1 + b % 5)
+                    .map(|i| SubmitEntry {
+                        id: a.wrapping_add(i),
+                        tenant: (b >> 8) as u32 % 64,
+                        curve: curve_from_seed(seed.wrapping_add(i)),
+                    })
+                    .collect();
+                Request::Submit { entries }
+            }
+            3 => Request::RunEpoch,
+            4 => Request::Report { id: a },
+            _ => Request::Ping,
+        }
+    })
+}
+
+/// Every response variant. Ids come from a pool of real handles.
+fn arb_response() -> impl Strategy<Value = Response> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(kind, a, b, seed)| {
+        let ids = cache_ids(4);
+        match kind % 7 {
+            0 => Response::Registered { id: a },
+            1 => Response::Deregistered,
+            2 => Response::SubmitReply {
+                results: (0..1 + b % 6)
+                    .map(|i| {
+                        if (seed >> i) & 1 == 0 {
+                            Ok(())
+                        } else {
+                            Err(serve_error_from_seed(seed.wrapping_add(i), &ids))
+                        }
+                    })
+                    .collect(),
+            },
+            3 => Response::Epoch(EpochReport {
+                epoch: a,
+                planned: ids[..(b % 3) as usize].to_vec(),
+                deferred: ids[..(b >> 2) as usize % 3].to_vec(),
+                failed: (0..(b >> 4) % 3)
+                    .map(|i| {
+                        let e = serve_error_from_seed(seed.wrapping_add(i), &ids);
+                        (ids[i as usize], e)
+                    })
+                    .collect(),
+                remaining_dirty: (b >> 8) as usize % 1000,
+            }),
+            4 => {
+                if b % 4 == 0 {
+                    Response::Snapshot(None)
+                } else {
+                    Response::Snapshot(Some(SnapshotSummary {
+                        cache: a,
+                        epoch: seed % 1000,
+                        version: 1 + seed % 50,
+                        updates: seed % 200,
+                        round: seed % 30,
+                        tenants: (0..b % 4)
+                            .map(|i| TenantSummary {
+                                capacity: 64 * (1 + (seed >> i) % 16),
+                                expected_misses: (seed % 997) as f64 * 0.125,
+                                shadow: if (seed >> (8 + i)) & 1 == 0 {
+                                    None
+                                } else {
+                                    Some(ShadowSummary {
+                                        alpha: (seed % 89) as f64,
+                                        beta: (seed % 91) as f64 + 128.0,
+                                        rho: (seed % 100) as f64 / 100.0,
+                                    })
+                                },
+                            })
+                            .collect(),
+                    }))
+                }
+            }
+            5 => Response::Pong,
+            _ => Response::Error(serve_error_from_seed(seed, &ids)),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `decode(encode(m)) == m` for every request variant — the frame
+    /// also survives the stream reader, not just the payload decoder.
+    #[test]
+    fn requests_roundtrip(req in arb_request()) {
+        let bytes = encode_request(&req);
+        let payload = read_frame(&mut &bytes[..])
+            .expect("valid frame")
+            .expect("frame present");
+        prop_assert_eq!(decode_request(&payload).expect("decodes"), req);
+    }
+
+    /// `decode(encode(m)) == m` for every response variant, including
+    /// full `EpochReport`s and snapshot summaries with shadow configs.
+    #[test]
+    fn responses_roundtrip(resp in arb_response()) {
+        let bytes = encode_response(&resp);
+        let payload = read_frame(&mut &bytes[..])
+            .expect("valid frame")
+            .expect("frame present");
+        prop_assert_eq!(decode_response(&payload).expect("decodes"), resp);
+    }
+
+    /// Random byte soup never panics any decoder entry point, and a
+    /// stream of soup terminates (error or clean EOF) without panic.
+    #[test]
+    fn byte_soup_yields_typed_errors_not_panics(
+        soup in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Direct payload decoding: any result is fine, panics are not.
+        let _ = decode_request(&soup);
+        let _ = decode_response(&soup);
+        // Stream framing: drain until error or EOF, bounded.
+        let mut reader = &soup[..];
+        for _ in 0..soup.len() + 1 {
+            match read_frame(&mut reader) {
+                Ok(Some(payload)) => {
+                    let _ = decode_request(&payload);
+                    let _ = decode_response(&payload);
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Every strict prefix of a valid frame is a typed failure: the
+    /// stream reader reports truncation, and the payload decoder never
+    /// succeeds on a shortened body (field boundaries don't align into
+    /// an accidental smaller message).
+    #[test]
+    fn every_truncation_is_a_typed_error(req in arb_request()) {
+        let bytes = encode_request(&req);
+        for cut in 1..bytes.len() {
+            let result = read_frame(&mut &bytes[..cut]);
+            prop_assert_eq!(result, Err(WireError::Truncated), "cut at {}", cut);
+        }
+        let payload = &bytes[4..];
+        for cut in 0..payload.len() {
+            prop_assert!(decode_request(&payload[..cut]).is_err(), "cut at {}", cut);
+        }
+    }
+}
+
+/// A reader that panics if the transport reads past the length prefix —
+/// proof that a hostile length field is rejected *before* any payload
+/// read or allocation happens.
+struct PanicPastHeader {
+    header: Vec<u8>,
+    pos: usize,
+}
+
+impl std::io::Read for PanicPastHeader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        assert!(
+            self.pos < self.header.len(),
+            "decoder read past the hostile length prefix"
+        );
+        let n = buf.len().min(self.header.len() - self.pos);
+        buf[..n].copy_from_slice(&self.header[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_any_payload_read() {
+    for len in [
+        WIRE_MAX_FRAME_LEN + 1,
+        WIRE_MAX_FRAME_LEN * 2,
+        u32::MAX,
+        0xDEAD_BEEF,
+    ] {
+        let mut reader = PanicPastHeader {
+            header: len.to_le_bytes().to_vec(),
+            pos: 0,
+        };
+        assert_eq!(read_frame(&mut reader), Err(WireError::Oversized { len }));
+    }
+}
+
+#[test]
+fn undersized_length_prefix_is_malformed() {
+    for len in [0u32, 1] {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.push(WIRE_VERSION);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}
+
+#[test]
+fn wrong_version_is_rejected_on_every_opcode() {
+    for version in [0u8, 2, 9, 0xFF] {
+        for opcode in 0..=0xFFu8 {
+            let payload = [version, opcode];
+            assert_eq!(
+                decode_request(&payload),
+                Err(WireError::BadVersion { got: version })
+            );
+            assert_eq!(
+                decode_response(&payload),
+                Err(WireError::BadVersion { got: version })
+            );
+        }
+    }
+}
+
+#[test]
+fn garbage_opcodes_are_typed_errors() {
+    let request_ops = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06];
+    let response_ops = [0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x8F];
+    for opcode in 0..=0xFFu8 {
+        let payload = [WIRE_VERSION, opcode];
+        if !request_ops.contains(&opcode) {
+            match decode_request(&payload) {
+                // Known opcode, body missing: truncation is the right error.
+                Err(WireError::Truncated) => assert!(request_ops.contains(&opcode)),
+                Err(WireError::BadOpcode { got }) => assert_eq!(got, opcode),
+                Err(WireError::Malformed(_)) | Err(WireError::BadCount { .. }) => {
+                    panic!("empty body cannot produce counts")
+                }
+                other => panic!("opcode {opcode:#04x}: unexpected {other:?}"),
+            }
+        }
+        if !response_ops.contains(&opcode) {
+            assert_eq!(
+                decode_response(&payload),
+                Err(WireError::BadOpcode { got: opcode }),
+                "opcode {opcode:#04x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hostile_counts_fail_before_allocation() {
+    // u32::MAX submit entries would be ~100 GiB if the decoder trusted
+    // the count; the test passing at all is the no-allocation proof.
+    let mut payload = vec![WIRE_VERSION, 0x03];
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decode_request(&payload),
+        Err(WireError::BadCount {
+            count: u32::MAX,
+            max: WIRE_MAX_BATCH
+        })
+    );
+    // In-cap counts the frame can't hold fail the remaining-bytes check.
+    let mut payload = vec![WIRE_VERSION, 0x03];
+    payload.extend_from_slice(&WIRE_MAX_BATCH.to_le_bytes());
+    assert_eq!(decode_request(&payload), Err(WireError::Truncated));
+    // Same for id lists inside an epoch report.
+    let mut payload = vec![WIRE_VERSION, 0x84];
+    payload.extend_from_slice(&7u64.to_le_bytes());
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_response(&payload),
+        Err(WireError::BadCount { .. })
+    ));
+}
+
+#[test]
+fn register_bounds_are_enforced_at_decode_time() {
+    // The server builds a CacheSpec (which panics on zero) from decoded
+    // fields, so the decoder must reject them first.
+    let encode = |capacity: u64, tenants: u32| {
+        let mut payload = vec![WIRE_VERSION, 0x01];
+        payload.extend_from_slice(&capacity.to_le_bytes());
+        payload.extend_from_slice(&tenants.to_le_bytes());
+        payload
+    };
+    assert!(matches!(
+        decode_request(&encode(0, 1)),
+        Err(WireError::Malformed(_))
+    ));
+    assert!(matches!(
+        decode_request(&encode(64, 0)),
+        Err(WireError::Malformed(_))
+    ));
+    assert_eq!(
+        decode_request(&encode(64, WIRE_MAX_TENANTS + 1)),
+        Err(WireError::BadCount {
+            count: WIRE_MAX_TENANTS + 1,
+            max: WIRE_MAX_TENANTS
+        })
+    );
+    assert!(decode_request(&encode(64, WIRE_MAX_TENANTS)).is_ok());
+}
+
+#[test]
+fn invalid_curves_are_rejected_with_curve_errors() {
+    let encode = |points: &[(f64, f64)]| {
+        let mut payload = vec![WIRE_VERSION, 0x03];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&5u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&(points.len() as u32).to_le_bytes());
+        for (size, misses) in points {
+            payload.extend_from_slice(&size.to_bits().to_le_bytes());
+            payload.extend_from_slice(&misses.to_bits().to_le_bytes());
+        }
+        payload
+    };
+    // Non-increasing sizes, NaN, negative misses: the decoder funnels
+    // every curve through MissCurve::from_samples, so a decoded curve
+    // upholds the same invariants as a locally built one.
+    assert!(matches!(
+        decode_request(&encode(&[(64.0, 4.0), (64.0, 2.0)])),
+        Err(WireError::Curve(_))
+    ));
+    assert!(matches!(
+        decode_request(&encode(&[(f64::NAN, 4.0)])),
+        Err(WireError::Curve(_))
+    ));
+    assert!(matches!(
+        decode_request(&encode(&[(0.0, -1.0)])),
+        Err(WireError::Curve(_))
+    ));
+    assert!(decode_request(&encode(&[(0.0, 4.0), (64.0, 2.0)])).is_ok());
+}
+
+#[test]
+fn trailing_bytes_are_malformed() {
+    for req in [
+        Request::Ping,
+        Request::RunEpoch,
+        Request::Deregister { id: 3 },
+    ] {
+        let mut bytes = encode_request(&req);
+        bytes.push(0x00);
+        assert!(
+            matches!(decode_request(&bytes[4..]), Err(WireError::Malformed(_))),
+            "{req:?} must not tolerate trailing bytes"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden bytes: the v1 format, pinned byte for byte. If any of these
+// fail, the wire format changed — bump WIRE_VERSION and make the change
+// deliberate.
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_v1_constants() {
+    assert_eq!(WIRE_VERSION, 1);
+    // The limits are part of the format contract (decoders reject by
+    // them), so drifting them silently is a wire change too.
+    assert_eq!(WIRE_MAX_FRAME_LEN, 1 << 20);
+    assert_eq!(WIRE_MAX_BATCH, 1024);
+    assert_eq!(WIRE_MAX_TENANTS, 1024);
+}
+
+#[test]
+fn golden_v1_fixed_frames() {
+    // [len=2 LE] [version=1] [opcode]
+    assert_eq!(encode_request(&Request::Ping), [2, 0, 0, 0, 1, 0x06]);
+    assert_eq!(encode_request(&Request::RunEpoch), [2, 0, 0, 0, 1, 0x04]);
+    assert_eq!(encode_response(&Response::Pong), [2, 0, 0, 0, 1, 0x86]);
+    assert_eq!(
+        encode_response(&Response::Deregistered),
+        [2, 0, 0, 0, 1, 0x82]
+    );
+}
+
+#[test]
+fn golden_v1_register_frame() {
+    // len=14: version + opcode + capacity u64 LE + tenants u32 LE.
+    let bytes = encode_request(&Request::Register {
+        capacity: 4096,
+        tenants: 3,
+    });
+    assert_eq!(
+        bytes,
+        [
+            14, 0, 0, 0, // length
+            1, 0x01, // version, opcode
+            0x00, 0x10, 0, 0, 0, 0, 0, 0, // capacity = 4096
+            3, 0, 0, 0, // tenants
+        ]
+    );
+}
+
+#[test]
+fn golden_v1_submit_frame() {
+    // One entry, two-point curve; f64s are IEEE-754 bit patterns LE.
+    let curve = MissCurve::from_samples(&[0.0, 64.0], &[8.0, 2.0]).unwrap();
+    let bytes = encode_request(&Request::Submit {
+        entries: vec![SubmitEntry {
+            id: 7,
+            tenant: 1,
+            curve,
+        }],
+    });
+    assert_eq!(
+        bytes,
+        [
+            54, 0, 0, 0, // length = 2 + 4 + 8 + 4 + 4 + 2*16
+            1, 0x03, // version, opcode
+            1, 0, 0, 0, // entry count
+            7, 0, 0, 0, 0, 0, 0, 0, // cache id
+            1, 0, 0, 0, // tenant
+            2, 0, 0, 0, // point count
+            0, 0, 0, 0, 0, 0, 0, 0, // size 0.0
+            0, 0, 0, 0, 0, 0, 0x20, 0x40, // misses 8.0
+            0, 0, 0, 0, 0, 0, 0x50, 0x40, // size 64.0
+            0, 0, 0, 0, 0, 0, 0x00, 0x40, // misses 2.0
+        ]
+    );
+}
+
+#[test]
+fn golden_v1_epoch_report_frame() {
+    let ids = cache_ids(2);
+    let bytes = encode_response(&Response::Epoch(EpochReport {
+        epoch: 3,
+        planned: vec![ids[0]],
+        deferred: vec![],
+        failed: vec![(ids[1], ServeError::UnknownCache(ids[1]))],
+        remaining_dirty: 2,
+    }));
+    assert_eq!(
+        bytes,
+        [
+            55, 0, 0, 0, // length
+            1, 0x84, // version, opcode
+            3, 0, 0, 0, 0, 0, 0, 0, // epoch
+            1, 0, 0, 0, // planned count
+            0, 0, 0, 0, 0, 0, 0, 0, // planned[0] = cache id 0
+            0, 0, 0, 0, // deferred count
+            1, 0, 0, 0, // failed count
+            1, 0, 0, 0, 0, 0, 0, 0, // failed[0] cache id 1
+            1, // serve-error tag: UnknownCache
+            1, 0, 0, 0, 0, 0, 0, 0, // the unknown id
+            2, 0, 0, 0, 0, 0, 0, 0, // remaining_dirty
+        ]
+    );
+}
+
+#[test]
+fn golden_v1_snapshot_frame() {
+    let bytes = encode_response(&Response::Snapshot(Some(SnapshotSummary {
+        cache: 5,
+        epoch: 9,
+        version: 2,
+        updates: 4,
+        round: 9,
+        tenants: vec![TenantSummary {
+            capacity: 1024,
+            expected_misses: 2.0,
+            shadow: Some(ShadowSummary {
+                alpha: 64.0,
+                beta: 128.0,
+                rho: 0.5,
+            }),
+        }],
+    })));
+    assert_eq!(
+        bytes,
+        [
+            88, 0, 0, 0, // length
+            1, 0x85, // version, opcode
+            1,    // present tag
+            5, 0, 0, 0, 0, 0, 0, 0, // cache
+            9, 0, 0, 0, 0, 0, 0, 0, // epoch
+            2, 0, 0, 0, 0, 0, 0, 0, // version
+            4, 0, 0, 0, 0, 0, 0, 0, // updates
+            9, 0, 0, 0, 0, 0, 0, 0, // round
+            1, 0, 0, 0, // tenant count
+            0, 4, 0, 0, 0, 0, 0, 0, // capacity = 1024
+            0, 0, 0, 0, 0, 0, 0x00, 0x40, // expected_misses 2.0
+            1,    // shadow tag: present
+            0, 0, 0, 0, 0, 0, 0x50, 0x40, // alpha 64.0
+            0, 0, 0, 0, 0, 0, 0x60, 0x40, // beta 128.0
+            0, 0, 0, 0, 0, 0, 0xE0, 0x3F, // rho 0.5
+        ]
+    );
+    // Absent snapshot: just the tag.
+    assert_eq!(
+        encode_response(&Response::Snapshot(None)),
+        [3, 0, 0, 0, 1, 0x85, 0]
+    );
+}

@@ -162,3 +162,202 @@ proptest! {
         prop_assert!(plans[0].expected_misses() <= 151.0);
     }
 }
+
+// ---------------------------------------------------------------------
+// RPC failure injection: the network front-end must keep the plane
+// consistent when clients die mid-frame, die mid-epoch, or send
+// garbage. Frames are fully received before they are decoded and
+// decoded before they are applied, so every failure below is absorbed
+// by closing one connection.
+// ---------------------------------------------------------------------
+
+mod rpc {
+    use std::sync::Arc;
+
+    use talus_core::MissCurve;
+    use talus_serve::wire::{encode_request, Request, SubmitEntry};
+    use talus_serve::{RpcClient, RpcServer, ServerHandle, ShardedReconfigService};
+
+    fn curve() -> MissCurve {
+        MissCurve::from_samples(&[0.0, 256.0, 512.0], &[8.0, 8.0, 1.0]).expect("valid")
+    }
+
+    fn loopback(shards: usize) -> (Arc<ShardedReconfigService>, ServerHandle) {
+        let service = Arc::new(ShardedReconfigService::new(shards));
+        let handle = RpcServer::bind("127.0.0.1:0", Arc::clone(&service))
+            .expect("bind loopback")
+            .spawn()
+            .expect("spawn accept loop");
+        (service, handle)
+    }
+
+    /// Spin until the server-side condition holds (the handler thread
+    /// runs asynchronously after the client's bytes arrive).
+    fn eventually(mut condition: impl FnMut() -> bool, what: &str) {
+        for _ in 0..2000 {
+            if condition() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    /// A client that dies mid-frame drops its batch atomically: the
+    /// partially transmitted submission never dirties the plane, and
+    /// the next epoch plans normally from other clients' data.
+    #[test]
+    fn disconnect_mid_frame_drops_the_batch_atomically() {
+        let (service, handle) = loopback(2);
+        let mut good = RpcClient::connect(handle.local_addr()).expect("connect");
+        let id = good.register(512, 1).expect("register");
+
+        // A hostile client sends 60% of a valid submit frame, then dies.
+        let frame = encode_request(&Request::Submit {
+            entries: vec![SubmitEntry {
+                id: id.value(),
+                tenant: 0,
+                curve: curve(),
+            }],
+        });
+        let mut hostile = RpcClient::connect(handle.local_addr()).expect("connect");
+        hostile
+            .send_raw(&frame[..frame.len() * 6 / 10])
+            .expect("send");
+        hostile.abort();
+
+        // The partial batch can never be applied — the frame never
+        // completed, so it never reached the decoder, let alone the
+        // plane. No waiting needed: this holds at every instant.
+        assert_eq!(
+            service.pending(),
+            0,
+            "partial frame must not dirty the plane"
+        );
+
+        // The plane still serves: a real submission plans normally.
+        good.submit(id, 0, curve()).expect("submit");
+        let report = good.run_epoch().expect("epoch");
+        assert_eq!(report.planned, vec![id]);
+        assert_eq!(service.snapshot(id).expect("published").updates, 1);
+        handle.shutdown();
+    }
+
+    /// A client that requests an epoch and dies before reading the
+    /// reply leaves the plane consistent: the fully received request
+    /// still runs, the epoch counter stays monotone, and the next
+    /// client's epoch follows it seamlessly.
+    #[test]
+    fn disconnect_mid_epoch_leaves_the_plane_consistent() {
+        let (service, handle) = loopback(2);
+        let mut setup = RpcClient::connect(handle.local_addr()).expect("connect");
+        let id = setup.register(512, 1).expect("register");
+        setup.submit(id, 0, curve()).expect("submit");
+
+        // Fire run_epoch and vanish without reading the reply.
+        let mut doomed = RpcClient::connect(handle.local_addr()).expect("connect");
+        doomed
+            .send_raw(&encode_request(&Request::RunEpoch))
+            .expect("send");
+        doomed.abort();
+
+        // The request was complete, so the epoch runs; the write of the
+        // reply fails into the closed socket and only that connection dies.
+        eventually(|| service.epochs() >= 1, "the orphaned epoch to run");
+        eventually(|| service.pending() == 0, "the epoch to drain the queue");
+        let snap = service.snapshot(id).expect("the orphaned epoch published");
+        assert_eq!(snap.version, 1);
+
+        // The plane keeps serving: the next epoch continues the count.
+        setup.submit(id, 0, curve()).expect("submit");
+        let report = setup.run_epoch().expect("epoch");
+        assert_eq!(report.epoch, 2, "epoch counter stayed monotone");
+        assert_eq!(report.planned, vec![id]);
+        assert_eq!(service.snapshot(id).expect("published").version, 2);
+        handle.shutdown();
+    }
+
+    /// Garbage — a hostile length prefix, a wrong version, random
+    /// bytes — closes that connection and nothing else: registered
+    /// state survives and new connections serve normally.
+    #[test]
+    fn garbage_frames_close_one_connection_without_harming_the_plane() {
+        let (service, handle) = loopback(1);
+        let mut good = RpcClient::connect(handle.local_addr()).expect("connect");
+        let id = good.register(512, 1).expect("register");
+
+        for garbage in [
+            u32::MAX.to_le_bytes().to_vec(),             // hostile length prefix
+            vec![2, 0, 0, 0, 9, 0x06],                   // wrong version
+            vec![2, 0, 0, 0, 1, 0x7F],                   // unknown opcode
+            vec![5, 0, 0, 0, 1, 0x02, 0xAB, 0xCD, 0xEF], // truncated body
+        ] {
+            let mut hostile = RpcClient::connect(handle.local_addr()).expect("connect");
+            hostile.send_raw(&garbage).expect("send");
+            // The server answers garbage by closing the connection: the
+            // next read sees clean EOF (or a reset), never a reply.
+            match hostile.recv_raw() {
+                Ok(None) | Err(_) => {}
+                Ok(Some(resp)) => panic!("server replied {resp:?} to garbage"),
+            }
+        }
+
+        // The plane is untouched and the good connection still works.
+        assert_eq!(service.registered(), 1);
+        good.ping().expect("good connection survives");
+        good.submit(id, 0, curve()).expect("submit");
+        assert_eq!(good.run_epoch().expect("epoch").planned, vec![id]);
+        handle.shutdown();
+    }
+
+    /// Connection isolation: a client dying mid-frame does not disturb
+    /// another client's in-progress session on the same plane.
+    #[test]
+    fn one_clients_death_does_not_disturb_anothers_session() {
+        let (service, handle) = loopback(2);
+        let mut alice = RpcClient::connect(handle.local_addr()).expect("connect");
+        let mut bob = RpcClient::connect(handle.local_addr()).expect("connect");
+        let a = alice.register(512, 1).expect("register");
+        let b = bob.register(512, 1).expect("register");
+        assert_ne!(a, b);
+
+        alice.submit(a, 0, curve()).expect("submit");
+        // Bob dies mid-frame between Alice's submit and her epoch.
+        let frame = encode_request(&Request::Submit {
+            entries: vec![SubmitEntry {
+                id: b.value(),
+                tenant: 0,
+                curve: curve(),
+            }],
+        });
+        bob.send_raw(&frame[..10]).expect("send");
+        bob.abort();
+
+        let report = alice.run_epoch().expect("epoch");
+        assert_eq!(report.planned, vec![a], "only Alice's cache was dirty");
+        assert!(
+            service.snapshot(b).is_none(),
+            "Bob's torn submit never landed"
+        );
+        handle.shutdown();
+    }
+
+    /// Flooding resubmissions between epochs is absorbed by dirty-queue
+    /// dedup: a thousand submissions for one cache cost one replan.
+    #[test]
+    fn submission_floods_coalesce_to_one_replan() {
+        let (service, handle) = loopback(1);
+        let mut client = RpcClient::connect(handle.local_addr()).expect("connect");
+        let id = client.register(512, 1).expect("register");
+        for _ in 0..1000 {
+            client.submit(id, 0, curve()).expect("submit");
+        }
+        assert_eq!(service.pending(), 1, "dirty queue deduplicates the flood");
+        let report = client.run_epoch().expect("epoch");
+        assert_eq!(report.planned, vec![id]);
+        let snap = service.snapshot(id).expect("published");
+        assert_eq!(snap.version, 1, "one replan for a thousand submissions");
+        assert_eq!(snap.updates, 1000, "every update was still recorded");
+        handle.shutdown();
+    }
+}
