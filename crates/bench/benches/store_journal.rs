@@ -1,0 +1,185 @@
+//! Journal hot paths: append throughput and warm-restart replay cost.
+//!
+//! The store rides the serving plane's ingest path — every `submit` adds
+//! one encode + checksum + `write_all` under the shard's journal lock —
+//! so appends must stay cheap relative to the planning work they shadow.
+//! Replay bounds restart time: a plane is offline for exactly one
+//! journal scan plus one state rebuild.
+//!
+//! Groups:
+//! - `store_journal/append_*`: one iteration journals a full curve round
+//!   for 32 caches (encode + checksum + file append per record), with
+//!   and without the serving plane in front — the delta prices the plane
+//!   itself, the `curve` variant prices the dominant record type alone.
+//! - `store_journal/replay_*`: one iteration scans a journal of N
+//!   records back into `Record`s (the decode half of a warm restart);
+//!   `restore_plane` also rebuilds the full service state, which is what
+//!   an operator actually waits for after a crash.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use talus_core::MissCurve;
+use talus_partition::Planner;
+use talus_serve::{CacheSpec, ShardedReconfigService};
+use talus_store::{Store, StoreSink};
+
+/// Logical caches journaling per iteration.
+const CACHES: u64 = 32;
+/// Shards (journal files) the records spread over.
+const SHARDS: usize = 4;
+/// Points per synthetic miss curve (the production-shaped size: the
+/// serve ingest benches and driver run 65-point monitor curves).
+const POINTS: usize = 65;
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "talus-store-bench-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+/// A monotone miss curve with the production point count.
+fn curve(seed: u64) -> MissCurve {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut m = 100.0 + (next() % 50) as f64;
+    let sizes: Vec<f64> = (0..POINTS).map(|i| i as f64 * 64.0).collect();
+    let misses: Vec<f64> = sizes
+        .iter()
+        .map(|_| {
+            let v = m;
+            m = (m - (next() % 4) as f64).max(0.0);
+            v
+        })
+        .collect();
+    MissCurve::from_samples(&sizes, &misses).expect("valid curve")
+}
+
+/// Journals `rounds` curve rounds for CACHES caches through a sinked
+/// plane (including one epoch per round), leaving a realistic mixed
+/// journal on disk. Returns the store.
+fn populate(dir: &PathBuf, rounds: u64) -> Arc<Store> {
+    let store = Arc::new(Store::open(dir, SHARDS).expect("open store"));
+    let plane =
+        ShardedReconfigService::new(SHARDS).with_sink(Arc::clone(&store) as Arc<dyn StoreSink>);
+    let ids: Vec<_> = (0..CACHES)
+        .map(|_| plane.register(CacheSpec::new(4096, 1).with_planner(Planner::new(64))))
+        .collect();
+    for round in 0..rounds {
+        for (c, id) in ids.iter().enumerate() {
+            plane
+                .submit(*id, 0, curve(round * CACHES + c as u64))
+                .expect("registered");
+        }
+        plane.run_epoch();
+    }
+    assert_eq!(store.last_error(), None, "journaling must not fault");
+    store
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_journal");
+
+    // The raw sink path: one iteration appends a full curve round (one
+    // 65-point curve per cache) straight into the store — encode,
+    // checksum, length-prefix, write_all, no plane in front.
+    let dir = bench_dir("append-curve");
+    let store = Store::open(&dir, SHARDS).expect("open store");
+    let planner = Planner::new(64);
+    for id in 0..CACHES {
+        store.register(id, 4096, 1, &planner);
+    }
+    let curves: Vec<MissCurve> = (0..CACHES).map(curve).collect();
+    let mut round = 0u64;
+    group.bench_function("append_curve_round", |b| {
+        b.iter(|| {
+            round += 1;
+            for (id, curve) in curves.iter().enumerate() {
+                store.submit(id as u64, 0, black_box(curve));
+            }
+        })
+    });
+    assert_eq!(store.last_error(), None);
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The same round through a journaling plane — what `submit` actually
+    // costs a producer once persistence is on (registry lock + store
+    // append under it).
+    let dir = bench_dir("append-plane");
+    let store = Arc::new(Store::open(&dir, SHARDS).expect("open store"));
+    let plane =
+        ShardedReconfigService::new(SHARDS).with_sink(Arc::clone(&store) as Arc<dyn StoreSink>);
+    let ids: Vec<_> = (0..CACHES)
+        .map(|_| plane.register(CacheSpec::new(4096, 1).with_planner(Planner::new(64))))
+        .collect();
+    group.bench_function("append_plane_round", |b| {
+        b.iter(|| {
+            for (id, curve) in ids.iter().zip(&curves) {
+                plane
+                    .submit(*id, 0, black_box(curve).clone())
+                    .expect("registered");
+            }
+            // Keep the dirty queue bounded without planning work: the
+            // cut record is part of the journaled cycle anyway.
+            black_box(plane.run_epoch());
+        })
+    });
+    assert_eq!(store.last_error(), None);
+    drop(plane);
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_journal");
+
+    for rounds in [4u64, 16] {
+        let dir = bench_dir(&format!("replay-{rounds}"));
+        let store = populate(&dir, rounds);
+        let records: usize = (0..SHARDS)
+            .map(|s| store.replay_shard(s).expect("scan").records.len())
+            .sum();
+
+        // Decode half only: scan every shard file back into Records.
+        group.bench_function(format!("replay_scan_{records}_records"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for shard in 0..SHARDS {
+                    total += store.replay_shard(shard).expect("scan").records.len();
+                }
+                black_box(total)
+            })
+        });
+
+        // The full warm restart an operator waits for: scan + rebuild
+        // the whole plane state.
+        group.bench_function(format!("restore_plane_{records}_records"), |b| {
+            b.iter(|| {
+                let plane = ShardedReconfigService::new(SHARDS);
+                let summary = plane.restore(&store).expect("restore");
+                black_box((plane, summary))
+            })
+        });
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_replay);
+criterion_main!(benches);

@@ -15,7 +15,8 @@ use std::fmt;
 /// Bench-name prefixes considered hot paths: the planning pipeline the
 /// online service leans on (hulls, plan, allocation), the serving plane's
 /// ingest cycle (`serve_ingest/` covers the local variants and the
-/// `serve_ingest/rpc` loopback wire-protocol cycle alike), the monitor
+/// `serve_ingest/rpc` loopback wire-protocol cycle alike), the journal
+/// append/replay paths riding that cycle (`store_journal/`), the monitor
 /// record/curve paths, and the per-access cache loops. A regression
 /// beyond threshold on these fails the comparison (unless warn-only).
 pub const HOT_PREFIXES: &[&str] = &[
@@ -26,6 +27,7 @@ pub const HOT_PREFIXES: &[&str] = &[
     "talus_reconfigure",
     "interval_software",
     "serve_ingest/",
+    "store_journal/",
     "monitor_record/",
     "monitor_curve/",
     "set_assoc_access/",

@@ -31,6 +31,41 @@ pub fn mix64(seed: u64, value: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Seed folded into [`shard_of`], so shard placement is a fixed, documented
+/// function of the cache id alone — stable across restarts and across
+/// crates. Both the serving plane's router and the persistence layer's
+/// journal files use this placement; sharing one constant is what lets a
+/// store written by an N-shard plane be restored file-by-file into an
+/// N-shard plane without any cross-shard record exchange.
+pub const SHARD_SEED: u64 = 0x7A1D_5EED_CA0E_51D5;
+
+/// The canonical shard placement: the index cache `id` routes to in an
+/// `n`-shard layout, `mix64(SHARD_SEED, id) % n`.
+///
+/// Every component that partitions per-cache state by id — the
+/// `talus-serve` router, the `talus-store` journal — must use this
+/// function so their layouts coincide for equal `n`. Placement depends on
+/// `n`: re-sharding a persisted layout requires replaying records into the
+/// new layout, not renaming files.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use talus_core::shard_of;
+/// assert_eq!(shard_of(42, 1), 0); // one shard takes everything
+/// assert!(shard_of(42, 4) < 4);
+/// assert_eq!(shard_of(42, 4), shard_of(42, 4)); // pure function
+/// ```
+#[inline]
+pub fn shard_of(id: u64, n: usize) -> usize {
+    assert!(n > 0, "need at least one shard");
+    (mix64(SHARD_SEED, id) % n as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +98,22 @@ mod tests {
                 "{buckets} buckets: min {min}, max {max}"
             );
         }
+    }
+
+    #[test]
+    fn shard_of_is_total_and_balanced() {
+        for n in [1usize, 2, 3, 4, 8] {
+            let mut counts = vec![0u32; n];
+            for id in 0..1000u64 {
+                counts[shard_of(id, n)] += 1;
+            }
+            assert!(counts.iter().all(|&c| c > 0), "{n} shards: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn shard_of_rejects_zero_shards() {
+        shard_of(1, 0);
     }
 }

@@ -76,6 +76,6 @@ pub use config::{
 };
 pub use curve::{CurvePoint, MissCurve};
 pub use error::{CurveError, PlanError};
-pub use hash::mix64;
+pub use hash::{mix64, shard_of, SHARD_SEED};
 pub use hull::ConvexHull;
 pub use source::{CurveSource, ReplaySource};

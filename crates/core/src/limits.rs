@@ -38,6 +38,20 @@ pub const WIRE_MAX_TENANTS: u32 = 1024;
 /// 8-byte ids this is at most half a maximum frame.
 pub const WIRE_MAX_IDS: u32 = WIRE_MAX_FRAME_LEN / 16;
 
+/// Largest journal-record payload `talus-store` will read back, in bytes.
+/// Like [`WIRE_MAX_FRAME_LEN`], a length prefix above this is rejected
+/// *before* any buffer is allocated — a corrupt or hostile length field
+/// costs the reader nothing. Sized to hold a full plan record for a cache
+/// of [`WIRE_MAX_TENANTS`] tenants, or a curve of
+/// [`WIRE_MAX_CURVE_POINTS`] points, with generous headroom.
+pub const STORE_MAX_RECORD_LEN: u32 = 1 << 18;
+
+/// Most drained cache ids in one journal epoch-cut record. A store shard
+/// mirrors one serve shard, whose epoch batch is bounded by the service
+/// (default 64); this leaves room for deliberately large batches while
+/// keeping a cut record well under [`STORE_MAX_RECORD_LEN`].
+pub const STORE_MAX_CUT_IDS: u32 = 1 << 14;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +67,16 @@ mod tests {
     #[test]
     fn id_lists_fit_a_frame() {
         assert!(WIRE_MAX_IDS * 8 <= WIRE_MAX_FRAME_LEN / 2);
+    }
+
+    #[test]
+    fn worst_case_journal_records_fit_the_record_cap() {
+        // A maximum-point curve record (16 bytes per point plus framing).
+        assert!(64 + 4 + 16 * WIRE_MAX_CURVE_POINTS < STORE_MAX_RECORD_LEN);
+        // A plan record for a maximum-tenant cache: each tenant costs at
+        // most a capacity, a tag, and the 8-field shadow configuration.
+        assert!(64 + WIRE_MAX_TENANTS * (8 + 1 + 8 * 8) < STORE_MAX_RECORD_LEN);
+        // An epoch-cut record full of 8-byte ids.
+        assert!(64 + 8 * STORE_MAX_CUT_IDS < STORE_MAX_RECORD_LEN);
     }
 }

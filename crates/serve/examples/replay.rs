@@ -13,6 +13,12 @@
 //! the single service, bit for bit: neither the router nor the wire adds
 //! policy.
 //!
+//! A fourth twin journals everything into a `talus-store` directory and
+//! is killed (dropped) after the first interval; a fresh plane
+//! warm-restarts from the journal and plays the remaining intervals.
+//! Its epochs and snapshots must keep matching the uninterrupted planes
+//! bit for bit: the crash adds nothing either.
+//!
 //! Curves come from exact Mattson monitors (the checks are bit-exact, so
 //! determinism matters more than speed here); ingest still rides the
 //! batched path — `MonitorSource` feeds every monitor through
@@ -33,6 +39,7 @@ use talus_serve::{
 };
 use talus_sim::monitor::{MattsonMonitor, MonitorSource};
 use talus_sim::LineAddr;
+use talus_store::{Store, StoreSink};
 use talus_workloads::{profile, AccessGenerator};
 
 /// Shrink every profile footprint by this factor (keeps the replay fast
@@ -104,6 +111,20 @@ fn main() {
         .expect("spawn accept loop");
     let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
 
+    // The fourth twin journals every event; it dies after interval 0 and
+    // a warm restart must put it right back in the equivalence chorus.
+    let journal_dir =
+        std::env::temp_dir().join(format!("talus-replay-journal-{}", std::process::id()));
+    std::fs::remove_dir_all(&journal_dir).ok();
+    let mut journal: Option<std::sync::Arc<Store>> = Some(std::sync::Arc::new(
+        Store::open(&journal_dir, SHARDS).expect("open journal"),
+    ));
+    let mut journaled = Some(
+        ShardedReconfigService::new(SHARDS).with_sink(std::sync::Arc::clone(
+            journal.as_ref().expect("just opened"),
+        ) as std::sync::Arc<dyn StoreSink>),
+    );
+
     // Cache A: three tenants with very different curve shapes (a scan
     // cliff, a gentle convex decay, a mid-size working set) share 4096
     // lines. Cache B: two tenants share 2048 lines. Both services
@@ -120,6 +141,11 @@ fn main() {
             .register(capacity, tenants.len() as u32)
             .expect("register over rpc");
         assert_eq!(id, wire_twin, "the rpc plane mints the same ids");
+        let stored_twin = journaled
+            .as_ref()
+            .expect("alive before the kill")
+            .register(CacheSpec::new(capacity, tenants.len()));
+        assert_eq!(id, stored_twin, "the journaled plane mints the same ids");
         caches.push((id, capacity, tenants));
     }
 
@@ -153,6 +179,11 @@ fn main() {
                 client
                     .stage(*id, t, curve.clone())
                     .expect("staging never hits the wire until flush");
+                journaled
+                    .as_ref()
+                    .expect("restored before this interval")
+                    .submit(*id, t, curve.clone())
+                    .expect("cache is registered and tenant in range");
                 curves.push(curve);
             }
             latest.insert(id.value(), curves);
@@ -168,6 +199,14 @@ fn main() {
         assert_eq!(
             rpc_report, sharded_report,
             "the rpc-fed plane reports a different epoch"
+        );
+        let journaled_report = journaled
+            .as_ref()
+            .expect("restored before this interval")
+            .run_epoch();
+        assert_eq!(
+            journaled_report, sharded_report,
+            "the journaled plane reports a different epoch (interval {interval})"
         );
         println!(
             "interval {interval}: epoch {} planned {} cache(s), {} deferred, {} failed \
@@ -229,8 +268,53 @@ fn main() {
                     None => println!("    tenant {t}: {} lines, unpartitioned", tenant.capacity),
                 }
             }
+            let journaled_snap = journaled
+                .as_ref()
+                .expect("restored before this interval")
+                .snapshot(*id)
+                .expect("published");
+            assert_eq!(
+                snap.plan, journaled_snap.plan,
+                "{id}: journaled plan diverges from single-service plan"
+            );
+            assert_eq!(snap.version, journaled_snap.version);
+        }
+
+        // The kill: after the first interval the journaled plane dies —
+        // dropped with its store handle — and a fresh plane warm-restarts
+        // from the bytes on disk. Its very next epoch (interval 1) must
+        // match the uninterrupted planes, proven by the asserts above.
+        if interval == 0 {
+            drop(journaled.take());
+            drop(journal.take());
+            let store =
+                std::sync::Arc::new(Store::open(&journal_dir, SHARDS).expect("reopen journal"));
+            let plane = ShardedReconfigService::new(SHARDS);
+            let summary = plane.restore(&store).expect("warm restart");
+            println!(
+                "  journaled twin killed; warm restart replayed {} records \
+                 ({} caches, {} snapshots, epoch {})",
+                summary.records, summary.caches, summary.snapshots, summary.epochs
+            );
+            assert_eq!(summary.caches, caches.len());
+            assert_eq!(summary.epochs, published_epochs);
+            journal = Some(std::sync::Arc::clone(&store));
+            journaled = Some(plane.with_sink(store as std::sync::Arc<dyn StoreSink>));
         }
     }
+
+    // Every curve ever submitted to the journaled twin is on disk —
+    // including the pre-kill interval — queryable per cache.
+    let store = journal.expect("journal survives the run");
+    for (id, _, tenants) in &caches {
+        let history = store.history(id.value()).expect("history reads");
+        assert_eq!(
+            history.len(),
+            tenants.len() * INTERVALS,
+            "{id}: journal holds every submitted curve across the crash"
+        );
+    }
+    std::fs::remove_dir_all(&journal_dir).ok();
 
     assert!(
         published_epochs >= 2,
@@ -238,8 +322,9 @@ fn main() {
     );
     println!(
         "OK: {published_epochs} plan epochs published for {} caches; every snapshot matches the \
-         offline planner, and both the {SHARDS}-shard threaded plane and the rpc-fed loopback \
-         plane match the single service bit for bit.",
+         offline planner, and the {SHARDS}-shard threaded plane, the rpc-fed loopback plane, and \
+         the journaled plane killed and warm-restarted after interval 0 all match the single \
+         service bit for bit.",
         caches.len()
     );
     rpc.shutdown();

@@ -68,6 +68,25 @@
 //! (`tests/rpc_equivalence.rs`), and the decoder is total — hostile
 //! bytes produce typed errors, never panics (`tests/wire.rs`).
 //!
+//! ## Surviving restarts: the journal sink and warm restart
+//!
+//! On its own the plane forgets everything when the process dies. Attach
+//! a `talus-store` journal with
+//! [`with_sink`](ShardedReconfigService::with_sink) and every register,
+//! deregister, curve submission, epoch cut, and published plan is
+//! appended — under the owning shard's lock, in the exact order it takes
+//! effect — to one append-only file per shard (same
+//! [`talus_core::shard_of`] placement as the router). After a crash,
+//! [`restore`](ShardedReconfigService::restore) replays the journal into
+//! a fresh plane: caches re-register, latest curves and dirty-queue
+//! order come back, the last published [`PlanSnapshot`]s reappear, and
+//! the id allocator and epoch counter resume where they left off. The
+//! equivalence discipline extends across the crash: a restored plane
+//! produces bit-identical `EpochReport`s and snapshots to one that never
+//! restarted (`tests/restore_equivalence.rs`), torn journal tails are
+//! truncated on open, and mid-epoch process death is injected in the
+//! workspace failure suite.
+//!
 //! ```
 //! use talus_core::MissCurve;
 //! use talus_serve::{CacheSpec, ReconfigService};
@@ -103,7 +122,7 @@ mod snapshot;
 pub mod wire;
 
 pub use client::{RpcClient, RpcError};
-pub use router::ShardedReconfigService;
+pub use router::{RestoreError, RestoreSummary, ShardedReconfigService};
 pub use rpc_server::{RpcServer, ServerHandle, DEFAULT_MAX_CONNECTIONS};
 pub use service::{CacheSpec, EpochReport, ReconfigService, ServeError};
 pub use snapshot::{CacheId, PlanSnapshot};

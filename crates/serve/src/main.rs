@@ -6,6 +6,8 @@
 //!
 //! ```text
 //! cargo run -p talus-serve --release [-- <caches> <tenants> <intervals> <shards> <threaded 0|1> [rpc]]
+//! cargo run -p talus-serve --release -- store [dir]        # crash/restore smoke
+//! cargo run -p talus-serve --release -- store-dump <dir>   # print a journal
 //! ```
 //!
 //! With `<shards> > 1` the service is a [`ShardedReconfigService`]:
@@ -18,7 +20,15 @@
 //! epochs are driven by a remote `run_epoch`, and the final snapshots
 //! are read back via remote `report` calls — the CI smoke test for the
 //! whole network layer.
+//!
+//! `store` runs the persistence smoke test: journal a monitored
+//! multi-tenant run into a `talus-store` directory (default
+//! `target/store-smoke`), drop the plane, warm-restart a fresh one from
+//! the journal, and verify the restored snapshots are bit-identical —
+//! then keep serving. `store-dump` pretty-prints an existing journal
+//! directory, record by record.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -27,6 +37,7 @@ use std::time::Duration;
 use talus_serve::{CacheId, CacheSpec, RpcClient, RpcServer, ShardedReconfigService};
 use talus_sim::monitor::{MonitorSource, SampledMattson};
 use talus_sim::LineAddr;
+use talus_store::{Record, Store, StoreSink};
 use talus_workloads::{multi_tenant, AccessGenerator};
 
 /// Footprint shrink factor for the demo workloads.
@@ -50,6 +61,23 @@ fn arg(n: usize, default: usize) -> usize {
 }
 
 fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("store") => {
+            let dir = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "target/store-smoke".into());
+            run_store_smoke(Path::new(&dir));
+            return;
+        }
+        Some("store-dump") => {
+            let dir = std::env::args()
+                .nth(2)
+                .expect("store-dump needs a journal directory");
+            run_store_dump(Path::new(&dir));
+            return;
+        }
+        _ => {}
+    }
     let caches = arg(1, 4);
     let tenants = arg(2, 3);
     let intervals = arg(3, 4);
@@ -280,4 +308,163 @@ fn run_rpc(service: Arc<ShardedReconfigService>, caches: usize, tenants: usize, 
         service.shards()
     );
     handle.shutdown();
+}
+
+/// The persistence smoke test: journal a real monitored run, drop the
+/// plane mid-life, warm-restart from the journal, verify the restored
+/// snapshots bit-identical, and keep serving. This is the driver-level
+/// proof the whole store stack (sink → journal → restore) holds together
+/// outside the unit tests, and the CI `store` step runs exactly this.
+fn run_store_smoke(dir: &Path) {
+    let shards = 2;
+    let caches = 3usize;
+    let tenants = 2usize;
+    let intervals = 3usize;
+    println!(
+        "store smoke: {caches} caches x {tenants} tenants, {intervals} intervals, \
+         journaling into {} ({shards} shards)",
+        dir.display()
+    );
+    std::fs::remove_dir_all(dir).ok();
+
+    // Era one: a journaling plane serving monitored curves.
+    let store = Arc::new(Store::open(dir, shards).expect("open store"));
+    let plane =
+        ShardedReconfigService::new(shards).with_sink(Arc::clone(&store) as Arc<dyn StoreSink>);
+    let ids: Vec<CacheId> = (0..caches)
+        .map(|_| plane.register(CacheSpec::new(CAPACITY, tenants)))
+        .collect();
+    for (c, id) in ids.iter().enumerate() {
+        let profile = multi_tenant(tenants).scaled(SCALE);
+        let mut sources: Vec<_> = (0..tenants)
+            .map(|t| {
+                let mut gen = profile.tenant_generator(t, 7 + c as u64);
+                let next: Box<dyn FnMut() -> LineAddr> = Box::new(move || gen.next_line());
+                let monitor = SampledMattson::new(2 * CAPACITY, SAMPLE_RATIO, 0xCAFE + c as u64);
+                let mut s = MonitorSource::new(monitor, INTERVAL, next);
+                s.warm_up(INTERVAL / 2);
+                s
+            })
+            .collect();
+        for _ in 0..intervals {
+            for (t, source) in sources.iter_mut().enumerate() {
+                plane
+                    .submit_from(*id, t, source)
+                    .expect("cache registered and tenant in range");
+            }
+            plane.run_epoch();
+        }
+    }
+    assert_eq!(store.last_error(), None, "journaling must not fault");
+    let before: Vec<_> = ids.iter().map(|id| plane.snapshot(*id)).collect();
+    let epochs_before = plane.epochs();
+    println!(
+        "era one: {} epochs, {} snapshots published; dropping the plane",
+        epochs_before,
+        before.iter().flatten().count()
+    );
+    drop(plane);
+    drop(store);
+
+    // Era two: a fresh process-worth of state, rebuilt from disk alone.
+    let store = Arc::new(Store::open(dir, shards).expect("reopen store"));
+    let plane = ShardedReconfigService::new(shards);
+    let summary = plane.restore(&store).expect("journal restores");
+    println!(
+        "warm restart: {} records -> {} caches, {} snapshots, epoch {}, {} torn shard(s)",
+        summary.records, summary.caches, summary.snapshots, summary.epochs, summary.torn_shards
+    );
+    assert_eq!(plane.epochs(), epochs_before, "epoch counter resumed");
+    assert_eq!(plane.cache_ids(), ids, "cache handles recovered");
+    for (id, want) in ids.iter().zip(&before) {
+        assert_eq!(
+            plane.snapshot(*id),
+            *want,
+            "{id}: snapshot bit-identical after warm restart"
+        );
+    }
+    for id in &ids {
+        let history = store.history(id.value()).expect("history reads");
+        assert_eq!(
+            history.len(),
+            tenants * intervals,
+            "{id}: every submitted curve is in the journal"
+        );
+        println!(
+            "  {id}: {} journaled curves, snapshot version {:?}",
+            history.len(),
+            plane.snapshot(*id).map(|s| s.version)
+        );
+    }
+
+    // Era two keeps serving — and journaling — where era one stopped.
+    let plane = plane.with_sink(store as Arc<dyn StoreSink>);
+    let id = plane.register(CacheSpec::new(CAPACITY, 1));
+    let curve = talus_core::MissCurve::from_samples(&[0.0, 2048.0, 4096.0], &[9.0, 8.0, 1.0])
+        .expect("valid curve");
+    plane.submit(id, 0, curve).expect("fresh cache accepts");
+    let report = plane.run_epoch();
+    assert!(report.planned.contains(&id), "post-restart epoch plans");
+    println!(
+        "era two: epoch {} planned {:?}; store smoke ok",
+        report.epoch, report.planned
+    );
+}
+
+/// Pretty-prints a journal directory, record by record: the operator's
+/// view of what a warm restart would replay.
+fn run_store_dump(dir: &Path) {
+    let shards = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("shard-") && name.ends_with(".talus")
+        })
+        .count();
+    assert!(shards > 0, "no shard-*.talus files in {}", dir.display());
+    let store = Store::open(dir, shards).expect("open store");
+    println!(
+        "{}: {} shard(s), {} records, {} torn byte(s) dropped at open",
+        dir.display(),
+        shards,
+        store.recovery().records(),
+        store.recovery().torn_bytes()
+    );
+    for shard in 0..shards {
+        let scanned = store.replay_shard(shard).expect("replay shard");
+        println!("shard {shard}: {} records", scanned.records.len());
+        for rec in &scanned.records {
+            let detail = match rec {
+                Record::Register {
+                    id,
+                    capacity,
+                    tenants,
+                    ..
+                } => format!("cache {id}: capacity {capacity}, {tenants} tenant(s)"),
+                Record::Deregister { id, .. } => format!("cache {id}"),
+                Record::Curve {
+                    id, tenant, curve, ..
+                } => format!("cache {id} tenant {tenant}: {} points", curve.len()),
+                Record::EpochCut { epoch, drained, .. } => {
+                    format!("epoch {epoch}: drained {drained:?}")
+                }
+                Record::Plan {
+                    id,
+                    epoch,
+                    version,
+                    plan,
+                    ..
+                } => format!(
+                    "cache {id} v{version} (epoch {epoch}): allocations {:?}",
+                    plan.allocations()
+                ),
+            };
+            println!("  seq {:>5}  {:<10} {detail}", rec.seq(), rec.label());
+        }
+        if let Some(tail) = &scanned.tail {
+            println!("  (torn tail: {tail})");
+        }
+    }
 }

@@ -26,12 +26,8 @@ use std::thread;
 use crate::service::{CacheSpec, EpochReport, ServeError};
 use crate::shard::Shard;
 use crate::snapshot::{CacheId, PlanSnapshot};
-use talus_core::{mix64, CurveSource, MissCurve};
-
-/// Seed folded into the router hash, so shard placement is a fixed,
-/// documented function of the cache id alone (stable across restarts with
-/// the same shard count).
-const ROUTER_SEED: u64 = 0x7A1D_5EED_CA0E_51D5;
+use talus_core::{shard_of, CurveSource, MissCurve};
+use talus_store::{Record, Store, StoreError, StoreSink};
 
 /// One "run an epoch" request handed to a shard's worker thread.
 struct EpochJob {
@@ -197,6 +193,41 @@ impl ShardedReconfigService {
         self
     }
 
+    /// Attaches a journal sink: from now on every register, deregister,
+    /// curve submission, epoch cut, and published plan is appended to the
+    /// sink, under the owning shard's registry lock, in the exact order
+    /// it takes effect. Shard `i` of the plane journals into shard `i` of
+    /// the sink — the layouts must match (both use
+    /// [`talus_core::shard_of`]).
+    ///
+    /// Attach the sink to a fresh plane (or right after
+    /// [`restore`](ShardedReconfigService::restore) on the same store):
+    /// events that happened before attachment are invisible to a later
+    /// restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink.shards()` differs from the plane's shard count, or
+    /// if thread-pool mode is already enabled (attach before
+    /// [`with_threads`](ShardedReconfigService::with_threads)).
+    pub fn with_sink(mut self, sink: Arc<dyn StoreSink>) -> Self {
+        assert!(
+            self.pool.is_none(),
+            "attach the sink before enabling threads"
+        );
+        assert_eq!(
+            sink.shards(),
+            self.shards.len(),
+            "sink shard layout must match the plane"
+        );
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            Arc::get_mut(shard)
+                .expect("shards unshared before threads start")
+                .set_sink(i, Arc::clone(&sink));
+        }
+        self
+    }
+
     /// Enables thread-pool mode: shards 1..N each get a dedicated worker
     /// thread (`talus-serve-shard-<i>`), and
     /// [`run_epoch`](ShardedReconfigService::run_epoch) dispatches to all
@@ -224,10 +255,11 @@ impl ShardedReconfigService {
         self.pool.is_some()
     }
 
-    /// The shard index `id` routes to: `mix64(id) % shards`. Stable for a
-    /// given shard count; exposed for observability (logs, dashboards).
+    /// The shard index `id` routes to: [`talus_core::shard_of`]. Stable
+    /// for a given shard count and shared with `talus-store`'s journal
+    /// layout; exposed for observability (logs, dashboards).
     pub fn shard_index(&self, id: CacheId) -> usize {
-        (mix64(ROUTER_SEED, id.value()) % self.shards.len() as u64) as usize
+        shard_of(id.value(), self.shards.len())
     }
 
     fn shard_of(&self, id: CacheId) -> &Shard {
@@ -332,6 +364,22 @@ impl ShardedReconfigService {
         self.shards.iter().map(|s| s.registered()).sum()
     }
 
+    /// Handles for every registered cache, in ascending id order. The
+    /// recovery companion to [`restore`](ShardedReconfigService::restore):
+    /// a restarted process has no [`CacheId`]s (they lived in the dead
+    /// process), so after a warm restart this is how callers re-acquire
+    /// them. Also useful for observability sweeps.
+    pub fn cache_ids(&self) -> Vec<CacheId> {
+        let mut ids: Vec<CacheId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.ids())
+            .map(CacheId)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Runs one planning epoch on **every** shard — sequentially on this
     /// thread, or concurrently on the per-shard workers in thread-pool
     /// mode — and merges the per-shard results into one report. Each
@@ -356,6 +404,215 @@ impl ShardedReconfigService {
             reports.push(self.run_epoch());
         }
         reports
+    }
+
+    /// Warm-restarts this plane from a journal: replays every shard file
+    /// through the same state transitions the live paths take, so the
+    /// restored plane has the registered caches, latest curves, dirty
+    /// queues (in order), published snapshots, id allocator, and epoch
+    /// counter the journaling plane had when its last record landed —
+    /// bit-for-bit (property-tested in `tests/restore_equivalence.rs`).
+    ///
+    /// Call on a **fresh** plane whose shard count matches the store's,
+    /// *before* [`with_sink`](ShardedReconfigService::with_sink) /
+    /// [`with_threads`](ShardedReconfigService::with_threads); then
+    /// attach the same store as the sink so new events append after the
+    /// recovered history:
+    ///
+    /// ```no_run
+    /// use std::sync::Arc;
+    /// use talus_serve::ShardedReconfigService;
+    /// use talus_store::Store;
+    ///
+    /// let store = Arc::new(Store::open("journal-dir", 4)?);
+    /// let plane = ShardedReconfigService::new(4);
+    /// let summary = plane.restore(&store)?;
+    /// println!("restored {} caches, {} snapshots", summary.caches, summary.snapshots);
+    /// let plane = plane.with_sink(store).with_threads();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// Torn tails were already truncated when the store was opened;
+    /// a crash between a shard's epoch cut and its plan records loses at
+    /// most those plans — the affected caches re-plan on their next curve
+    /// update, exactly like an epoch that failed mid-publish.
+    ///
+    /// # Errors
+    ///
+    /// - [`RestoreError::ShardMismatch`] — store and plane layouts differ.
+    /// - [`RestoreError::NotFresh`] — this plane already has state.
+    /// - [`RestoreError::Store`] — a shard file could not be read.
+    /// - [`RestoreError::Corrupt`] — a record encodes a transition the
+    ///   live service could never have journaled (wrong shard, unknown
+    ///   cache, queue mismatch). The plane is left partially restored
+    ///   and should be discarded.
+    pub fn restore(&self, store: &Store) -> Result<RestoreSummary, RestoreError> {
+        let n = self.shards.len();
+        if store.shards() != n {
+            return Err(RestoreError::ShardMismatch {
+                store: store.shards(),
+                plane: n,
+            });
+        }
+        if self.next_id.load(Ordering::Relaxed) != 0
+            || self.epochs.load(Ordering::Relaxed) != 0
+            || self.registered() > 0
+        {
+            return Err(RestoreError::NotFresh);
+        }
+        let mut summary = RestoreSummary::default();
+        let mut max_id: Option<u64> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let scanned = store.replay_shard(i).map_err(RestoreError::Store)?;
+            if scanned.tail.is_some() {
+                summary.torn_shards += 1;
+            }
+            for rec in scanned.records {
+                let seq = rec.seq();
+                let corrupt = |what: &'static str| RestoreError::Corrupt {
+                    shard: i,
+                    seq,
+                    what,
+                };
+                match rec {
+                    Record::Register {
+                        id,
+                        capacity,
+                        tenants,
+                        planner,
+                        ..
+                    } => {
+                        if shard_of(id, n) != i {
+                            return Err(corrupt("register routed to the wrong shard"));
+                        }
+                        max_id = max_id.max(Some(id));
+                        let spec = CacheSpec::new(capacity, tenants as usize).with_planner(planner);
+                        if !shard.restore_register(id, spec) {
+                            return Err(corrupt("register of an already-registered id"));
+                        }
+                    }
+                    Record::Deregister { id, .. } => {
+                        if !shard.restore_deregister(id) {
+                            return Err(corrupt("deregister of an unknown cache"));
+                        }
+                    }
+                    Record::Curve {
+                        id, tenant, curve, ..
+                    } => {
+                        if !shard.restore_submit(id, tenant as usize, curve) {
+                            return Err(corrupt("curve for an unknown cache or tenant"));
+                        }
+                    }
+                    Record::EpochCut {
+                        shard: s,
+                        epoch,
+                        drained,
+                        ..
+                    } => {
+                        if s as usize != i {
+                            return Err(corrupt("epoch cut stamped for a different shard"));
+                        }
+                        summary.epochs = summary.epochs.max(epoch);
+                        if !shard.restore_cut(&drained) {
+                            return Err(corrupt("epoch cut disagrees with the dirty queue"));
+                        }
+                    }
+                    Record::Plan {
+                        id,
+                        epoch,
+                        version,
+                        updates,
+                        plan,
+                        ..
+                    } => {
+                        summary.epochs = summary.epochs.max(epoch);
+                        let snap = PlanSnapshot {
+                            cache: CacheId(id),
+                            epoch,
+                            version,
+                            updates,
+                            plan,
+                        };
+                        if !shard.restore_plan(snap) {
+                            return Err(corrupt("plan for an unknown cache"));
+                        }
+                    }
+                }
+                summary.records += 1;
+            }
+        }
+        self.next_id
+            .store(max_id.map_or(0, |m| m + 1), Ordering::Relaxed);
+        self.epochs.store(summary.epochs, Ordering::Relaxed);
+        summary.caches = self.registered();
+        summary.snapshots = self.shards.iter().map(|s| s.snapshots()).sum();
+        Ok(summary)
+    }
+}
+
+/// What [`ShardedReconfigService::restore`] rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RestoreSummary {
+    /// Journal records applied across all shards.
+    pub records: usize,
+    /// Caches live (registered and not deregistered) after the replay.
+    pub caches: usize,
+    /// Plan snapshots republished.
+    pub snapshots: usize,
+    /// The recovered plane-wide epoch counter (largest epoch journaled).
+    pub epochs: u64,
+    /// Shards whose journal ended in a torn tail that was dropped.
+    pub torn_shards: usize,
+}
+
+/// Why [`ShardedReconfigService::restore`] refused or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The store's shard layout differs from the plane's; records cannot
+    /// be re-routed (placement is `shard_of(id, n)` for both).
+    ShardMismatch {
+        /// Shards in the store.
+        store: usize,
+        /// Shards in the plane.
+        plane: usize,
+    },
+    /// The plane already holds state; restore only into a fresh plane.
+    NotFresh,
+    /// A shard file could not be read back.
+    Store(StoreError),
+    /// A record encodes a transition the live service could never have
+    /// journaled — the journal is corrupt or belongs to another store.
+    Corrupt {
+        /// Shard whose journal the record came from.
+        shard: usize,
+        /// The record's sequence number.
+        seq: u64,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::ShardMismatch { store, plane } => {
+                write!(f, "store has {store} shards but the plane has {plane}")
+            }
+            RestoreError::NotFresh => write!(f, "restore requires a fresh plane"),
+            RestoreError::Store(e) => write!(f, "journal read failed: {e}"),
+            RestoreError::Corrupt { shard, seq, what } => {
+                write!(f, "corrupt journal (shard {shard}, seq {seq}): {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RestoreError::Store(e) => Some(e),
+            _ => None,
+        }
     }
 }
 

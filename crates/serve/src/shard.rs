@@ -16,6 +16,7 @@ use crate::service::{CacheSpec, EpochReport, ServeError};
 use crate::snapshot::{CacheId, PlanSnapshot};
 use talus_core::MissCurve;
 use talus_partition::Planner;
+use talus_store::StoreSink;
 
 /// Per-cache mutable state, guarded by the shard's registry lock.
 #[derive(Debug)]
@@ -45,6 +46,12 @@ struct Registry {
 pub(crate) struct Shard {
     /// Most caches replanned per epoch; overflow stays queued.
     max_batch: usize,
+    /// This shard's index in its plane (stamped onto epoch-cut records).
+    index: usize,
+    /// Journal seam: every registry mutation is mirrored here, under the
+    /// registry lock, in the exact order it takes effect. `None` = no
+    /// persistence (the default).
+    sink: Option<Arc<dyn StoreSink>>,
     registry: Mutex<Registry>,
     /// Reader-facing snapshot map: the only state readers touch.
     published: RwLock<HashMap<u64, Arc<PlanSnapshot>>>,
@@ -56,6 +63,8 @@ impl Shard {
         assert!(max_batch > 0, "epoch batch must be positive");
         Shard {
             max_batch,
+            index: 0,
+            sink: None,
             registry: Mutex::new(Registry::default()),
             published: RwLock::new(HashMap::new()),
         }
@@ -64,6 +73,14 @@ impl Shard {
     pub(crate) fn set_max_batch(&mut self, max_batch: usize) {
         assert!(max_batch > 0, "epoch batch must be positive");
         self.max_batch = max_batch;
+    }
+
+    /// Attaches the journal sink (and the shard's plane index, stamped
+    /// onto its epoch-cut records). Events from this point on are
+    /// journaled; anything earlier is invisible to a later restore.
+    pub(crate) fn set_sink(&mut self, index: usize, sink: Arc<dyn StoreSink>) {
+        self.index = index;
+        self.sink = Some(sink);
     }
 
     fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
@@ -75,6 +92,9 @@ impl Shard {
     /// curve and an epoch has run.
     pub(crate) fn insert(&self, id: u64, spec: CacheSpec) {
         let mut reg = self.lock_registry();
+        if let Some(sink) = &self.sink {
+            sink.register(id, spec.capacity, spec.tenants as u32, &spec.planner);
+        }
         reg.caches.insert(
             id,
             CacheEntry {
@@ -97,6 +117,9 @@ impl Shard {
                 .ok_or(ServeError::UnknownCache(id))?;
             // The id may linger in dirty_queue; the epoch drain skips
             // entries with no registry record.
+            if let Some(sink) = &self.sink {
+                sink.deregister(id.0);
+            }
         }
         self.published
             .write()
@@ -125,6 +148,9 @@ impl Shard {
                 tenant,
                 tenants,
             });
+        }
+        if let Some(sink) = &self.sink {
+            sink.submit(id.0, tenant as u32, &curve);
         }
         entry.curves[tenant] = Some(curve);
         entry.updates += 1;
@@ -156,6 +182,19 @@ impl Shard {
         self.lock_registry().caches.len()
     }
 
+    /// Published snapshots currently visible on this shard.
+    pub(crate) fn snapshots(&self) -> usize {
+        self.published
+            .read()
+            .expect("published lock poisoned")
+            .len()
+    }
+
+    /// Ids of every cache registered on this shard (unordered).
+    pub(crate) fn ids(&self) -> Vec<u64> {
+        self.lock_registry().caches.keys().copied().collect()
+    }
+
     /// Runs one planning epoch on this shard: drain a batch of dirty
     /// caches, re-plan them through the shared [`Planner`] pipeline with
     /// **no locks held**, then publish the new snapshots in one epoch
@@ -178,6 +217,7 @@ impl Shard {
         }
         let mut jobs: Vec<Job> = Vec::new();
         let mut deferred = Vec::new();
+        let mut drained: Vec<u64> = Vec::new();
         let remaining_dirty;
         {
             let mut reg = self.lock_registry();
@@ -185,6 +225,9 @@ impl Shard {
                 let Some(id) = reg.dirty_queue.pop_front() else {
                     break;
                 };
+                // Every pop is journaled — stale (deregistered) ids too —
+                // so a replayed queue drains in exactly this order.
+                drained.push(id);
                 let Some(entry) = reg.caches.get_mut(&id) else {
                     continue; // deregistered while queued
                 };
@@ -205,6 +248,13 @@ impl Shard {
                 });
             }
             remaining_dirty = reg.dirty_queue.len();
+            // Journaled unconditionally (even when the queue was empty):
+            // the cut records carry the epoch number, and `max(epoch)`
+            // across them is how a restore recovers the plane-wide epoch
+            // counter exactly — including trailing idle epochs.
+            if let Some(sink) = &self.sink {
+                sink.epoch_cut(self.index, epoch, &drained);
+            }
         }
 
         // Phase 2 — plan (no locks): the expensive part.
@@ -245,16 +295,20 @@ impl Shard {
                     continue; // a fresher plan already landed: keep it
                 }
                 entry.version += 1;
-                published.insert(
-                    id.0,
-                    Arc::new(PlanSnapshot {
-                        cache: id,
-                        epoch,
-                        version: entry.version,
-                        updates,
-                        plan,
-                    }),
-                );
+                let snap = Arc::new(PlanSnapshot {
+                    cache: id,
+                    epoch,
+                    version: entry.version,
+                    updates,
+                    plan,
+                });
+                // Only *published* plans are journaled (after the
+                // deregistered/stale guards above), so replaying plan
+                // records is exactly replaying publications.
+                if let Some(sink) = &self.sink {
+                    sink.plan(id.0, epoch, entry.version, updates, &snap.plan);
+                }
+                published.insert(id.0, snap);
                 planned.push(id);
             }
         }
@@ -271,5 +325,104 @@ impl Shard {
             failed,
             remaining_dirty,
         }
+    }
+
+    // --- journal replay ------------------------------------------------
+    //
+    // The `restore_*` methods below apply journal records through the
+    // same state transitions as the live paths, but never journal (a
+    // restore must not re-append its own input) and report invalid
+    // transitions with `false` instead of erroring — an invalid
+    // transition can only come from a corrupt or foreign journal, and
+    // the router turns it into a typed `RestoreError`.
+
+    /// Replays a register record. `false` if the id already exists.
+    pub(crate) fn restore_register(&self, id: u64, spec: CacheSpec) -> bool {
+        let mut reg = self.lock_registry();
+        if reg.caches.contains_key(&id) {
+            return false;
+        }
+        reg.caches.insert(
+            id,
+            CacheEntry {
+                curves: vec![None; spec.tenants],
+                spec,
+                updates: 0,
+                version: 0,
+                dirty: false,
+            },
+        );
+        true
+    }
+
+    /// Replays a deregister record. `false` if the cache is unknown.
+    pub(crate) fn restore_deregister(&self, id: u64) -> bool {
+        let known = {
+            let mut reg = self.lock_registry();
+            reg.caches.remove(&id).is_some()
+            // As in the live path, the id may linger in dirty_queue; a
+            // later cut record pops it just like the live drain did.
+        };
+        if known {
+            self.published
+                .write()
+                .expect("published lock poisoned")
+                .remove(&id);
+        }
+        known
+    }
+
+    /// Replays a curve record. `false` if the cache is unknown or the
+    /// tenant is out of range for its registered shape.
+    pub(crate) fn restore_submit(&self, id: u64, tenant: usize, curve: MissCurve) -> bool {
+        let mut reg = self.lock_registry();
+        let Some(entry) = reg.caches.get_mut(&id) else {
+            return false;
+        };
+        if tenant >= entry.spec.tenants {
+            return false;
+        }
+        entry.curves[tenant] = Some(curve);
+        entry.updates += 1;
+        if !entry.dirty {
+            entry.dirty = true;
+            reg.dirty_queue.push_back(id);
+        }
+        true
+    }
+
+    /// Replays an epoch-cut record: pops `drained.len()` ids off the
+    /// dirty queue, verifying they match the journaled pop order (a
+    /// faithful journal replays to exactly the queue the live drain
+    /// saw). `false` on any mismatch.
+    pub(crate) fn restore_cut(&self, drained: &[u64]) -> bool {
+        let mut reg = self.lock_registry();
+        for &want in drained {
+            match reg.dirty_queue.pop_front() {
+                Some(got) if got == want => {}
+                _ => return false,
+            }
+            if let Some(entry) = reg.caches.get_mut(&want) {
+                entry.dirty = false;
+            }
+        }
+        true
+    }
+
+    /// Replays a plan record: republishes the snapshot and fast-forwards
+    /// the cache's version counter to it. `false` if the cache is
+    /// unknown (live publication is guarded against deregistered caches,
+    /// so a faithful journal never hits this).
+    pub(crate) fn restore_plan(&self, snap: PlanSnapshot) -> bool {
+        let mut reg = self.lock_registry();
+        let Some(entry) = reg.caches.get_mut(&snap.cache.0) else {
+            return false;
+        };
+        entry.version = snap.version;
+        self.published
+            .write()
+            .expect("published lock poisoned")
+            .insert(snap.cache.0, Arc::new(snap));
+        true
     }
 }

@@ -1,0 +1,78 @@
+//! One shard's journal file: open-with-recovery, append, sync.
+//!
+//! A [`ShardJournal`] owns one append-only file. Opening scans the whole
+//! file with [`scan`](crate::record::scan), truncates any torn tail (a
+//! partial record left by a crash mid-append), and leaves the handle
+//! positioned at the end of the valid prefix; every append is a single
+//! `write_all` of one framed record, so a crash can only ever tear the
+//! *last* record — which the next open drops.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::record::{scan, Record, StoreError};
+
+/// What opening one shard file found and did.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardRecovery {
+    /// Intact records replayed from the valid prefix.
+    pub records: usize,
+    /// Largest `seq` seen in the valid prefix (`None` if empty).
+    pub max_seq: Option<u64>,
+    /// Torn-tail bytes truncated off the end of the file.
+    pub torn_bytes: usize,
+    /// Why the tail failed to decode, if it did.
+    pub tail: Option<StoreError>,
+}
+
+/// One shard's append-only journal file (always opened with recovery).
+#[derive(Debug)]
+pub(crate) struct ShardJournal {
+    file: File,
+}
+
+impl ShardJournal {
+    /// Opens (creating if absent) and recovers the journal at `path`:
+    /// scans the existing contents, truncates any torn tail, and seeks
+    /// to the end of the valid prefix. Returns the journal, the intact
+    /// records, and the recovery report.
+    pub(crate) fn open(path: &Path) -> Result<(Self, Vec<Record>, ShardRecovery), StoreError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let scanned = scan(&buf);
+        let torn_bytes = buf.len() - scanned.consumed;
+        if torn_bytes > 0 {
+            file.set_len(scanned.consumed as u64)?;
+        }
+        file.seek(SeekFrom::Start(scanned.consumed as u64))?;
+        let recovery = ShardRecovery {
+            records: scanned.records.len(),
+            max_seq: scanned.records.iter().map(Record::seq).max(),
+            torn_bytes,
+            tail: scanned.tail,
+        };
+        Ok((ShardJournal { file }, scanned.records, recovery))
+    }
+
+    /// Appends one pre-framed record with a single `write_all`, so a
+    /// crash mid-append leaves at most a torn tail.
+    pub(crate) fn append(&mut self, framed: &[u8]) -> Result<(), StoreError> {
+        self.file.write_all(framed)?;
+        Ok(())
+    }
+
+    /// Flushes the file to stable storage (`fsync`). Appends survive
+    /// *process* death without this; call it when the journal must also
+    /// survive OS or power failure.
+    pub(crate) fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,84 @@
+//! # talus-store — crash-safe persistence for the reconfiguration plane
+//!
+//! The serving plane (`talus-serve`) replans every epoch but, on its
+//! own, forgets everything on restart: every cache cold-starts with no
+//! curves and no plans. This crate is the L4½ persistence layer that
+//! closes the gap — an **append-only binary journal** of reconfiguration
+//! events (registrations, curve submissions, epoch cuts, published
+//! plans), sharded exactly like the plane itself, with torn-tail
+//! recovery and a replay path that warm-restarts a plane bit-for-bit.
+//!
+//! ## Shape
+//!
+//! - [`Record`] / [`encode_record`] / [`decode_record`] / [`scan`]: the
+//!   v1 on-disk format — length-prefixed, checksummed, little-endian
+//!   records with a *total* (never-panicking) decoder. See the
+//!   [`record`] module docs for the byte layout and recovery rules.
+//! - [`Store`]: N journal files (`shard-NNN.talus`) in one directory,
+//!   cache `id` in file [`talus_core::shard_of`]`(id, N)` — the same
+//!   placement the serve router uses, so restore never moves records
+//!   across shards. Opening recovers each file (torn tails truncated,
+//!   reported via [`Store::recovery`]).
+//! - [`StoreSink`]: the seam `talus-serve` journals through, called
+//!   under the owning shard's lock in exact event order. [`Store`]
+//!   implements it; tests wrap it to inject crashes.
+//! - [`Store::history`]: the timed miss-curve history of one cache
+//!   (every submission ever journaled, in order) — the persistent
+//!   analogue of periodically re-monitored miss curves.
+//!
+//! ## Crash consistency
+//!
+//! Appends are single `write_all`s, so process death leaves at most a
+//! partial record at the end of one file; the next open detects it (via
+//! the length prefix and per-record FNV-1a checksum) and truncates it.
+//! A restored plane replays the valid prefix: `talus-serve`'s
+//! `ShardedReconfigService::restore` re-registers caches, re-submits
+//! latest curves, re-queues dirty ones, and republishes the last plan
+//! snapshots — property-tested to be bit-identical to a plane that
+//! never restarted (see `crates/serve/tests/restore_equivalence.rs`).
+//! A crash *between* a shard's epoch cut and its plan records loses at
+//! most that epoch's plans for that shard; affected caches simply
+//! re-plan on their next curve update, exactly as if the epoch had
+//! failed mid-publish.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use talus_core::MissCurve;
+//! use talus_store::{Store, StoreSink};
+//! use talus_partition::Planner;
+//!
+//! let dir = std::env::temp_dir().join(format!("talus-store-doc-{}", std::process::id()));
+//! let store = Store::open(&dir, 2)?;
+//!
+//! // Journal a registration and a curve submission (talus-serve does
+//! // this automatically once the store is attached as its sink).
+//! store.register(7, 1024, 1, &Planner::new(64));
+//! let curve = MissCurve::from_samples(&[0.0, 512.0, 1024.0], &[10.0, 4.0, 1.0])?;
+//! store.submit(7, 0, &curve);
+//! assert_eq!(store.last_error(), None);
+//!
+//! // Reopen: the history survives, bit-exact.
+//! drop(store);
+//! let store = Store::open(&dir, 2)?;
+//! let history = store.history(7)?;
+//! assert_eq!(history.len(), 1);
+//! assert_eq!(history[0].curve, curve);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod journal;
+pub mod record;
+mod store;
+
+pub use journal::ShardRecovery;
+pub use record::{
+    decode_record, encode_record, fnv1a64, scan, Record, Scan, StoreError, RECORD_HEADER_LEN,
+    STORE_VERSION,
+};
+pub use store::{CurveUpdate, RecoveryReport, Store, StoreSink};

@@ -1,0 +1,792 @@
+//! The v1 journal record format: length-prefixed, checksummed,
+//! little-endian binary records.
+//!
+//! Every record on disk is
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length N (LE u32), 2 ≤ N ≤ STORE_MAX_RECORD_LEN
+//! 4       8     FNV-1a 64 checksum of the payload (LE u64)
+//! 12      N     payload = [format version (STORE_VERSION = 1)][tag][body]
+//! ```
+//!
+//! The length prefix counts the payload only (version + tag + body).
+//! Integers are little-endian; `f64`s are IEEE-754 bit patterns (LE), so
+//! curves and plans round-trip bit-exactly. A miss curve encodes as a
+//! point count followed by `(size, misses)` pairs; id lists encode as a
+//! `u32` count followed by elements — the same conventions as
+//! `talus-serve`'s wire protocol, and the same caps from
+//! [`talus_core::limits`].
+//!
+//! ## Decoding is total
+//!
+//! [`decode_record`] and [`scan`] never panic and never allocate
+//! proportionally to untrusted fields:
+//!
+//! - the length prefix is bounded by [`STORE_MAX_RECORD_LEN`]
+//!   *before* anything is read past the header;
+//! - every element count is checked against its cap (`WIRE_MAX_*`,
+//!   `STORE_MAX_*`) **and** the bytes actually remaining in the payload
+//!   *before* any `Vec` is reserved;
+//! - curve payloads are re-validated through
+//!   [`MissCurve::from_samples`], so a decoded curve upholds every
+//!   invariant a locally built one does;
+//! - trailing bytes after a well-formed body are an error, so every byte
+//!   of an accepted record is accounted for.
+//!
+//! ## Torn tails
+//!
+//! A record is appended with a single `write_all`, so a crash leaves at
+//! most one *prefix* of a record at the end of a journal file. [`scan`]
+//! stops at the first record that fails to decode (truncated header,
+//! short payload, checksum mismatch, …) and reports the valid prefix
+//! length; [`crate::Store::open`] truncates the file there. Torn tails
+//! are therefore detected and cleanly ignored, never replayed.
+//!
+//! ## Versioning rules
+//!
+//! Every payload starts with the format version byte. Any change to the
+//! record layout, a tag's body, or the limits it relies on bumps
+//! [`STORE_VERSION`]; the golden-bytes fixtures in `tests/journal.rs`
+//! pin the v1 encoding so accidental format drift fails CI.
+
+use talus_core::limits::{
+    STORE_MAX_CUT_IDS, STORE_MAX_RECORD_LEN, WIRE_MAX_CURVE_POINTS, WIRE_MAX_TENANTS,
+};
+use talus_core::{CurveError, MissCurve, ShadowConfig, TalusOptions, TalusPlan};
+use talus_partition::{AllocPolicy, CachePlan, Planner, TenantPlan};
+
+/// On-disk format version carried in every record payload.
+pub const STORE_VERSION: u8 = 1;
+
+/// Bytes of framing before a record's payload (length prefix + checksum).
+pub const RECORD_HEADER_LEN: usize = 12;
+
+// Record tags.
+const TAG_REGISTER: u8 = 0x01;
+const TAG_DEREGISTER: u8 = 0x02;
+const TAG_CURVE: u8 = 0x03;
+const TAG_EPOCH_CUT: u8 = 0x04;
+const TAG_PLAN: u8 = 0x05;
+
+// AllocPolicy tags (Plan/Register bodies).
+const POLICY_HILL: u8 = 0;
+const POLICY_LOOKAHEAD: u8 = 1;
+const POLICY_FAIR: u8 = 2;
+const POLICY_IMBALANCED: u8 = 3;
+
+// TalusPlan tags (Plan bodies).
+const PLAN_UNPARTITIONED: u8 = 0;
+const PLAN_SHADOW: u8 = 1;
+
+/// Everything that can go wrong reading or decoding a journal record (or
+/// a whole journal). Decode functions return these; they never panic on
+/// any input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The buffer (or file) ended before the declared record length was
+    /// satisfied — the signature of a torn tail.
+    Truncated,
+    /// The length prefix exceeds [`STORE_MAX_RECORD_LEN`]; rejected
+    /// before any allocation.
+    Oversized {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// The payload's format version is not [`STORE_VERSION`].
+    BadVersion {
+        /// The version byte read.
+        got: u8,
+    },
+    /// The record tag is not one this decoder knows.
+    BadTag {
+        /// The tag byte read.
+        got: u8,
+    },
+    /// An element count exceeds its cap (or the bytes remaining in the
+    /// payload could not possibly hold that many elements).
+    BadCount {
+        /// The declared count.
+        count: u32,
+        /// The cap it violated.
+        max: u32,
+    },
+    /// The payload does not hash to the stored checksum — bit rot or a
+    /// torn write inside a pre-existing record.
+    Checksum {
+        /// Checksum stored in the record header.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        got: u64,
+    },
+    /// A curve payload violates [`MissCurve`]'s invariants.
+    Curve(CurveError),
+    /// A structurally invalid body: bad enum tag, zero field that must
+    /// be positive, or trailing bytes after the message.
+    Malformed(&'static str),
+    /// The underlying file operation failed.
+    Io(std::io::ErrorKind),
+    /// The on-disk journal directory holds a different number of shard
+    /// files than the opener expects.
+    ShardLayout {
+        /// Highest shard index found on disk, plus one.
+        found: usize,
+        /// Shard count the opener asked for.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Truncated => write!(f, "record truncated"),
+            StoreError::Oversized { len } => {
+                write!(f, "record length {len} exceeds {STORE_MAX_RECORD_LEN}")
+            }
+            StoreError::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported store version {got} (expected {STORE_VERSION})"
+                )
+            }
+            StoreError::BadTag { got } => write!(f, "unknown record tag {got:#04x}"),
+            StoreError::BadCount { count, max } => {
+                write!(f, "element count {count} exceeds bound {max}")
+            }
+            StoreError::Checksum { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:#018x}, computed {got:#018x}"
+                )
+            }
+            StoreError::Curve(e) => write!(f, "invalid curve payload: {e}"),
+            StoreError::Malformed(what) => write!(f, "malformed record: {what}"),
+            StoreError::Io(kind) => write!(f, "journal io error: {kind}"),
+            StoreError::ShardLayout { found, expected } => {
+                write!(f, "journal has {found} shard files, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Curve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated
+        } else {
+            StoreError::Io(e.kind())
+        }
+    }
+}
+
+/// One journaled event. Every variant carries `seq`, the store-global
+/// append sequence number — the journal's logical clock. `seq` is
+/// monotone within a shard file and unique across the whole store, so
+/// interleaving events from different shards by `seq` reconstructs the
+/// plane-wide order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A cache was registered under `id` with the given shape.
+    Register {
+        /// Store-global append sequence number.
+        seq: u64,
+        /// Raw cache id.
+        id: u64,
+        /// Capacity budget in lines (positive).
+        capacity: u64,
+        /// Tenant count (1..=[`WIRE_MAX_TENANTS`]).
+        tenants: u32,
+        /// The planner configuration the cache was registered with.
+        planner: Planner,
+    },
+    /// A cache was deregistered.
+    Deregister {
+        /// Store-global append sequence number.
+        seq: u64,
+        /// Raw cache id.
+        id: u64,
+    },
+    /// One tenant submitted a miss curve.
+    Curve {
+        /// Store-global append sequence number.
+        seq: u64,
+        /// Raw cache id.
+        id: u64,
+        /// Tenant index within the cache.
+        tenant: u32,
+        /// The submitted curve, bit-exact.
+        curve: MissCurve,
+    },
+    /// One shard drained its dirty queue for one epoch. Written every
+    /// epoch, even when nothing was drained, so the plane-wide epoch
+    /// counter restores exactly; `drained` lists the popped ids in pop
+    /// order (including ids deregistered while queued).
+    EpochCut {
+        /// Store-global append sequence number.
+        seq: u64,
+        /// Index of the shard that drained.
+        shard: u32,
+        /// The plane-wide epoch number.
+        epoch: u64,
+        /// Cache ids popped from the dirty queue, in order.
+        drained: Vec<u64>,
+    },
+    /// A plan was published for a cache. The full plan body is stored —
+    /// not recomputed at restore — because newer curves may already have
+    /// been journaled after this plan was computed.
+    Plan {
+        /// Store-global append sequence number.
+        seq: u64,
+        /// Raw cache id.
+        id: u64,
+        /// Epoch that published the plan.
+        epoch: u64,
+        /// Per-cache plan version after this publication.
+        version: u64,
+        /// Curve updates folded into the plan.
+        updates: u64,
+        /// The published plan, bit-exact.
+        plan: CachePlan,
+    },
+}
+
+impl Record {
+    /// The store-global append sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Record::Register { seq, .. }
+            | Record::Deregister { seq, .. }
+            | Record::Curve { seq, .. }
+            | Record::EpochCut { seq, .. }
+            | Record::Plan { seq, .. } => *seq,
+        }
+    }
+
+    /// Short human label for dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Record::Register { .. } => "register",
+            Record::Deregister { .. } => "deregister",
+            Record::Curve { .. } => "curve",
+            Record::EpochCut { .. } => "epoch-cut",
+            Record::Plan { .. } => "plan",
+        }
+    }
+}
+
+/// FNV-1a 64 over `bytes` — the per-record checksum. Cheap, dependency
+/// free, and plenty to distinguish a torn or rotted payload from a valid
+/// one (this is corruption *detection*, not authentication).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Builds one payload (version + tag + body); framed by
+/// [`PayloadWriter::finish`].
+struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    fn new(tag: u8) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.push(STORE_VERSION);
+        buf.push(tag);
+        PayloadWriter { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn curve(&mut self, curve: &MissCurve) {
+        self.u32(curve.len() as u32);
+        for p in curve.iter() {
+            self.f64(p.size);
+            self.f64(p.misses);
+        }
+    }
+
+    fn policy(&mut self, policy: AllocPolicy) {
+        self.u8(match policy {
+            AllocPolicy::Hill => POLICY_HILL,
+            AllocPolicy::Lookahead => POLICY_LOOKAHEAD,
+            AllocPolicy::Fair => POLICY_FAIR,
+            AllocPolicy::Imbalanced => POLICY_IMBALANCED,
+        });
+    }
+
+    fn plan(&mut self, plan: &CachePlan) {
+        self.u64(plan.round);
+        self.u32(plan.tenants.len() as u32);
+        for t in &plan.tenants {
+            self.u64(t.capacity);
+            match &t.plan {
+                TalusPlan::Unpartitioned {
+                    size,
+                    expected_misses,
+                } => {
+                    self.u8(PLAN_UNPARTITIONED);
+                    self.f64(*size);
+                    self.f64(*expected_misses);
+                }
+                TalusPlan::Shadow(cfg) => {
+                    self.u8(PLAN_SHADOW);
+                    self.f64(cfg.total);
+                    self.f64(cfg.alpha);
+                    self.f64(cfg.beta);
+                    self.f64(cfg.rho);
+                    self.f64(cfg.ideal_rho);
+                    self.f64(cfg.s1);
+                    self.f64(cfg.s2);
+                    self.f64(cfg.expected_misses);
+                }
+            }
+        }
+    }
+
+    /// Frames the payload: `[len][fnv1a64][payload]`.
+    fn finish(self) -> Vec<u8> {
+        let len = self.buf.len() as u32;
+        debug_assert!(len <= STORE_MAX_RECORD_LEN, "encoded record exceeds cap");
+        let mut out = Vec::with_capacity(RECORD_HEADER_LEN + self.buf.len());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&self.buf).to_le_bytes());
+        out.extend_from_slice(&self.buf);
+        out
+    }
+}
+
+/// Encodes one record as a complete framed byte string (length prefix
+/// and checksum included).
+pub fn encode_record(rec: &Record) -> Vec<u8> {
+    match rec {
+        Record::Register {
+            seq,
+            id,
+            capacity,
+            tenants,
+            planner,
+        } => encode_register(*seq, *id, *capacity, *tenants, planner),
+        Record::Deregister { seq, id } => encode_deregister(*seq, *id),
+        Record::Curve {
+            seq,
+            id,
+            tenant,
+            curve,
+        } => encode_curve(*seq, *id, *tenant, curve),
+        Record::EpochCut {
+            seq,
+            shard,
+            epoch,
+            drained,
+        } => encode_epoch_cut(*seq, *shard, *epoch, drained),
+        Record::Plan {
+            seq,
+            id,
+            epoch,
+            version,
+            updates,
+            plan,
+        } => encode_plan(*seq, *id, *epoch, *version, *updates, plan),
+    }
+}
+
+// The by-parts encoders below let the live sink journal straight from
+// borrowed service state without cloning curves or plans into a Record.
+
+pub(crate) fn encode_register(
+    seq: u64,
+    id: u64,
+    capacity: u64,
+    tenants: u32,
+    planner: &Planner,
+) -> Vec<u8> {
+    let mut w = PayloadWriter::new(TAG_REGISTER);
+    w.u64(seq);
+    w.u64(id);
+    w.u64(capacity);
+    w.u32(tenants);
+    w.u64(planner.grain);
+    w.f64(planner.options.safety_margin);
+    w.f64(planner.options.vertex_tolerance);
+    w.policy(planner.policy);
+    w.u8(planner.convexify as u8);
+    w.finish()
+}
+
+pub(crate) fn encode_deregister(seq: u64, id: u64) -> Vec<u8> {
+    let mut w = PayloadWriter::new(TAG_DEREGISTER);
+    w.u64(seq);
+    w.u64(id);
+    w.finish()
+}
+
+pub(crate) fn encode_curve(seq: u64, id: u64, tenant: u32, curve: &MissCurve) -> Vec<u8> {
+    let mut w = PayloadWriter::new(TAG_CURVE);
+    w.u64(seq);
+    w.u64(id);
+    w.u32(tenant);
+    w.curve(curve);
+    w.finish()
+}
+
+pub(crate) fn encode_epoch_cut(seq: u64, shard: u32, epoch: u64, drained: &[u64]) -> Vec<u8> {
+    let mut w = PayloadWriter::new(TAG_EPOCH_CUT);
+    w.u64(seq);
+    w.u32(shard);
+    w.u64(epoch);
+    w.u32(drained.len() as u32);
+    for id in drained {
+        w.u64(*id);
+    }
+    w.finish()
+}
+
+pub(crate) fn encode_plan(
+    seq: u64,
+    id: u64,
+    epoch: u64,
+    version: u64,
+    updates: u64,
+    plan: &CachePlan,
+) -> Vec<u8> {
+    let mut w = PayloadWriter::new(TAG_PLAN);
+    w.u64(seq);
+    w.u64(id);
+    w.u64(epoch);
+    w.u64(version);
+    w.u64(updates);
+    w.plan(plan);
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over one record payload. Every read method
+/// fails with [`StoreError::Truncated`] instead of slicing out of range.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an element count, rejecting it if it exceeds `cap` or if
+    /// the payload cannot possibly hold `count` elements of at least
+    /// `min_elem_bytes` each — checked *before* any allocation, so a
+    /// hostile count never reserves memory.
+    fn count(&mut self, cap: u32, min_elem_bytes: usize) -> Result<usize, StoreError> {
+        let count = self.u32()?;
+        if count > cap {
+            return Err(StoreError::BadCount { count, max: cap });
+        }
+        if (count as usize).saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(StoreError::Truncated);
+        }
+        Ok(count as usize)
+    }
+
+    fn curve(&mut self) -> Result<MissCurve, StoreError> {
+        let points = self.count(WIRE_MAX_CURVE_POINTS, 16)?;
+        if points == 0 {
+            return Err(StoreError::Curve(CurveError::Empty));
+        }
+        let mut sizes = Vec::with_capacity(points);
+        let mut misses = Vec::with_capacity(points);
+        for _ in 0..points {
+            sizes.push(self.f64()?);
+            misses.push(self.f64()?);
+        }
+        MissCurve::from_samples(&sizes, &misses).map_err(StoreError::Curve)
+    }
+
+    fn policy(&mut self) -> Result<AllocPolicy, StoreError> {
+        match self.u8()? {
+            POLICY_HILL => Ok(AllocPolicy::Hill),
+            POLICY_LOOKAHEAD => Ok(AllocPolicy::Lookahead),
+            POLICY_FAIR => Ok(AllocPolicy::Fair),
+            POLICY_IMBALANCED => Ok(AllocPolicy::Imbalanced),
+            _ => Err(StoreError::Malformed("unknown policy tag")),
+        }
+    }
+
+    fn plan(&mut self) -> Result<CachePlan, StoreError> {
+        let round = self.u64()?;
+        // Each tenant is at least capacity + tag + two f64 fields.
+        let count = self.count(WIRE_MAX_TENANTS, 8 + 1 + 16)?;
+        if count == 0 {
+            return Err(StoreError::Malformed("plan with zero tenants"));
+        }
+        let mut tenants = Vec::with_capacity(count);
+        for _ in 0..count {
+            let capacity = self.u64()?;
+            let plan = match self.u8()? {
+                PLAN_UNPARTITIONED => TalusPlan::Unpartitioned {
+                    size: self.f64()?,
+                    expected_misses: self.f64()?,
+                },
+                PLAN_SHADOW => TalusPlan::Shadow(ShadowConfig {
+                    total: self.f64()?,
+                    alpha: self.f64()?,
+                    beta: self.f64()?,
+                    rho: self.f64()?,
+                    ideal_rho: self.f64()?,
+                    s1: self.f64()?,
+                    s2: self.f64()?,
+                    expected_misses: self.f64()?,
+                }),
+                _ => return Err(StoreError::Malformed("unknown plan tag")),
+            };
+            tenants.push(TenantPlan { capacity, plan });
+        }
+        Ok(CachePlan { round, tenants })
+    }
+
+    /// Asserts the payload was fully consumed: accepted records account
+    /// for every byte.
+    fn end(self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Malformed("trailing bytes after record"));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes the record framed at the head of `buf`; returns it and the
+/// total bytes it occupied (header + payload). Total: returns a typed
+/// error on any input, [`StoreError::Truncated`] when `buf` ends before
+/// the record does.
+pub fn decode_record(buf: &[u8]) -> Result<(Record, usize), StoreError> {
+    if buf.len() < RECORD_HEADER_LEN {
+        return Err(StoreError::Truncated);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4"));
+    if len > STORE_MAX_RECORD_LEN {
+        return Err(StoreError::Oversized { len });
+    }
+    if len < 2 {
+        return Err(StoreError::Malformed("record shorter than its header"));
+    }
+    let expected = u64::from_le_bytes(buf[4..12].try_into().expect("8"));
+    let total = RECORD_HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Err(StoreError::Truncated);
+    }
+    let payload = &buf[RECORD_HEADER_LEN..total];
+    let got = fnv1a64(payload);
+    if got != expected {
+        return Err(StoreError::Checksum { expected, got });
+    }
+    Ok((decode_payload(payload)?, total))
+}
+
+/// Decodes one payload (version byte onward, checksum already verified).
+fn decode_payload(payload: &[u8]) -> Result<Record, StoreError> {
+    // `decode_record` guarantees at least the version byte and tag.
+    if payload[0] != STORE_VERSION {
+        return Err(StoreError::BadVersion { got: payload[0] });
+    }
+    let tag = payload[1];
+    let mut r = Reader::new(&payload[2..]);
+    let rec = match tag {
+        TAG_REGISTER => {
+            let seq = r.u64()?;
+            let id = r.u64()?;
+            let capacity = r.u64()?;
+            let tenants = r.u32()?;
+            if capacity == 0 {
+                return Err(StoreError::Malformed("zero capacity"));
+            }
+            if tenants == 0 {
+                return Err(StoreError::Malformed("zero tenants"));
+            }
+            if tenants > WIRE_MAX_TENANTS {
+                return Err(StoreError::BadCount {
+                    count: tenants,
+                    max: WIRE_MAX_TENANTS,
+                });
+            }
+            let grain = r.u64()?;
+            if grain == 0 {
+                return Err(StoreError::Malformed("zero planner grain"));
+            }
+            let options = TalusOptions {
+                safety_margin: r.f64()?,
+                vertex_tolerance: r.f64()?,
+            };
+            let policy = r.policy()?;
+            let convexify = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(StoreError::Malformed("convexify flag not 0/1")),
+            };
+            let mut planner = Planner::new(grain)
+                .with_policy(policy)
+                .with_options(options);
+            if !convexify {
+                planner = planner.raw_curves();
+            }
+            Record::Register {
+                seq,
+                id,
+                capacity,
+                tenants,
+                planner,
+            }
+        }
+        TAG_DEREGISTER => Record::Deregister {
+            seq: r.u64()?,
+            id: r.u64()?,
+        },
+        TAG_CURVE => {
+            let seq = r.u64()?;
+            let id = r.u64()?;
+            let tenant = r.u32()?;
+            if tenant >= WIRE_MAX_TENANTS {
+                return Err(StoreError::BadCount {
+                    count: tenant,
+                    max: WIRE_MAX_TENANTS - 1,
+                });
+            }
+            Record::Curve {
+                seq,
+                id,
+                tenant,
+                curve: r.curve()?,
+            }
+        }
+        TAG_EPOCH_CUT => {
+            let seq = r.u64()?;
+            let shard = r.u32()?;
+            let epoch = r.u64()?;
+            let count = r.count(STORE_MAX_CUT_IDS, 8)?;
+            let mut drained = Vec::with_capacity(count);
+            for _ in 0..count {
+                drained.push(r.u64()?);
+            }
+            Record::EpochCut {
+                seq,
+                shard,
+                epoch,
+                drained,
+            }
+        }
+        TAG_PLAN => Record::Plan {
+            seq: r.u64()?,
+            id: r.u64()?,
+            epoch: r.u64()?,
+            version: r.u64()?,
+            updates: r.u64()?,
+            plan: r.plan()?,
+        },
+        got => return Err(StoreError::BadTag { got }),
+    };
+    r.end()?;
+    Ok(rec)
+}
+
+/// The result of scanning a journal byte stream with [`scan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scan {
+    /// Every record in the valid prefix, in file order.
+    pub records: Vec<Record>,
+    /// Bytes of the valid prefix (where a recovering opener truncates).
+    pub consumed: usize,
+    /// Why the scan stopped before the end of the stream, if it did
+    /// (`None` = the stream ended exactly at a record boundary).
+    pub tail: Option<StoreError>,
+}
+
+/// Scans a journal byte stream record by record, stopping at the first
+/// undecodable byte. Never panics; the valid prefix plus the tail
+/// diagnosis is the recovery contract — everything before `consumed` is
+/// intact, everything after is a torn tail to drop.
+pub fn scan(buf: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut consumed = 0;
+    while consumed < buf.len() {
+        match decode_record(&buf[consumed..]) {
+            Ok((rec, used)) => {
+                records.push(rec);
+                consumed += used;
+            }
+            Err(e) => {
+                return Scan {
+                    records,
+                    consumed,
+                    tail: Some(e),
+                };
+            }
+        }
+    }
+    Scan {
+        records,
+        consumed,
+        tail: None,
+    }
+}

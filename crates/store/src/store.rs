@@ -1,0 +1,327 @@
+//! The sharded store: N journal files behind the canonical shard
+//! placement, a store-global sequence clock, and the [`StoreSink`] seam
+//! the serving plane journals through.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use talus_core::{shard_of, MissCurve};
+use talus_partition::{CachePlan, Planner};
+
+use crate::journal::{ShardJournal, ShardRecovery};
+use crate::record::{
+    encode_curve, encode_deregister, encode_epoch_cut, encode_plan, encode_register, scan, Record,
+    StoreError,
+};
+
+/// The event-journaling seam between the serving plane and persistence.
+///
+/// `talus-serve` calls these while holding the relevant shard's registry
+/// lock, in the exact order events take effect, so the journal is a
+/// faithful serialization of each shard's history. Implementations must
+/// not call back into the service (they run under its locks) and must
+/// not panic; [`Store`] satisfies both, and tests wrap it to inject
+/// crashes at chosen points.
+pub trait StoreSink: Send + Sync + fmt::Debug {
+    /// Number of shards the sink journals into. A plane only attaches a
+    /// sink whose layout matches its own, so each service shard maps 1:1
+    /// onto a journal shard.
+    fn shards(&self) -> usize;
+
+    /// A cache was registered.
+    fn register(&self, id: u64, capacity: u64, tenants: u32, planner: &Planner);
+
+    /// A cache was deregistered.
+    fn deregister(&self, id: u64);
+
+    /// A tenant submitted a curve.
+    fn submit(&self, id: u64, tenant: u32, curve: &MissCurve);
+
+    /// Shard `shard` drained `drained` (in pop order) for `epoch`.
+    /// Called every epoch, even when nothing was drained.
+    fn epoch_cut(&self, shard: usize, epoch: u64, drained: &[u64]);
+
+    /// A plan was published for cache `id`.
+    fn plan(&self, id: u64, epoch: u64, version: u64, updates: u64, plan: &CachePlan);
+}
+
+/// What opening a store found and recovered, per shard.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryReport {
+    /// One entry per shard file, in shard order.
+    pub shards: Vec<ShardRecovery>,
+}
+
+impl RecoveryReport {
+    /// Total intact records across all shards.
+    pub fn records(&self) -> usize {
+        self.shards.iter().map(|s| s.records).sum()
+    }
+
+    /// Total torn-tail bytes truncated across all shards.
+    pub fn torn_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.torn_bytes).sum()
+    }
+}
+
+/// One historical curve submission, as returned by [`Store::history`].
+/// `seq` is the journal's logical clock: updates for one cache are
+/// ordered by it, newest last.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveUpdate {
+    /// Store-global sequence number of the submission.
+    pub seq: u64,
+    /// Tenant that submitted.
+    pub tenant: u32,
+    /// The curve, bit-exact as submitted.
+    pub curve: MissCurve,
+}
+
+/// A crash-safe, sharded, append-only journal of reconfiguration events.
+///
+/// One directory holds `shards` files (`shard-NNN.talus`); cache `id`'s
+/// records live in file [`talus_core::shard_of`]`(id, shards)` — the
+/// same placement the serving plane's router uses, so a store written by
+/// an N-shard plane restores file-by-file into an N-shard plane.
+///
+/// Appends go through the [`StoreSink`] impl. After the first write
+/// error the store trips a fault flag and silently drops every later
+/// append (on every shard), so each file always ends at a record
+/// boundary of a consistent prefix; check [`last_error`](Store::last_error)
+/// to surface the fault.
+///
+/// ```no_run
+/// use talus_store::Store;
+///
+/// let store = Store::open("/var/lib/talus/journal", 4)?;
+/// assert_eq!(store.shards(), 4);
+/// assert_eq!(store.recovery().torn_bytes(), 0);
+/// # Ok::<(), talus_store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    journals: Vec<Mutex<ShardJournal>>,
+    /// Next append sequence number (resumes past everything recovered).
+    seq: AtomicU64,
+    /// Set on the first append failure; checked before every append.
+    faulted: AtomicBool,
+    fault: Mutex<Option<StoreError>>,
+    recovery: RecoveryReport,
+}
+
+impl Store {
+    /// Opens (creating if needed) the journal directory with `shards`
+    /// shard files, recovering each: torn tails are truncated and the
+    /// sequence clock resumes after the largest recovered `seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure, or
+    /// [`StoreError::ShardLayout`] if the directory already holds shard
+    /// files laid out for a different shard count (records do not move
+    /// between files; re-sharding requires an explicit migration).
+    pub fn open(dir: impl AsRef<Path>, shards: usize) -> Result<Store, StoreError> {
+        assert!(shards > 0, "need at least one shard");
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let found = existing_shard_files(&dir)?;
+        if found > 0 && found != shards {
+            return Err(StoreError::ShardLayout {
+                found,
+                expected: shards,
+            });
+        }
+        let mut journals = Vec::with_capacity(shards);
+        let mut report = RecoveryReport::default();
+        let mut max_seq = None;
+        for i in 0..shards {
+            let (journal, _records, recovery) = ShardJournal::open(&shard_path(&dir, i))?;
+            max_seq = max_seq.max(recovery.max_seq);
+            report.shards.push(recovery);
+            journals.push(Mutex::new(journal));
+        }
+        Ok(Store {
+            dir,
+            journals,
+            seq: AtomicU64::new(max_seq.map_or(0, |s| s + 1)),
+            faulted: AtomicBool::new(false),
+            fault: Mutex::new(None),
+            recovery: report,
+        })
+    }
+
+    /// Number of journal shards (fixed at open).
+    pub fn shards(&self) -> usize {
+        self.journals.len()
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// What opening this store recovered, per shard.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The first append error, if any. Once set, every subsequent append
+    /// (on every shard) is dropped, so the on-disk journals stay valid
+    /// prefixes of the plane's history up to the fault.
+    pub fn last_error(&self) -> Option<StoreError> {
+        self.fault.lock().expect("fault lock poisoned").clone()
+    }
+
+    /// Flushes every shard file to stable storage (`fsync`). Appends
+    /// survive process death without this; call it when the journal must
+    /// also survive OS or power failure.
+    ///
+    /// # Errors
+    ///
+    /// The first [`StoreError::Io`] hit; remaining shards are still
+    /// attempted.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let mut first = None;
+        for journal in &self.journals {
+            if let Err(e) = journal.lock().expect("journal lock poisoned").sync() {
+                first.get_or_insert(e);
+            }
+        }
+        match first {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Re-reads shard `shard`'s file from disk and decodes it. The valid
+    /// prefix comes back as records; a torn tail (possible only if the
+    /// file was modified outside this store) is diagnosed in the scan,
+    /// not an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn replay_shard(&self, shard: usize) -> Result<crate::record::Scan, StoreError> {
+        assert!(shard < self.shards(), "shard index out of range");
+        // Lock the journal so the read doesn't race an in-flight append
+        // (a half-written record would misread as a torn tail).
+        let _guard = self.journals[shard].lock().expect("journal lock poisoned");
+        let buf = std::fs::read(shard_path(&self.dir, shard))?;
+        Ok(scan(&buf))
+    }
+
+    /// Every curve ever journaled for cache `id`, in submission order
+    /// (the timed miss-curve history of the cache — `seq` is the time
+    /// axis). Reads the shard file from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the shard file cannot be read.
+    pub fn history(&self, id: u64) -> Result<Vec<CurveUpdate>, StoreError> {
+        let scanned = self.replay_shard(shard_of(id, self.shards()))?;
+        Ok(scanned
+            .records
+            .into_iter()
+            .filter_map(|rec| match rec {
+                Record::Curve {
+                    seq,
+                    id: rid,
+                    tenant,
+                    curve,
+                } if rid == id => Some(CurveUpdate { seq, tenant, curve }),
+                _ => None,
+            })
+            .collect())
+    }
+
+    /// Allocates the next sequence number and appends the record
+    /// `make(seq)` builds to `shard`. Serialized per shard by the
+    /// journal lock (so `seq` is monotone within each file); dropped
+    /// silently once the store is faulted.
+    fn append_with(&self, shard: usize, make: impl FnOnce(u64) -> Vec<u8>) {
+        if self.faulted.load(Ordering::Acquire) {
+            return;
+        }
+        let mut journal = self.journals[shard].lock().expect("journal lock poisoned");
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = journal.append(&make(seq)) {
+            self.faulted.store(true, Ordering::Release);
+            self.fault
+                .lock()
+                .expect("fault lock poisoned")
+                .get_or_insert(e);
+        }
+    }
+
+    fn shard_for(&self, id: u64) -> usize {
+        shard_of(id, self.shards())
+    }
+}
+
+impl StoreSink for Store {
+    fn shards(&self) -> usize {
+        self.journals.len()
+    }
+
+    fn register(&self, id: u64, capacity: u64, tenants: u32, planner: &Planner) {
+        self.append_with(self.shard_for(id), |seq| {
+            encode_register(seq, id, capacity, tenants, planner)
+        });
+    }
+
+    fn deregister(&self, id: u64) {
+        self.append_with(self.shard_for(id), |seq| encode_deregister(seq, id));
+    }
+
+    fn submit(&self, id: u64, tenant: u32, curve: &MissCurve) {
+        self.append_with(self.shard_for(id), |seq| {
+            encode_curve(seq, id, tenant, curve)
+        });
+    }
+
+    fn epoch_cut(&self, shard: usize, epoch: u64, drained: &[u64]) {
+        if shard >= self.shards() {
+            self.faulted.store(true, Ordering::Release);
+            self.fault
+                .lock()
+                .expect("fault lock poisoned")
+                .get_or_insert(StoreError::Malformed("epoch cut for unknown shard"));
+            return;
+        }
+        self.append_with(shard, |seq| {
+            encode_epoch_cut(seq, shard as u32, epoch, drained)
+        });
+    }
+
+    fn plan(&self, id: u64, epoch: u64, version: u64, updates: u64, plan: &CachePlan) {
+        self.append_with(self.shard_for(id), |seq| {
+            encode_plan(seq, id, epoch, version, updates, plan)
+        });
+    }
+}
+
+/// `dir/shard-NNN.talus`.
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:03}.talus"))
+}
+
+/// Counts contiguous shard files already present in `dir` (highest index
+/// found, plus one; gaps count up to the highest).
+fn existing_shard_files(dir: &Path) -> Result<usize, StoreError> {
+    let mut found = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name
+            .strip_prefix("shard-")
+            .and_then(|rest| rest.strip_suffix(".talus"))
+            .and_then(|digits| digits.parse::<usize>().ok())
+        {
+            found = found.max(n + 1);
+        }
+    }
+    Ok(found)
+}

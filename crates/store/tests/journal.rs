@@ -1,0 +1,739 @@
+//! The journal-format battery: round-trip properties for every record
+//! variant, golden-bytes fixtures pinning the v1 on-disk format, an
+//! adversarial suite proving the decoder is total (byte soup, hostile
+//! counts, oversized lengths rejected before allocation, wrong versions,
+//! corrupted checksums — typed errors, never panics), and recovery tests
+//! for torn tails and reopened stores.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use proptest::prelude::*;
+use talus_core::limits::{
+    STORE_MAX_CUT_IDS, STORE_MAX_RECORD_LEN, WIRE_MAX_CURVE_POINTS, WIRE_MAX_TENANTS,
+};
+use talus_core::{MissCurve, ShadowConfig, TalusOptions, TalusPlan};
+use talus_partition::{AllocPolicy, CachePlan, Planner, TenantPlan};
+use talus_store::{
+    decode_record, encode_record, fnv1a64, scan, Record, Store, StoreError, StoreSink,
+    RECORD_HEADER_LEN, STORE_VERSION,
+};
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// A fresh per-test directory under the system temp dir (the container
+/// has no tempfile crate; pid + counter keeps parallel tests apart).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "talus-store-test-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Random monotone miss curve derived deterministically from a seed
+/// (the same family the serve property tests use).
+fn curve_from_seed(seed: u64) -> MissCurve {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let points = 2 + (next() % 15) as usize;
+    let mut m = 10.0 + (next() % 40) as f64;
+    let sizes: Vec<f64> = (0..points).map(|i| i as f64 * 64.0).collect();
+    let misses: Vec<f64> = sizes
+        .iter()
+        .map(|_| {
+            let v = m;
+            m = (m - (next() % 12) as f64).max(0.0);
+            v
+        })
+        .collect();
+    MissCurve::from_samples(&sizes, &misses).expect("valid curve")
+}
+
+/// A planner in every configuration, picked by seed.
+fn planner_from_seed(seed: u64) -> Planner {
+    let policy = match seed % 4 {
+        0 => AllocPolicy::Hill,
+        1 => AllocPolicy::Lookahead,
+        2 => AllocPolicy::Fair,
+        _ => AllocPolicy::Imbalanced,
+    };
+    let mut planner = Planner::new(1 + (seed >> 2) % 256)
+        .with_policy(policy)
+        .with_options(TalusOptions {
+            safety_margin: (seed % 11) as f64 * 0.01,
+            vertex_tolerance: 1e-9 * (1 + seed % 5) as f64,
+        });
+    if seed & (1 << 20) != 0 {
+        planner = planner.raw_curves();
+    }
+    planner
+}
+
+/// A plan body mixing unpartitioned and shadow tenants, picked by seed.
+fn plan_from_seed(seed: u64) -> CachePlan {
+    let tenants = (1 + seed % 4) as usize;
+    CachePlan {
+        round: seed % 100,
+        tenants: (0..tenants as u64)
+            .map(|i| {
+                let s = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9));
+                let capacity = 64 * (1 + s % 32);
+                let plan = if s & 1 == 0 {
+                    TalusPlan::Unpartitioned {
+                        size: capacity as f64,
+                        expected_misses: (s % 997) as f64 * 0.125,
+                    }
+                } else {
+                    let total = capacity as f64;
+                    let alpha = total * 0.25;
+                    let beta = total * 1.5;
+                    let rho = 0.1 + (s % 80) as f64 / 100.0;
+                    TalusPlan::Shadow(ShadowConfig {
+                        total,
+                        alpha,
+                        beta,
+                        rho,
+                        ideal_rho: rho * 0.95,
+                        s1: rho * alpha,
+                        s2: total - rho * alpha,
+                        expected_misses: (s % 89) as f64 * 0.5,
+                    })
+                };
+                TenantPlan { capacity, plan }
+            })
+            .collect(),
+    }
+}
+
+/// Every record variant, picked by discriminant (the shim has no
+/// `prop_oneof`, so weighting rides a modulus, as in serve's tests).
+fn arb_record() -> impl Strategy<Value = Record> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(kind, a, b, seed)| {
+        match kind % 5 {
+            0 => Record::Register {
+                seq: a,
+                id: b,
+                capacity: 1 + seed % (1 << 32),
+                tenants: 1 + (seed % u64::from(WIRE_MAX_TENANTS)) as u32,
+                planner: planner_from_seed(seed),
+            },
+            1 => Record::Deregister { seq: a, id: b },
+            2 => Record::Curve {
+                seq: a,
+                id: b,
+                tenant: (seed % 64) as u32,
+                curve: curve_from_seed(seed),
+            },
+            3 => Record::EpochCut {
+                seq: a,
+                shard: (b % 16) as u32,
+                epoch: seed % 1000,
+                drained: (0..b % 20).map(|i| seed.wrapping_add(i)).collect(),
+            },
+            _ => Record::Plan {
+                seq: a,
+                id: b,
+                epoch: seed % 1000,
+                version: 1 + seed % 64,
+                updates: seed % 512,
+                plan: plan_from_seed(seed),
+            },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `decode(encode(r)) == r` for every record variant, consuming
+    /// exactly the encoded bytes.
+    #[test]
+    fn records_roundtrip(rec in arb_record()) {
+        let bytes = encode_record(&rec);
+        let (decoded, used) = decode_record(&bytes).expect("decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, rec);
+    }
+
+    /// A concatenated journal scans back record-for-record with a clean
+    /// tail, and scanning is idempotent.
+    #[test]
+    fn journals_roundtrip_through_scan(
+        recs in proptest::collection::vec(arb_record(), 0..12),
+    ) {
+        let mut bytes = Vec::new();
+        for rec in &recs {
+            bytes.extend_from_slice(&encode_record(rec));
+        }
+        let scanned = scan(&bytes);
+        prop_assert_eq!(scanned.consumed, bytes.len());
+        prop_assert_eq!(scanned.tail, None);
+        prop_assert_eq!(&scanned.records, &recs);
+        prop_assert_eq!(scan(&bytes), scanned);
+    }
+
+    /// Random byte soup never panics the decoder or the scanner, and
+    /// the scanner's valid prefix is always within the input.
+    #[test]
+    fn byte_soup_yields_typed_errors_not_panics(
+        soup in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_record(&soup);
+        let scanned = scan(&soup);
+        prop_assert!(scanned.consumed <= soup.len());
+        if scanned.consumed < soup.len() {
+            prop_assert!(scanned.tail.is_some());
+        }
+    }
+
+    /// Truncation at EVERY byte of a journal: the scanner recovers
+    /// exactly the records whose bytes fully landed, never panics, and
+    /// never resurrects a partial record — the crash-recovery contract
+    /// at the byte level.
+    #[test]
+    fn truncation_at_every_byte_recovers_the_record_prefix(
+        recs in proptest::collection::vec(arb_record(), 1..6),
+    ) {
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for rec in &recs {
+            bytes.extend_from_slice(&encode_record(rec));
+            boundaries.push(bytes.len());
+        }
+        for cut in 0..=bytes.len() {
+            let scanned = scan(&bytes[..cut]);
+            // The recovered prefix is the records fully below the cut.
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            prop_assert_eq!(scanned.records.len(), whole, "cut at {}", cut);
+            prop_assert_eq!(scanned.consumed, boundaries[whole], "cut at {}", cut);
+            prop_assert_eq!(&scanned.records[..], &recs[..whole]);
+            // Mid-record cuts are diagnosed, boundary cuts are clean.
+            prop_assert_eq!(scanned.tail.is_none(), cut == boundaries[whole]);
+        }
+    }
+
+    /// Flipping any single byte of a record's checksum or payload is
+    /// detected (checksum mismatch or a typed decode error) — never a
+    /// panic, and never a silently different record.
+    #[test]
+    fn corruption_is_detected(rec in arb_record(), flip in any::<usize>()) {
+        let bytes = encode_record(&rec);
+        // Skip the length prefix: changing it is torn-tail territory
+        // (covered above); here we corrupt checksum or payload bytes.
+        let pos = 4 + flip % (bytes.len() - 4);
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x40;
+        match decode_record(&corrupt) {
+            Err(_) => {}
+            Ok((decoded, _)) => prop_assert!(
+                false,
+                "flip at {} went undetected: {:?}",
+                pos,
+                decoded.label()
+            ),
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_anything_else() {
+    // A hostile length with NO payload behind it: if the decoder trusted
+    // the length it would report Truncated (wanting the bytes) or try to
+    // allocate; instead the cap check fires first.
+    for len in [STORE_MAX_RECORD_LEN + 1, u32::MAX, 0xDEAD_BEEF] {
+        let mut header = len.to_le_bytes().to_vec();
+        header.extend_from_slice(&[0u8; 8]); // checksum field
+        assert_eq!(decode_record(&header), Err(StoreError::Oversized { len }));
+    }
+}
+
+#[test]
+fn undersized_length_prefix_is_malformed() {
+    for len in [0u32, 1] {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 9]);
+        assert!(matches!(
+            decode_record(&bytes),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+}
+
+#[test]
+fn hostile_counts_fail_before_allocation() {
+    // A curve record claiming u32::MAX points would be ~64 GiB if the
+    // decoder trusted the count; passing at all is the no-allocation
+    // proof. Payload framing (len + checksum) is valid so the count
+    // check itself is what fires.
+    let frame = |payload: &[u8]| {
+        let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    };
+    // Curve record: version, tag=0x03, seq, id, tenant, point count.
+    let mut payload = vec![STORE_VERSION, 0x03];
+    payload.extend_from_slice(&[0u8; 16]); // seq + id
+    payload.extend_from_slice(&0u32.to_le_bytes()); // tenant
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decode_record(&frame(&payload)),
+        Err(StoreError::BadCount {
+            count: u32::MAX,
+            max: WIRE_MAX_CURVE_POINTS
+        })
+    );
+    // In-cap counts the record can't hold fail the remaining-bytes check.
+    let mut payload = vec![STORE_VERSION, 0x03];
+    payload.extend_from_slice(&[0u8; 16]);
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    payload.extend_from_slice(&WIRE_MAX_CURVE_POINTS.to_le_bytes());
+    assert_eq!(decode_record(&frame(&payload)), Err(StoreError::Truncated));
+    // Epoch-cut id lists have their own cap.
+    let mut payload = vec![STORE_VERSION, 0x04];
+    payload.extend_from_slice(&[0u8; 8]); // seq
+    payload.extend_from_slice(&0u32.to_le_bytes()); // shard
+    payload.extend_from_slice(&[0u8; 8]); // epoch
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decode_record(&frame(&payload)),
+        Err(StoreError::BadCount {
+            count: u32::MAX,
+            max: STORE_MAX_CUT_IDS
+        })
+    );
+    // Plan tenant counts too.
+    let mut payload = vec![STORE_VERSION, 0x05];
+    payload.extend_from_slice(&[0u8; 40]); // seq, id, epoch, version, updates
+    payload.extend_from_slice(&[0u8; 8]); // round
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decode_record(&frame(&payload)),
+        Err(StoreError::BadCount {
+            count: u32::MAX,
+            max: WIRE_MAX_TENANTS
+        })
+    );
+}
+
+#[test]
+fn wrong_version_is_rejected_on_every_tag() {
+    let frame = |payload: &[u8]| {
+        let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    };
+    for version in [0u8, 2, 9, 0xFF] {
+        for tag in 0..=0x10u8 {
+            let bytes = frame(&[version, tag]);
+            assert_eq!(
+                decode_record(&bytes),
+                Err(StoreError::BadVersion { got: version }),
+                "version {version} tag {tag:#04x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn garbage_tags_are_typed_errors() {
+    let frame = |payload: &[u8]| {
+        let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    };
+    let known = [0x01, 0x02, 0x03, 0x04, 0x05];
+    for tag in 0..=0xFFu8 {
+        let bytes = frame(&[STORE_VERSION, tag]);
+        match decode_record(&bytes) {
+            // Known tag with an empty body: truncation is right.
+            Err(StoreError::Truncated) => assert!(known.contains(&tag), "tag {tag:#04x}"),
+            Err(StoreError::BadTag { got }) => {
+                assert_eq!(got, tag);
+                assert!(!known.contains(&tag), "tag {tag:#04x}");
+            }
+            other => panic!("tag {tag:#04x}: unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn register_bounds_are_enforced_at_decode_time() {
+    // `restore` builds a CacheSpec (which panics on zero) from decoded
+    // fields, so the decoder must reject them first.
+    let rec = |capacity: u64, tenants: u32, grain: u64| {
+        let mut bytes = encode_record(&Record::Register {
+            seq: 1,
+            id: 2,
+            capacity: 64,
+            tenants: 1,
+            planner: Planner::new(8),
+        });
+        // Patch the fields in place (offsets: payload starts at 12;
+        // version+tag = 2; seq, id = 16; then capacity, tenants, grain).
+        let p = RECORD_HEADER_LEN + 2 + 16;
+        bytes[p..p + 8].copy_from_slice(&capacity.to_le_bytes());
+        bytes[p + 8..p + 12].copy_from_slice(&tenants.to_le_bytes());
+        bytes[p + 12..p + 20].copy_from_slice(&grain.to_le_bytes());
+        // Re-checksum the patched payload.
+        let sum = fnv1a64(&bytes[RECORD_HEADER_LEN..]);
+        bytes[4..12].copy_from_slice(&sum.to_le_bytes());
+        bytes
+    };
+    assert!(matches!(
+        decode_record(&rec(0, 1, 8)),
+        Err(StoreError::Malformed(_))
+    ));
+    assert!(matches!(
+        decode_record(&rec(64, 0, 8)),
+        Err(StoreError::Malformed(_))
+    ));
+    assert!(matches!(
+        decode_record(&rec(64, 1, 0)),
+        Err(StoreError::Malformed(_))
+    ));
+    assert_eq!(
+        decode_record(&rec(64, WIRE_MAX_TENANTS + 1, 8)),
+        Err(StoreError::BadCount {
+            count: WIRE_MAX_TENANTS + 1,
+            max: WIRE_MAX_TENANTS
+        })
+    );
+    assert!(decode_record(&rec(64, WIRE_MAX_TENANTS, 8)).is_ok());
+}
+
+#[test]
+fn trailing_bytes_are_malformed() {
+    let rec = Record::Deregister { seq: 3, id: 9 };
+    let mut bytes = encode_record(&rec);
+    // Extend the payload by one byte, fixing length and checksum so only
+    // the trailing byte is wrong.
+    bytes.push(0x00);
+    let len = (bytes.len() - RECORD_HEADER_LEN) as u32;
+    bytes[0..4].copy_from_slice(&len.to_le_bytes());
+    let sum = fnv1a64(&bytes[RECORD_HEADER_LEN..]);
+    bytes[4..12].copy_from_slice(&sum.to_le_bytes());
+    assert!(matches!(
+        decode_record(&bytes),
+        Err(StoreError::Malformed(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Golden bytes: the v1 on-disk format, pinned byte for byte. If any of
+// these fail, the format changed — bump STORE_VERSION and make the
+// change deliberate.
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_v1_constants() {
+    assert_eq!(STORE_VERSION, 1);
+    assert_eq!(RECORD_HEADER_LEN, 12);
+    // The limits are part of the format contract (decoders reject by
+    // them), so drifting them silently is a format change too.
+    assert_eq!(STORE_MAX_RECORD_LEN, 1 << 18);
+    assert_eq!(STORE_MAX_CUT_IDS, 1 << 14);
+    // The checksum function itself is pinned by its standard vectors.
+    assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+}
+
+/// Frames a pinned payload literal: `[len LE][fnv1a64 LE][payload]`.
+/// The payload bytes are the fixture; the checksum function is pinned
+/// separately by its standard test vectors above.
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[test]
+fn golden_v1_deregister_record() {
+    let bytes = encode_record(&Record::Deregister { seq: 7, id: 3 });
+    assert_eq!(
+        bytes,
+        framed(&[
+            1, 0x02, // version, tag
+            7, 0, 0, 0, 0, 0, 0, 0, // seq
+            3, 0, 0, 0, 0, 0, 0, 0, // id
+        ])
+    );
+    assert_eq!(bytes.len(), RECORD_HEADER_LEN + 18);
+}
+
+#[test]
+fn golden_v1_register_record() {
+    let bytes = encode_record(&Record::Register {
+        seq: 1,
+        id: 5,
+        capacity: 4096,
+        tenants: 2,
+        planner: Planner::new(64), // Hill, convexify, 5% margin, 1e-9 tol
+    });
+    assert_eq!(
+        bytes,
+        framed(&[
+            1, 0x01, // version, tag
+            1, 0, 0, 0, 0, 0, 0, 0, // seq
+            5, 0, 0, 0, 0, 0, 0, 0, // id
+            0x00, 0x10, 0, 0, 0, 0, 0, 0, // capacity = 4096
+            2, 0, 0, 0, // tenants
+            64, 0, 0, 0, 0, 0, 0, 0, // grain
+            0x9A, 0x99, 0x99, 0x99, 0x99, 0x99, 0xA9, 0x3F, // margin 0.05
+            0x95, 0xD6, 0x26, 0xE8, 0x0B, 0x2E, 0x11, 0x3E, // tol 1e-9
+            0,    // policy: Hill
+            1,    // convexify: true
+        ])
+    );
+}
+
+#[test]
+fn golden_v1_curve_record() {
+    let curve = MissCurve::from_samples(&[0.0, 64.0], &[8.0, 2.0]).unwrap();
+    let bytes = encode_record(&Record::Curve {
+        seq: 9,
+        id: 7,
+        tenant: 1,
+        curve,
+    });
+    assert_eq!(
+        bytes,
+        framed(&[
+            1, 0x03, // version, tag
+            9, 0, 0, 0, 0, 0, 0, 0, // seq
+            7, 0, 0, 0, 0, 0, 0, 0, // id
+            1, 0, 0, 0, // tenant
+            2, 0, 0, 0, // point count
+            0, 0, 0, 0, 0, 0, 0, 0, // size 0.0
+            0, 0, 0, 0, 0, 0, 0x20, 0x40, // misses 8.0
+            0, 0, 0, 0, 0, 0, 0x50, 0x40, // size 64.0
+            0, 0, 0, 0, 0, 0, 0x00, 0x40, // misses 2.0
+        ])
+    );
+}
+
+#[test]
+fn golden_v1_epoch_cut_record() {
+    let bytes = encode_record(&Record::EpochCut {
+        seq: 11,
+        shard: 2,
+        epoch: 4,
+        drained: vec![7, 3],
+    });
+    assert_eq!(
+        bytes,
+        framed(&[
+            1, 0x04, // version, tag
+            11, 0, 0, 0, 0, 0, 0, 0, // seq
+            2, 0, 0, 0, // shard
+            4, 0, 0, 0, 0, 0, 0, 0, // epoch
+            2, 0, 0, 0, // drained count
+            7, 0, 0, 0, 0, 0, 0, 0, // drained[0]
+            3, 0, 0, 0, 0, 0, 0, 0, // drained[1]
+        ])
+    );
+}
+
+#[test]
+fn golden_v1_plan_record() {
+    let bytes = encode_record(&Record::Plan {
+        seq: 13,
+        id: 5,
+        epoch: 4,
+        version: 2,
+        updates: 6,
+        plan: CachePlan {
+            round: 1,
+            tenants: vec![
+                TenantPlan {
+                    capacity: 512,
+                    plan: TalusPlan::Unpartitioned {
+                        size: 512.0,
+                        expected_misses: 2.0,
+                    },
+                },
+                TenantPlan {
+                    capacity: 512,
+                    plan: TalusPlan::Shadow(ShadowConfig {
+                        total: 512.0,
+                        alpha: 128.0,
+                        beta: 1024.0,
+                        rho: 0.5,
+                        ideal_rho: 0.5,
+                        s1: 64.0,
+                        s2: 448.0,
+                        expected_misses: 3.0,
+                    }),
+                },
+            ],
+        },
+    });
+    assert_eq!(
+        bytes,
+        framed(&[
+            1, 0x05, // version, tag
+            13, 0, 0, 0, 0, 0, 0, 0, // seq
+            5, 0, 0, 0, 0, 0, 0, 0, // id
+            4, 0, 0, 0, 0, 0, 0, 0, // epoch
+            2, 0, 0, 0, 0, 0, 0, 0, // version
+            6, 0, 0, 0, 0, 0, 0, 0, // updates
+            1, 0, 0, 0, 0, 0, 0, 0, // round
+            2, 0, 0, 0, // tenant count
+            0x00, 0x02, 0, 0, 0, 0, 0, 0, // tenant 0 capacity = 512
+            0, // plan tag: unpartitioned
+            0, 0, 0, 0, 0, 0, 0x80, 0x40, // size 512.0
+            0, 0, 0, 0, 0, 0, 0x00, 0x40, // expected_misses 2.0
+            0x00, 0x02, 0, 0, 0, 0, 0, 0, // tenant 1 capacity = 512
+            1, // plan tag: shadow
+            0, 0, 0, 0, 0, 0, 0x80, 0x40, // total 512.0
+            0, 0, 0, 0, 0, 0, 0x60, 0x40, // alpha 128.0
+            0, 0, 0, 0, 0, 0, 0x90, 0x40, // beta 1024.0
+            0, 0, 0, 0, 0, 0, 0xE0, 0x3F, // rho 0.5
+            0, 0, 0, 0, 0, 0, 0xE0, 0x3F, // ideal_rho 0.5
+            0, 0, 0, 0, 0, 0, 0x50, 0x40, // s1 64.0
+            0, 0, 0, 0, 0, 0, 0x7C, 0x40, // s2 448.0
+            0, 0, 0, 0, 0, 0, 0x08, 0x40, // expected_misses 3.0
+        ])
+    );
+}
+
+// ---------------------------------------------------------------------
+// Store-level recovery: reopen, torn tails, shard layout, history.
+// ---------------------------------------------------------------------
+
+#[test]
+fn reopened_store_resumes_history_and_sequence() {
+    let dir = temp_dir("reopen");
+    let planner = Planner::new(64);
+    let c0 = curve_from_seed(1);
+    let c1 = curve_from_seed(2);
+    {
+        let store = Store::open(&dir, 2).unwrap();
+        store.register(7, 1024, 1, &planner);
+        store.submit(7, 0, &c0);
+        assert_eq!(store.last_error(), None);
+    }
+    let store = Store::open(&dir, 2).unwrap();
+    assert_eq!(store.recovery().records(), 2);
+    assert_eq!(store.recovery().torn_bytes(), 0);
+    store.submit(7, 0, &c1);
+    drop(store);
+
+    let store = Store::open(&dir, 2).unwrap();
+    let history = store.history(7).unwrap();
+    assert_eq!(history.len(), 2);
+    assert_eq!(history[0].curve, c0);
+    assert_eq!(history[1].curve, c1);
+    // The sequence clock resumed: the second submission sorts after
+    // everything from the first process lifetime.
+    assert!(history[1].seq > history[0].seq);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_tail_is_truncated_on_open_and_intact_records_survive() {
+    let dir = temp_dir("torn");
+    let planner = Planner::new(64);
+    {
+        let store = Store::open(&dir, 1).unwrap();
+        store.register(1, 512, 1, &planner);
+        store.submit(1, 0, &curve_from_seed(3));
+    }
+    // Simulate a crash mid-append: a partial record at the end of the
+    // file (here: a plausible header with only half its payload).
+    let path = dir.join("shard-000.talus");
+    let intact = std::fs::read(&path).unwrap();
+    let torn = encode_record(&Record::Deregister { seq: 99, id: 1 });
+    let mut bytes = intact.clone();
+    bytes.extend_from_slice(&torn[..torn.len() - 5]);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = Store::open(&dir, 1).unwrap();
+    assert_eq!(store.recovery().records(), 2);
+    assert_eq!(store.recovery().torn_bytes(), torn.len() - 5);
+    assert!(store.recovery().shards[0].tail.is_some());
+    drop(store);
+    // The torn bytes are gone from disk; a second open is clean.
+    assert_eq!(std::fs::read(&path).unwrap(), intact);
+    let store = Store::open(&dir, 1).unwrap();
+    assert_eq!(store.recovery().torn_bytes(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn appends_after_recovery_continue_the_journal() {
+    let dir = temp_dir("resume");
+    let planner = Planner::new(64);
+    {
+        let store = Store::open(&dir, 1).unwrap();
+        store.register(1, 512, 1, &planner);
+    }
+    // Tear the file mid-record, reopen, and keep appending.
+    let path = dir.join("shard-000.talus");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let torn = encode_record(&Record::Deregister { seq: 50, id: 1 });
+    bytes.extend_from_slice(&torn[..7]);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = Store::open(&dir, 1).unwrap();
+    store.submit(1, 0, &curve_from_seed(4));
+    assert_eq!(store.last_error(), None);
+    drop(store);
+
+    let store = Store::open(&dir, 1).unwrap();
+    assert_eq!(store.recovery().records(), 2);
+    assert_eq!(store.recovery().torn_bytes(), 0);
+    assert_eq!(store.history(1).unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_layout_mismatch_is_rejected() {
+    let dir = temp_dir("layout");
+    {
+        let _store = Store::open(&dir, 4).unwrap();
+    }
+    match Store::open(&dir, 2) {
+        Err(StoreError::ShardLayout { found, expected }) => {
+            assert_eq!((found, expected), (4, 2));
+        }
+        other => panic!("expected ShardLayout error, got {other:?}"),
+    }
+    // The matching count still opens.
+    assert!(Store::open(&dir, 4).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn records_route_to_the_canonical_shard_file() {
+    let dir = temp_dir("route");
+    let planner = Planner::new(64);
+    let shards = 4;
+    let store = Store::open(&dir, shards).unwrap();
+    for id in 0..32u64 {
+        store.register(id, 1024, 1, &planner);
+    }
+    assert_eq!(store.last_error(), None);
+    for shard in 0..shards {
+        let scanned = store.replay_shard(shard).unwrap();
+        for rec in &scanned.records {
+            let Record::Register { id, .. } = rec else {
+                panic!("only registers were journaled");
+            };
+            assert_eq!(talus_core::shard_of(*id, shards), shard);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -361,3 +361,220 @@ mod rpc {
         handle.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------
+// Store failure injection: the journal's whole reason to exist is dying
+// at the worst possible moment. Here the process is actually killed —
+// `std::process::abort()` mid-epoch, between a shard's epoch-cut record
+// and its plan records — and a fresh process must warm-restart from
+// whatever bytes made it to disk.
+// ---------------------------------------------------------------------
+
+mod store {
+    use std::process::Command;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use talus_core::MissCurve;
+    use talus_partition::{CachePlan, Planner};
+    use talus_serve::{CacheSpec, ShardedReconfigService};
+    use talus_store::{Store, StoreSink};
+
+    /// Env vars that turn the `crash_victim` test into the doomed child.
+    const CRASH_DIR: &str = "TALUS_STORE_CRASH_DIR";
+    const KILL_AFTER: &str = "TALUS_STORE_KILL_AFTER";
+
+    const CACHES: u64 = 5;
+    const SHARDS: usize = 2;
+
+    fn curve(seed: u64) -> MissCurve {
+        let bend = 256.0 + (seed % 4) as f64 * 64.0;
+        MissCurve::from_samples(&[0.0, bend, 1024.0], &[9.0, 8.0, 1.0]).expect("valid")
+    }
+
+    /// A sink that journals faithfully, then kills the process dead —
+    /// no unwinding, no destructors, no flush beyond what the store
+    /// already wrote — on the Nth published plan. Because it runs under
+    /// the shard's registry lock, the abort lands exactly between an
+    /// epoch's cut record and the rest of its plan records.
+    #[derive(Debug)]
+    struct AbortNthPlan {
+        inner: Arc<Store>,
+        kill_after: u64,
+        plans: AtomicU64,
+    }
+
+    impl StoreSink for AbortNthPlan {
+        fn shards(&self) -> usize {
+            self.inner.shards()
+        }
+        fn register(&self, id: u64, capacity: u64, tenants: u32, planner: &Planner) {
+            self.inner.register(id, capacity, tenants, planner);
+        }
+        fn deregister(&self, id: u64) {
+            self.inner.deregister(id);
+        }
+        fn submit(&self, id: u64, tenant: u32, curve: &MissCurve) {
+            self.inner.submit(id, tenant, curve);
+        }
+        fn epoch_cut(&self, shard: usize, epoch: u64, drained: &[u64]) {
+            self.inner.epoch_cut(shard, epoch, drained);
+        }
+        fn plan(&self, id: u64, epoch: u64, version: u64, updates: u64, plan: &CachePlan) {
+            if self.plans.fetch_add(1, Ordering::Relaxed) + 1 == self.kill_after {
+                // The doomed plan is dropped on the floor and the process
+                // dies mid-publication, locks held and all.
+                std::process::abort();
+            }
+            self.inner.plan(id, epoch, version, updates, plan);
+        }
+    }
+
+    /// The doomed child: a no-op under normal test runs; when the parent
+    /// sets the env vars, journals a scripted history and aborts inside
+    /// `run_epoch`, mid-publication.
+    #[test]
+    fn crash_victim() {
+        let Ok(dir) = std::env::var(CRASH_DIR) else {
+            return; // normal test run: the parent below drives this
+        };
+        let kill_after: u64 = std::env::var(KILL_AFTER)
+            .expect("parent sets the kill point")
+            .parse()
+            .expect("kill point is a number");
+        let store = Arc::new(Store::open(&dir, SHARDS).expect("open store"));
+        let sink = Arc::new(AbortNthPlan {
+            inner: store,
+            kill_after,
+            plans: AtomicU64::new(0),
+        });
+        let plane = ShardedReconfigService::new(SHARDS).with_sink(sink);
+        let ids: Vec<_> = (0..CACHES)
+            .map(|_| plane.register(CacheSpec::new(1024, 1).with_planner(Planner::new(64))))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            plane.submit(*id, 0, curve(i as u64)).expect("registered");
+        }
+        // Publication aborts the process partway through this call.
+        plane.run_epoch();
+        unreachable!("the sink must abort before the epoch completes ({kill_after})");
+    }
+
+    /// Re-runs this test binary as the `crash_victim` child with the
+    /// given kill point; returns once it has died by abort.
+    fn spawn_victim(dir: &std::path::Path, kill_after: u64) {
+        let exe = std::env::current_exe().expect("own test binary");
+        let status = Command::new(exe)
+            .args(["store::crash_victim", "--exact", "--nocapture"])
+            .env(CRASH_DIR, dir)
+            .env(KILL_AFTER, kill_after.to_string())
+            .status()
+            .expect("spawn crash victim");
+        assert!(
+            !status.success(),
+            "the victim must die by abort, got {status}"
+        );
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("talus-crash-test-{tag}-{}", std::process::id()));
+        // A previous failed run may have left debris.
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    /// The headline injection: a real process killed by `abort()` between
+    /// an epoch-cut record and its plan records. The journal left on disk
+    /// must warm-restart a fresh plane that (a) has every cache, (b) has
+    /// exactly the plans whose records landed before the abort, and
+    /// (c) is fully live — the missing plans come back on the next epoch,
+    /// exactly like an epoch that failed mid-publish.
+    #[test]
+    fn process_death_mid_epoch_leaves_a_recoverable_journal() {
+        for kill_after in 1..=3u64 {
+            let dir = temp_dir(&format!("mid-epoch-{kill_after}"));
+            spawn_victim(&dir, kill_after);
+
+            let store = Store::open(&dir, SHARDS).expect("journal opens after abort");
+            let plane = ShardedReconfigService::new(SHARDS);
+            let summary = plane.restore(&store).expect("journal restores after abort");
+
+            // Every registration and curve landed before the epoch began;
+            // the abort could only eat plan records.
+            assert_eq!(summary.caches, CACHES as usize, "kill at {kill_after}");
+            assert_eq!(plane.epochs(), 1, "the cut record recovered the epoch");
+            assert_eq!(
+                summary.snapshots,
+                kill_after as usize - 1,
+                "exactly the pre-abort plan records replay"
+            );
+
+            // Liveness: handles are recoverable, curves flow, and the
+            // caches the abort robbed of their plan get one now.
+            let ids = plane.cache_ids();
+            assert_eq!(ids.len(), CACHES as usize);
+            for (i, id) in ids.iter().enumerate() {
+                plane
+                    .submit(*id, 0, curve(i as u64))
+                    .expect("still serving");
+            }
+            plane.run_until_clean();
+            for id in &ids {
+                let snap = plane.snapshot(*id).expect("planned after recovery");
+                assert!(snap.version >= 1);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// Torn-write injection: garbage appended to a shard file (a crash
+    /// mid-`write`, a partial sector, cosmic rays) is dropped at open —
+    /// the intact prefix replays and appending continues cleanly.
+    #[test]
+    fn torn_garbage_tail_is_dropped_and_the_journal_stays_appendable() {
+        let dir = temp_dir("torn-tail");
+        let store = Arc::new(Store::open(&dir, 1).expect("open store"));
+        let plane =
+            ShardedReconfigService::new(1).with_sink(Arc::clone(&store) as Arc<dyn StoreSink>);
+        let id = plane.register(CacheSpec::new(1024, 1).with_planner(Planner::new(64)));
+        plane.submit(id, 0, curve(0)).expect("registered");
+        plane.run_epoch();
+        assert_eq!(store.last_error(), None);
+        drop(plane);
+        drop(store);
+
+        let path = dir.join("shard-000.talus");
+        let clean_len = std::fs::metadata(&path).expect("journal exists").len();
+        let mut bytes = std::fs::read(&path).expect("journal bytes");
+        bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x00, 0x00]);
+        std::fs::write(&path, &bytes).expect("inject garbage");
+
+        let store = Arc::new(Store::open(&dir, 1).expect("reopen"));
+        assert_eq!(store.recovery().torn_bytes(), 7, "the garbage was dropped");
+        assert_eq!(
+            std::fs::metadata(&path).expect("journal exists").len(),
+            clean_len,
+            "the file was truncated back to the intact prefix"
+        );
+        let plane = ShardedReconfigService::new(1);
+        let summary = plane.restore(&store).expect("intact prefix restores");
+        assert_eq!(summary.caches, 1);
+        assert_eq!(summary.snapshots, 1);
+
+        // Appends continue after the truncation point.
+        let plane = plane.with_sink(store as Arc<dyn StoreSink>);
+        let ids = plane.cache_ids();
+        plane.submit(ids[0], 0, curve(1)).expect("still serving");
+        plane.run_epoch();
+        drop(plane);
+
+        let store = Store::open(&dir, 1).expect("reopen again");
+        assert_eq!(store.recovery().torn_bytes(), 0);
+        let plane = ShardedReconfigService::new(1);
+        let summary = plane.restore(&store).expect("restores");
+        assert_eq!(summary.epochs, 2, "the post-recovery epoch journaled");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
