@@ -65,7 +65,9 @@ pub mod bypass;
 mod config;
 mod curve;
 mod error;
+pub mod fault;
 mod hash;
+pub mod health;
 mod hull;
 pub mod limits;
 pub mod source;
@@ -76,6 +78,8 @@ pub use config::{
 };
 pub use curve::{CurvePoint, MissCurve};
 pub use error::{CurveError, PlanError};
+pub use fault::{FaultAction, FaultDirective, FaultScript};
 pub use hash::{mix64, shard_of, SHARD_SEED};
+pub use health::{PlaneHealth, ShardHealth, ShardState, StoreHealth};
 pub use hull::ConvexHull;
 pub use source::{CurveSource, ReplaySource};

@@ -38,6 +38,11 @@ pub const WIRE_MAX_TENANTS: u32 = 1024;
 /// 8-byte ids this is at most half a maximum frame.
 pub const WIRE_MAX_IDS: u32 = WIRE_MAX_FRAME_LEN / 16;
 
+/// Most per-shard entries in one encoded health report. Shard counts are
+/// a deployment knob (roughly core counts), so this is generous; with
+/// ~25 bytes per shard a maximum health report stays ~100 KiB.
+pub const WIRE_MAX_SHARDS: u32 = 4096;
+
 /// Largest journal-record payload `talus-store` will read back, in bytes.
 /// Like [`WIRE_MAX_FRAME_LEN`], a length prefix above this is rejected
 /// *before* any buffer is allocated — a corrupt or hostile length field
@@ -67,6 +72,15 @@ mod tests {
     #[test]
     fn id_lists_fit_a_frame() {
         assert!(WIRE_MAX_IDS * 8 <= WIRE_MAX_FRAME_LEN / 2);
+    }
+
+    #[test]
+    fn worst_case_health_report_fits_a_frame() {
+        // Per-shard body: caches + pending + quarantined (u64s) + state
+        // byte; plus the fixed header fields and a full quarantined id
+        // list sharing the frame with it.
+        let per_shard = 8 + 8 + 8 + 1;
+        assert!(64 + WIRE_MAX_SHARDS * per_shard < WIRE_MAX_FRAME_LEN / 2);
     }
 
     #[test]

@@ -10,15 +10,29 @@
 //! [`stage`](RpcClient::stage)/[`flush`](RpcClient::flush) coalesce many
 //! tenants' updates into one framed batch, bounded by both the entry cap
 //! and the frame byte budget.
+//!
+//! ## Partial-failure posture
+//!
+//! A client is never allowed to hang forever on a dead or stalled
+//! server: [`with_deadline`](RpcClient::with_deadline) bounds every
+//! read/write, surfacing as [`RpcError::Deadline`]. With a
+//! [`RetryPolicy`] attached, the *idempotent* operations (submit,
+//! epoch, report, ping, health) transparently reconnect and retry with
+//! exponential backoff and deterministic seeded jitter — safe because a
+//! resubmitted bit-identical curve is a no-op on the plane and a
+//! re-run epoch converges to the same snapshots. `register` and
+//! `deregister` are never retried: creating or destroying a cache twice
+//! is not the same as doing it once, so those stay explicit.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::service::{EpochReport, ServeError};
 use crate::snapshot::CacheId;
 use crate::wire::{self, read_frame, Request, Response, SnapshotSummary, SubmitEntry, WireError};
 use talus_core::limits::{WIRE_MAX_BATCH, WIRE_MAX_FRAME_LEN};
-use talus_core::{CurveSource, MissCurve};
+use talus_core::{CurveSource, MissCurve, PlaneHealth};
 
 /// Errors surfaced by the RPC client.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +42,21 @@ pub enum RpcError {
     /// The server processed the request and rejected it — the same
     /// [`ServeError`] the local service would have returned.
     Serve(ServeError),
+    /// The request missed its deadline ([`RpcClient::with_deadline`]):
+    /// the server is hung, overloaded, or unreachable — distinct from a
+    /// typed rejection, and retryable.
+    Deadline,
+    /// The server shed the connection at its capacity limit (a typed
+    /// `Busy` reply, not a crash). Retryable after backoff.
+    Busy,
+    /// Every attempt the [`RetryPolicy`] allowed failed; `last` is the
+    /// final attempt's error.
+    Exhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The last attempt's error.
+        last: Box<RpcError>,
+    },
     /// The server replied with a well-formed message of the wrong kind.
     Unexpected {
         /// What the server sent instead.
@@ -40,6 +69,11 @@ impl std::fmt::Display for RpcError {
         match self {
             RpcError::Wire(e) => write!(f, "rpc transport failed: {e}"),
             RpcError::Serve(e) => write!(f, "server rejected request: {e}"),
+            RpcError::Deadline => write!(f, "request deadline elapsed"),
+            RpcError::Busy => write!(f, "server at capacity (busy)"),
+            RpcError::Exhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempts: {last}")
+            }
             RpcError::Unexpected { got } => {
                 write!(f, "server sent an unexpected {got} reply")
             }
@@ -52,7 +86,52 @@ impl std::error::Error for RpcError {
         match self {
             RpcError::Wire(e) => Some(e),
             RpcError::Serve(e) => Some(e),
-            RpcError::Unexpected { .. } => None,
+            RpcError::Exhausted { last, .. } => Some(last),
+            RpcError::Deadline | RpcError::Busy | RpcError::Unexpected { .. } => None,
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff and deterministic seeded
+/// jitter, applied by [`RpcClient`] to its idempotent operations.
+///
+/// Attempt `k`'s backoff before retrying is `min(cap, base · 2^k)`,
+/// jittered to between 50% and 100% of that value by a seeded xorshift
+/// generator — deterministic for a given seed, so failure tests replay
+/// the same schedule every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = never retry).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Jitter seed; equal seeds replay equal backoff schedules.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Never retry: every failure surfaces immediately. This is the
+    /// client's initial policy.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 10ms initial backoff, 1s cap.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0x9E37_79B9_7F4A_7C15,
         }
     }
 }
@@ -86,6 +165,13 @@ pub struct RpcClient {
     writer: BufWriter<TcpStream>,
     staged: Vec<SubmitEntry>,
     staged_bytes: usize,
+    /// Resolved peer address, kept for reconnects.
+    peer: SocketAddr,
+    /// Per-request read/write timeout, reapplied on reconnect.
+    deadline: Option<Duration>,
+    retry: RetryPolicy,
+    /// Jitter state (xorshift64), seeded from the retry policy.
+    rng: u64,
 }
 
 impl RpcClient {
@@ -98,6 +184,7 @@ impl RpcClient {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, RpcError> {
         let stream = TcpStream::connect(addr).map_err(WireError::from)?;
         stream.set_nodelay(true).map_err(WireError::from)?;
+        let peer = stream.peer_addr().map_err(WireError::from)?;
         let reader = BufReader::new(stream.try_clone().map_err(WireError::from)?);
         let writer = BufWriter::new(stream);
         Ok(RpcClient {
@@ -105,17 +192,158 @@ impl RpcClient {
             writer,
             staged: Vec::new(),
             staged_bytes: 0,
+            peer,
+            deadline: None,
+            retry: RetryPolicy::none(),
+            rng: 0,
         })
     }
 
-    /// One request/response round trip.
-    fn call(&mut self, req: &Request) -> Result<Response, RpcError> {
-        self.writer
-            .write_all(&wire::encode_request(req))
+    /// Bounds every request: reads and writes that stall longer than
+    /// `deadline` fail with [`RpcError::Deadline`] instead of blocking
+    /// forever on a hung server. Reapplied automatically on reconnect.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Wire`] if the socket rejects the timeouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero (use no deadline for "blocking").
+    pub fn with_deadline(mut self, deadline: Duration) -> Result<Self, RpcError> {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        self.deadline = Some(deadline);
+        self.apply_deadline()?;
+        Ok(self)
+    }
+
+    /// Attaches a [`RetryPolicy`]: the idempotent operations (submit,
+    /// epoch, report, ping, health) will reconnect and retry on
+    /// [retryable](RpcError) failures. `register`/`deregister` are never
+    /// retried.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.rng = if policy.seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            policy.seed
+        };
+        self.retry = policy;
+        self
+    }
+
+    fn apply_deadline(&self) -> Result<(), RpcError> {
+        let stream = self.writer.get_ref();
+        stream
+            .set_read_timeout(self.deadline)
             .map_err(WireError::from)?;
-        self.writer.flush().map_err(WireError::from)?;
-        let payload = read_frame(&mut self.reader)?.ok_or(WireError::Truncated)?;
-        Ok(wire::decode_response(&payload)?)
+        stream
+            .set_write_timeout(self.deadline)
+            .map_err(WireError::from)?;
+        Ok(())
+    }
+
+    /// Drops the current stream and dials the peer again (staged entries
+    /// are client-side state and survive untouched).
+    fn reconnect(&mut self) -> Result<(), RpcError> {
+        let stream = TcpStream::connect(self.peer).map_err(WireError::from)?;
+        stream.set_nodelay(true).map_err(WireError::from)?;
+        self.reader = BufReader::new(stream.try_clone().map_err(WireError::from)?);
+        self.writer = BufWriter::new(stream);
+        self.apply_deadline()
+    }
+
+    /// Whether retrying `e` can help: transport failures and overload,
+    /// never typed rejections.
+    fn retryable(e: &RpcError) -> bool {
+        matches!(
+            e,
+            RpcError::Deadline
+                | RpcError::Busy
+                | RpcError::Wire(WireError::Io(_))
+                | RpcError::Wire(WireError::Truncated)
+        )
+    }
+
+    /// Rewrites socket-timeout I/O errors as [`RpcError::Deadline`].
+    fn map_deadline(e: RpcError) -> RpcError {
+        match e {
+            RpcError::Wire(WireError::Io(kind))
+                if kind == std::io::ErrorKind::TimedOut
+                    || kind == std::io::ErrorKind::WouldBlock =>
+            {
+                RpcError::Deadline
+            }
+            other => other,
+        }
+    }
+
+    /// The backoff before retry number `retry` (0-based): exponential
+    /// from the policy base, capped, jittered to 50–100% by the seeded
+    /// generator.
+    fn backoff(&mut self, retry: u32) -> Duration {
+        let base = self.retry.base;
+        if base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = base.saturating_mul(1u32 << retry.min(16));
+        let delay = exp.min(self.retry.cap.max(base));
+        // xorshift64: deterministic for a given seed.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let half = delay / 2;
+        let jitter = self.rng % (half.as_nanos() as u64 + 1);
+        half + Duration::from_nanos(jitter)
+    }
+
+    /// One request/response round trip. A typed `Busy` reply surfaces as
+    /// [`RpcError::Busy`]; a timed-out read or write as
+    /// [`RpcError::Deadline`].
+    fn call(&mut self, req: &Request) -> Result<Response, RpcError> {
+        let round_trip = |this: &mut Self| -> Result<Response, RpcError> {
+            this.writer
+                .write_all(&wire::encode_request(req))
+                .map_err(WireError::from)?;
+            this.writer.flush().map_err(WireError::from)?;
+            let payload = read_frame(&mut this.reader)?.ok_or(WireError::Truncated)?;
+            Ok(wire::decode_response(&payload)?)
+        };
+        match round_trip(self).map_err(Self::map_deadline)? {
+            Response::Busy => Err(RpcError::Busy),
+            resp => Ok(resp),
+        }
+    }
+
+    /// [`call`](RpcClient::call) under the retry policy: on a retryable
+    /// failure, back off, reconnect (the stream's state is unknown after
+    /// a failure — a stale reply could be in flight), and try again.
+    /// Only idempotent requests go through here.
+    fn call_retrying(&mut self, req: &Request) -> Result<Response, RpcError> {
+        let attempts = self.retry.attempts.max(1);
+        let mut last = match self.call(req) {
+            Ok(resp) => return Ok(resp),
+            Err(e) if attempts == 1 || !Self::retryable(&e) => return Err(e),
+            Err(e) => e,
+        };
+        for retry in 0..attempts - 1 {
+            let backoff = self.backoff(retry);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            if let Err(e) = self.reconnect() {
+                last = Self::map_deadline(e);
+                continue;
+            }
+            match self.call(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if Self::retryable(&e) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(RpcError::Exhausted {
+            attempts,
+            last: Box::new(last),
+        })
     }
 
     /// Extracts a request-level error reply into [`RpcError::Serve`].
@@ -198,7 +426,7 @@ impl RpcClient {
             entries.len() <= WIRE_MAX_BATCH as usize,
             "batch exceeds wire cap"
         );
-        match self.call(&Request::Submit { entries })? {
+        match self.call_retrying(&Request::Submit { entries })? {
             Response::SubmitReply { results } => Ok(results),
             other => Err(Self::reject(other, "submit")),
         }
@@ -323,7 +551,7 @@ impl RpcClient {
         for result in self.flush()? {
             result.map_err(RpcError::Serve)?;
         }
-        match self.call(&Request::RunEpoch)? {
+        match self.call_retrying(&Request::RunEpoch)? {
             Response::Epoch(report) => Ok(report),
             other => Err(Self::reject(other, "epoch")),
         }
@@ -336,7 +564,7 @@ impl RpcClient {
     ///
     /// Transport errors.
     pub fn report(&mut self, id: CacheId) -> Result<Option<SnapshotSummary>, RpcError> {
-        match self.call(&Request::Report { id: id.value() })? {
+        match self.call_retrying(&Request::Report { id: id.value() })? {
             Response::Snapshot(summary) => Ok(summary),
             other => Err(Self::reject(other, "report")),
         }
@@ -348,9 +576,23 @@ impl RpcClient {
     ///
     /// Transport errors.
     pub fn ping(&mut self) -> Result<(), RpcError> {
-        match self.call(&Request::Ping)? {
+        match self.call_retrying(&Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(Self::reject(other, "ping")),
+        }
+    }
+
+    /// Fetches the plane's health snapshot: per-shard status, quarantined
+    /// caches, epoch counters, journal fault state, and the server's
+    /// connection-admission counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn health(&mut self) -> Result<PlaneHealth, RpcError> {
+        match self.call_retrying(&Request::Health)? {
+            Response::Health(health) => Ok(health),
+            other => Err(Self::reject(other, "health")),
         }
     }
 

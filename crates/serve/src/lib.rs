@@ -87,6 +87,40 @@
 //! truncated on open, and mid-epoch process death is injected in the
 //! workspace failure suite.
 //!
+//! ## Partial failure: deadlines, retries, quarantine, health
+//!
+//! A distributed plane fails in pieces, so the failure handling is
+//! piecewise too:
+//!
+//! - **Clients never hang.** [`RpcClient::with_deadline`] bounds every
+//!   socket operation; [`RpcClient::with_retry`] adds bounded,
+//!   exponentially backed-off retries (deterministic seeded jitter) for
+//!   the idempotent operations only — submit (bit-identical resubmission
+//!   is a plane-level no-op), run-epoch, report, ping, health. Register
+//!   and deregister are *not* retried automatically: a lost reply leaks
+//!   a cache id, which the caller must reconcile explicitly.
+//! - **A panicking planner loses one cache, not the plane.** Each plan
+//!   call runs under `catch_unwind`; a panic quarantines that cache —
+//!   its last-good snapshot keeps serving, submissions are rejected
+//!   with [`ServeError::Quarantined`], and the id is listed in every
+//!   [`EpochReport`] and health report until it deregisters or the
+//!   plane restores.
+//! - **A dead epoch worker degrades its shard, not the epoch.** The
+//!   threaded router hands work to workers over bounded channels with a
+//!   deadline; a worker that dies or misses the deadline marks its
+//!   shard degraded and the leader plans it thereafter.
+//! - **Overload is typed.** Over-cap connections receive
+//!   [`wire::Response::Busy`] before close instead of a silent drop.
+//! - **Health is a first-class RPC.** [`RpcClient::health`] returns a
+//!   [`talus_core::PlaneHealth`]: per-shard cache/pending/quarantine
+//!   counts and degraded flags, epoch counter, journal fault state, and
+//!   the server's connection accounting.
+//!
+//! All of it is exercised deterministically through the
+//! [`talus_core::FaultScript`] seam (`tests/chaos.rs`): scripted
+//! panics, delays, connection kills, and truncated frames, with the
+//! surviving caches asserted bit-identical to a fault-free run.
+//!
 //! ```
 //! use talus_core::MissCurve;
 //! use talus_serve::{CacheSpec, ReconfigService};
@@ -121,7 +155,7 @@ mod shard;
 mod snapshot;
 pub mod wire;
 
-pub use client::{RpcClient, RpcError};
+pub use client::{RetryPolicy, RpcClient, RpcError};
 pub use router::{RestoreError, RestoreSummary, ShardedReconfigService};
 pub use rpc_server::{RpcServer, ServerHandle, DEFAULT_MAX_CONNECTIONS};
 pub use service::{CacheSpec, EpochReport, ReconfigService, ServeError};

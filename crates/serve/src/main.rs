@@ -8,6 +8,7 @@
 //! cargo run -p talus-serve --release [-- <caches> <tenants> <intervals> <shards> <threaded 0|1> [rpc]]
 //! cargo run -p talus-serve --release -- store [dir]        # crash/restore smoke
 //! cargo run -p talus-serve --release -- store-dump <dir>   # print a journal
+//! cargo run -p talus-serve --release -- chaos              # partial-failure smoke
 //! ```
 //!
 //! With `<shards> > 1` the service is a [`ShardedReconfigService`]:
@@ -27,6 +28,13 @@
 //! the journal, and verify the restored snapshots are bit-identical —
 //! then keep serving. `store-dump` pretty-prints an existing journal
 //! directory, record by record.
+//!
+//! `chaos` runs the partial-failure smoke test: a loopback RPC plane
+//! under a scripted fault schedule — a planner panic, a severed
+//! connection, a truncated reply — driven by a deadline-and-retry
+//! client, verified to quarantine exactly the panicking cache while
+//! every survivor converges bit-identically to a fault-free twin, with
+//! the damage visible in the plane's health report.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -74,6 +82,10 @@ fn main() {
                 .nth(2)
                 .expect("store-dump needs a journal directory");
             run_store_dump(Path::new(&dir));
+            return;
+        }
+        Some("chaos") => {
+            run_chaos_smoke();
             return;
         }
         _ => {}
@@ -307,6 +319,161 @@ fn run_rpc(service: Arc<ShardedReconfigService>, caches: usize, tenants: usize, 
         service.epochs(),
         service.shards()
     );
+    print_health(&handle.health());
+    handle.shutdown();
+}
+
+/// One operator-readable line per health report.
+fn print_health(health: &talus_core::PlaneHealth) {
+    println!(
+        "health: {} | {} epochs, {} caches ({} pending), shards {} ok / {} degraded, \
+         quarantined {:?}, store {:?}, {} connection(s) ({} rejected)",
+        if health.is_healthy() {
+            "ok"
+        } else {
+            "DEGRADED"
+        },
+        health.epochs,
+        health.caches,
+        health.pending,
+        health.ok(),
+        health.degraded(),
+        health.quarantined,
+        health.store,
+        health.connections,
+        health.rejected,
+    );
+}
+
+/// The partial-failure smoke test: scripted chaos against a loopback
+/// RPC plane, a fault-free twin as the oracle. Exercises the whole
+/// hardening stack in one run — client deadlines and retries, the
+/// server's connection-fault handling, planner panic quarantine, and
+/// the health protocol — and panics (failing CI) if any containment
+/// contract breaks.
+fn run_chaos_smoke() {
+    use talus_core::{FaultAction, FaultScript};
+    use talus_serve::{RetryPolicy, RpcError, ServeError};
+
+    let shards = 2;
+    let caches = 4usize;
+    println!("chaos smoke: {caches} caches on {shards} shards, scripted faults over loopback rpc");
+
+    let curve = |tag: u64| {
+        let sizes: Vec<f64> = (0..=8).map(|i| i as f64 * 512.0).collect();
+        let misses: Vec<f64> = (0..=8)
+            .map(|i| 40.0 - i as f64 * (3.0 + (tag % 5) as f64 * 0.5))
+            .map(|m| m.max(0.0))
+            .collect();
+        talus_core::MissCurve::from_samples(&sizes, &misses).expect("valid curve")
+    };
+
+    // The faulted plane behind RPC, and its fault-free local oracle.
+    let plane_faults = Arc::new(FaultScript::new());
+    let server_faults = Arc::new(FaultScript::new());
+    // One severed connection and one truncated reply, mid-schedule.
+    server_faults.inject(
+        "server.handle",
+        Some(0x03),
+        2,
+        1,
+        FaultAction::KillConnection,
+    );
+    server_faults.inject(
+        "server.handle",
+        Some(0x04),
+        0,
+        1,
+        FaultAction::TruncateFrame,
+    );
+    let service =
+        Arc::new(ShardedReconfigService::new(shards).with_fault_script(Arc::clone(&plane_faults)));
+    let twin = ShardedReconfigService::new(shards);
+    let handle = RpcServer::bind("127.0.0.1:0", Arc::clone(&service))
+        .expect("bind loopback")
+        .with_fault_script(Arc::clone(&server_faults))
+        .spawn()
+        .expect("spawn accept loop");
+    let mut client = RpcClient::connect(handle.local_addr())
+        .expect("connect")
+        .with_deadline(Duration::from_secs(2))
+        .expect("deadline applies")
+        .with_retry(RetryPolicy::default());
+
+    let ids: Vec<CacheId> = (0..caches)
+        .map(|_| {
+            let id = client.register(CAPACITY, 1).expect("register over rpc");
+            assert_eq!(id, twin.register(CacheSpec::new(CAPACITY, 1)));
+            id
+        })
+        .collect();
+    let victim = ids[1];
+
+    // Round 1 (fault-free planning, faulty transport): every cache gets
+    // a last-good plan even while connections are killed under the
+    // client — the retry policy reconnects and converges.
+    for (i, id) in ids.iter().enumerate() {
+        let c = curve(1 + i as u64);
+        client
+            .submit(*id, 0, c.clone())
+            .expect("submit retries through chaos");
+        twin.submit(*id, 0, c).expect("registered");
+    }
+    while service.pending() > 0 {
+        client.run_epoch().expect("epoch retries through chaos");
+    }
+    twin.run_until_clean();
+    let last_good = service.snapshot(victim).expect("round-1 plan");
+    println!(
+        "round 1: {} snapshots published through {} scripted connection fault(s)",
+        ids.len(),
+        server_faults.fired("server.handle")
+    );
+
+    // Round 2: the victim's planner is scripted to panic. The plane
+    // catches it; silence the default hook so the smoke's output is the
+    // containment verdict, not a backtrace of the panic we injected.
+    plane_faults.inject("shard.plan", Some(victim.value()), 0, 1, FaultAction::Panic);
+    let mut quarantined = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        let c = curve(100 + i as u64);
+        client.submit(*id, 0, c.clone()).expect("submit");
+        twin.submit(*id, 0, c).expect("registered");
+    }
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    while service.pending() > 0 {
+        quarantined.extend(client.run_epoch().expect("epoch").quarantined);
+    }
+    std::panic::set_hook(default_hook);
+    twin.run_until_clean();
+
+    assert_eq!(quarantined, vec![victim], "exactly the victim quarantined");
+    let snap = service.snapshot(victim).expect("last-good survives");
+    assert_eq!(
+        snap.plan, last_good.plan,
+        "victim serves its last-good plan"
+    );
+    for id in ids.iter().filter(|id| **id != victim) {
+        let a = service.snapshot(*id).expect("survivor planned");
+        let b = twin.snapshot(*id).expect("twin planned");
+        assert_eq!(a.plan, b.plan, "{id}: survivor diverged from the twin");
+        assert_eq!(a.version, b.version, "{id}: version diverged");
+    }
+    match client.submit(victim, 0, curve(7)) {
+        Err(RpcError::Serve(ServeError::Quarantined(id))) => assert_eq!(id, victim),
+        other => panic!("expected the typed quarantine rejection, got {other:?}"),
+    }
+
+    let health = client.health().expect("health over rpc");
+    assert_eq!(health.quarantined, vec![victim.value()]);
+    assert!(!health.is_healthy(), "the quarantine shows in health");
+    print_health(&health);
+    println!(
+        "round 2: quarantine contained to {victim}; {} survivor(s) bit-identical to the \
+         fault-free twin; chaos smoke ok",
+        ids.len() - 1
+    );
     handle.shutdown();
 }
 
@@ -356,6 +523,13 @@ fn run_store_smoke(dir: &Path) {
         }
     }
     assert_eq!(store.last_error(), None, "journaling must not fault");
+    let health = plane.health();
+    assert_eq!(
+        health.store,
+        talus_core::StoreHealth::Ok,
+        "the journal's fault state is wired into plane health"
+    );
+    print_health(&health);
     let before: Vec<_> = ids.iter().map(|id| plane.snapshot(*id)).collect();
     let epochs_before = plane.epochs();
     println!(

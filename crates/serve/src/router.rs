@@ -19,85 +19,185 @@
 //! (property-tested in `tests/sharding.rs`) — the router adds
 //! *placement*, never *policy*.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use crate::service::{CacheSpec, EpochReport, ServeError};
 use crate::shard::Shard;
 use crate::snapshot::{CacheId, PlanSnapshot};
-use talus_core::{shard_of, CurveSource, MissCurve};
+use talus_core::{
+    shard_of, CurveSource, FaultScript, MissCurve, PlaneHealth, ShardHealth, ShardState,
+    StoreHealth,
+};
 use talus_store::{Record, Store, StoreError, StoreSink};
 
-/// One "run an epoch" request handed to a shard's worker thread.
+/// How long one epoch waits for its worker handoffs before declaring the
+/// stragglers degraded and moving on.
+const DEFAULT_EPOCH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// One "run an epoch" request handed to a shard's worker thread. The
+/// reply carries the worker's shard index so the epoch driver knows who
+/// answered (and therefore who didn't).
 struct EpochJob {
     epoch: u64,
-    reply: mpsc::Sender<EpochReport>,
+    reply: mpsc::Sender<(usize, EpochReport)>,
 }
 
 /// One dedicated worker thread per shard, parked on a job channel.
+///
+/// A worker that dies (its thread panicked, or never spawned) or misses
+/// the epoch deadline is *degraded*, not fatal: its sender slot is
+/// dropped, the shard is marked in [`degraded`](WorkerPool::degraded),
+/// and from then on the epoch-driving thread leader-plans that shard —
+/// slower, never wrong. `run_until_clean` still terminates because a
+/// degraded shard's queue drains on the leader path the very next epoch.
 #[derive(Debug)]
 struct WorkerPool {
-    /// Job channels, one per shard. Behind a mutex so the service stays
-    /// `Sync` independent of `mpsc::Sender`'s (toolchain-dependent)
-    /// auto-traits; the lock is held only while enqueueing jobs.
-    senders: Mutex<Vec<mpsc::Sender<EpochJob>>>,
+    /// Job channels; slot `i` drives shard `i + 1` (shard 0 has no
+    /// worker — the leader plans it). `None` = the worker is gone and
+    /// the slot is permanently on the leader-planned path. Behind a
+    /// mutex so the service stays `Sync` independent of
+    /// `mpsc::Sender`'s (toolchain-dependent) auto-traits.
+    senders: Mutex<Vec<Option<mpsc::Sender<EpochJob>>>>,
+    /// Slot `i` ↔ shard `i + 1`: set once the worker is declared dead or
+    /// a deadline expired on it. Never cleared — degradation is sticky
+    /// (the worker, even if merely slow, no longer has a job channel).
+    degraded: Vec<AtomicBool>,
+    /// Longest one epoch waits on worker handoffs, total.
+    deadline: Duration,
     handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl WorkerPool {
     /// Spawns one worker per shard in `shards[1..]`. Shard 0 has no
     /// worker: the epoch-driving thread plans it itself (leader
-    /// participates), so an epoch costs N−1 thread handoffs, not N.
-    fn spawn(shards: &[Arc<Shard>]) -> Self {
+    /// participates), so an epoch costs N−1 thread handoffs, not N. A
+    /// shard whose worker fails to spawn starts degraded (leader-planned)
+    /// instead of failing the build.
+    fn spawn(shards: &[Arc<Shard>], deadline: Duration, fault: Option<Arc<FaultScript>>) -> Self {
         let mut senders = Vec::with_capacity(shards.len() - 1);
+        let mut degraded = Vec::with_capacity(shards.len() - 1);
         let mut handles = Vec::with_capacity(shards.len() - 1);
         for (i, shard) in shards.iter().enumerate().skip(1) {
             let (tx, rx) = mpsc::channel::<EpochJob>();
             let shard = Arc::clone(shard);
-            let handle = thread::Builder::new()
+            let fault = fault.clone();
+            let spawned = thread::Builder::new()
                 .name(format!("talus-serve-shard-{i}"))
                 .spawn(move || {
                     // Exits when the pool drops its sender.
                     while let Ok(job) = rx.recv() {
+                        // Scripted worker faults: a `Panic` here kills
+                        // this thread exactly like a worker bug would;
+                        // the epoch driver detects it and degrades the
+                        // shard to leader-planned.
+                        if let Some(fault) = &fault {
+                            let _ = fault.check("worker.epoch", i as u64);
+                        }
                         // A dropped reply receiver just means the caller
                         // gave up on the epoch; keep serving.
-                        let _ = job.reply.send(shard.run_epoch(job.epoch));
+                        let _ = job.reply.send((i, shard.run_epoch(job.epoch)));
                     }
-                })
-                .expect("spawn shard worker");
-            senders.push(tx);
-            handles.push(handle);
+                });
+            match spawned {
+                Ok(handle) => {
+                    senders.push(Some(tx));
+                    degraded.push(AtomicBool::new(false));
+                    handles.push(handle);
+                }
+                Err(_) => {
+                    senders.push(None);
+                    degraded.push(AtomicBool::new(true));
+                }
+            }
         }
         WorkerPool {
             senders: Mutex::new(senders),
+            degraded,
+            deadline,
             handles,
         }
+    }
+
+    fn lock_senders(&self) -> std::sync::MutexGuard<'_, Vec<Option<mpsc::Sender<EpochJob>>>> {
+        self.senders.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn mark_degraded(&self, slot: usize) {
+        self.degraded[slot].store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shard `index` (≥ 1) is on the degraded, leader-planned
+    /// path.
+    fn is_degraded(&self, index: usize) -> bool {
+        self.degraded[index - 1].load(Ordering::Relaxed)
     }
 
     /// Runs `epoch` on every shard concurrently; returns the per-shard
     /// reports (in completion order — the caller sorts after merging).
     ///
     /// Leader participates: the calling thread plans shard 0 itself while
-    /// the workers handle shards 1..N, so thread-pool mode costs N−1
-    /// handoffs per epoch, not N (and a 1-shard "pool" costs none).
+    /// the workers handle shards 1..N. Degraded shards (dead worker, or
+    /// handoff refused) are leader-planned in the same call; workers that
+    /// miss [`deadline`](WorkerPool::deadline) are degraded for the next
+    /// epoch and this epoch returns without their report (their queued
+    /// work drains on the leader path next epoch).
     fn run_epoch(&self, shards: &[Arc<Shard>], epoch: u64) -> Vec<EpochReport> {
         let (reply, results) = mpsc::channel();
-        let dispatched = {
-            let senders = self.senders.lock().expect("worker pool poisoned");
-            for tx in senders.iter() {
-                tx.send(EpochJob {
-                    epoch,
-                    reply: reply.clone(),
-                })
-                .expect("shard worker alive while pool exists");
+        let mut outstanding: Vec<usize> = Vec::new();
+        let mut fallback: Vec<usize> = Vec::new();
+        {
+            let mut senders = self.lock_senders();
+            for (slot, tx) in senders.iter_mut().enumerate() {
+                let shard_index = slot + 1;
+                let sent = tx.as_ref().is_some_and(|t| {
+                    t.send(EpochJob {
+                        epoch,
+                        reply: reply.clone(),
+                    })
+                    .is_ok()
+                });
+                if sent {
+                    outstanding.push(shard_index);
+                } else {
+                    // The worker is gone (hung-up channel or never
+                    // spawned): drop the slot and leader-plan its shard
+                    // from now on.
+                    *tx = None;
+                    self.mark_degraded(slot);
+                    fallback.push(shard_index);
+                }
             }
-            senders.len()
-        };
+        }
         drop(reply);
         let mut reports = vec![shards[0].run_epoch(epoch)];
-        reports.extend(results.iter());
-        assert_eq!(reports.len(), dispatched + 1, "every shard reports");
+        for index in fallback {
+            reports.push(shards[index].run_epoch(epoch));
+        }
+        // Bounded handoff: wait out the deadline, not forever. A report
+        // arriving after its deadline is dropped with its channel.
+        let deadline = Instant::now() + self.deadline;
+        while !outstanding.is_empty() {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match results.recv_timeout(wait) {
+                Ok((index, report)) => {
+                    outstanding.retain(|&i| i != index);
+                    reports.push(report);
+                }
+                // Timeout, or every remaining worker dropped its reply
+                // sender (died mid-epoch): degrade the stragglers below.
+                Err(_) => break,
+            }
+        }
+        if !outstanding.is_empty() {
+            let mut senders = self.lock_senders();
+            for index in outstanding {
+                senders[index - 1] = None;
+                self.mark_degraded(index - 1);
+            }
+        }
         reports
     }
 }
@@ -106,9 +206,7 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the job channels lets every worker's `recv` fail and the
         // thread exit; then reap them.
-        if let Ok(mut senders) = self.senders.lock() {
-            senders.clear();
-        }
+        self.lock_senders().clear();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -149,6 +247,15 @@ pub struct ShardedReconfigService {
     epochs: AtomicU64,
     /// `Some` in thread-pool mode: one worker per shard.
     pool: Option<WorkerPool>,
+    /// The journal sink shared by every shard, retained for health
+    /// reporting (`None` = ephemeral plane).
+    sink: Option<Arc<dyn StoreSink>>,
+    /// The fault-injection script shared with shards and workers.
+    fault: Option<Arc<FaultScript>>,
+    /// Worker-handoff budget for [`run_epoch`] in thread-pool mode.
+    ///
+    /// [`run_epoch`]: ShardedReconfigService::run_epoch
+    epoch_deadline: Duration,
 }
 
 impl ShardedReconfigService {
@@ -171,6 +278,9 @@ impl ShardedReconfigService {
             next_id: AtomicU64::new(0),
             epochs: AtomicU64::new(0),
             pool: None,
+            sink: None,
+            fault: None,
+            epoch_deadline: DEFAULT_EPOCH_DEADLINE,
         }
     }
 
@@ -187,7 +297,7 @@ impl ShardedReconfigService {
         assert!(self.pool.is_none(), "set max_batch before enabling threads");
         for shard in &mut self.shards {
             Arc::get_mut(shard)
-                .expect("shards unshared before threads start")
+                .expect("shards unshared before threads start") // audited: builder-time invariant
                 .set_max_batch(max_batch);
         }
         self
@@ -222,9 +332,51 @@ impl ShardedReconfigService {
         );
         for (i, shard) in self.shards.iter_mut().enumerate() {
             Arc::get_mut(shard)
-                .expect("shards unshared before threads start")
+                .expect("shards unshared before threads start") // audited: builder-time invariant
                 .set_sink(i, Arc::clone(&sink));
         }
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a deterministic [`FaultScript`]: shards consult it at
+    /// `"shard.plan"` (key = raw cache id) inside their planner panic
+    /// containment, and epoch workers consult it at `"worker.epoch"`
+    /// (key = shard index) before each handoff. Test-substrate plumbing;
+    /// configure before [`with_threads`](ShardedReconfigService::with_threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if thread-pool mode is already enabled.
+    pub fn with_fault_script(mut self, script: Arc<FaultScript>) -> Self {
+        assert!(
+            self.pool.is_none(),
+            "attach the fault script before enabling threads"
+        );
+        for shard in &mut self.shards {
+            Arc::get_mut(shard)
+                .expect("shards unshared before threads start") // audited: builder-time invariant
+                .set_fault_script(Arc::clone(&script));
+        }
+        self.fault = Some(script);
+        self
+    }
+
+    /// Sets how long one epoch waits on worker handoffs in thread-pool
+    /// mode before declaring stragglers degraded (default 5s). Configure
+    /// before [`with_threads`](ShardedReconfigService::with_threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero or thread-pool mode is already
+    /// enabled.
+    pub fn with_epoch_deadline(mut self, deadline: Duration) -> Self {
+        assert!(!deadline.is_zero(), "epoch deadline must be positive");
+        assert!(
+            self.pool.is_none(),
+            "set the epoch deadline before enabling threads"
+        );
+        self.epoch_deadline = deadline;
         self
     }
 
@@ -240,7 +392,11 @@ impl ShardedReconfigService {
     /// Workers are joined when the service drops.
     pub fn with_threads(mut self) -> Self {
         if self.pool.is_none() {
-            self.pool = Some(WorkerPool::spawn(&self.shards));
+            self.pool = Some(WorkerPool::spawn(
+                &self.shards,
+                self.epoch_deadline,
+                self.fault.clone(),
+            ));
         }
         self
     }
@@ -362,6 +518,56 @@ impl ShardedReconfigService {
     /// Registered caches, summed across shards.
     pub fn registered(&self) -> usize {
         self.shards.iter().map(|s| s.registered()).sum()
+    }
+
+    /// Ids of quarantined caches across the plane, ascending. A cache is
+    /// quarantined when its planner panics during an epoch; see
+    /// [`ServeError::Quarantined`].
+    pub fn quarantined(&self) -> Vec<CacheId> {
+        let mut ids: Vec<CacheId> = self.shards.iter().flat_map(|s| s.quarantined()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The plane's health snapshot: per-shard status (a shard whose
+    /// epoch worker died or missed a deadline reports
+    /// [`ShardState::Degraded`]), quarantined caches, epoch progress,
+    /// and the journal fault state. `connections`/`rejected` are zero
+    /// here — they are filled in by an RPC front-end, if one is serving
+    /// this plane.
+    pub fn health(&self) -> PlaneHealth {
+        let mut quarantined: Vec<u64> = Vec::new();
+        let mut shard_reports = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let ids = shard.quarantined();
+            let state = if i > 0 && self.pool.as_ref().is_some_and(|p| p.is_degraded(i)) {
+                ShardState::Degraded
+            } else {
+                ShardState::Ok
+            };
+            shard_reports.push(ShardHealth {
+                caches: shard.registered() as u64,
+                pending: shard.pending() as u64,
+                quarantined: ids.len() as u64,
+                state,
+            });
+            quarantined.extend(ids.iter().map(|id| id.value()));
+        }
+        quarantined.sort_unstable();
+        PlaneHealth {
+            epochs: self.epochs(),
+            caches: shard_reports.iter().map(|s| s.caches).sum(),
+            pending: shard_reports.iter().map(|s| s.pending).sum(),
+            quarantined,
+            shards: shard_reports,
+            store: match &self.sink {
+                None => StoreHealth::None,
+                Some(sink) if sink.is_faulted() => StoreHealth::Faulted,
+                Some(_) => StoreHealth::Ok,
+            },
+            connections: 0,
+            rejected: 0,
+        }
     }
 
     /// Handles for every registered cache, in ascending id order. The
@@ -625,17 +831,20 @@ fn merge_reports(epoch: u64, reports: Vec<EpochReport>) -> EpochReport {
         planned: Vec::new(),
         deferred: Vec::new(),
         failed: Vec::new(),
+        quarantined: Vec::new(),
         remaining_dirty: 0,
     };
     for report in reports {
         merged.planned.extend(report.planned);
         merged.deferred.extend(report.deferred);
         merged.failed.extend(report.failed);
+        merged.quarantined.extend(report.quarantined);
         merged.remaining_dirty += report.remaining_dirty;
     }
     merged.planned.sort_unstable();
     merged.deferred.sort_unstable();
     merged.failed.sort_unstable_by_key(|(id, _)| *id);
+    merged.quarantined.sort_unstable();
     merged
 }
 

@@ -14,12 +14,22 @@
 //! else: frames are fully received before they are decoded and decoded
 //! before they are applied, so a batch from a client that dies
 //! mid-frame is dropped atomically and the plane stays consistent.
+//!
+//! # Overload shedding
+//!
+//! Beyond the connection cap the server does not silently drop: it
+//! writes a single typed [`Response::Busy`] frame and then closes, so a
+//! well-behaved client distinguishes "plane at capacity, back off and
+//! retry" from a network fault. Every such shed is counted and surfaced
+//! through [`ServerHandle::rejected`] and the plane's health report.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use talus_core::{FaultDirective, FaultScript};
 
 use crate::router::ShardedReconfigService;
 use crate::service::CacheSpec;
@@ -27,9 +37,21 @@ use crate::snapshot::CacheId;
 use crate::wire::{self, read_frame, Request, Response, SnapshotSummary};
 
 /// Default cap on concurrently served connections; beyond it, new
-/// connections are accepted and immediately closed, bounding server
-/// memory at `connections × max frame` regardless of client count.
+/// connections get a typed [`Response::Busy`] frame and are closed,
+/// bounding server memory at `connections × max frame` regardless of
+/// client count.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// Shared connection accounting between the accept loop and the
+/// [`ServerHandle`] that reports it.
+#[derive(Debug, Default)]
+struct ConnStats {
+    /// Connections currently being served.
+    live: AtomicUsize,
+    /// Connections shed with [`Response::Busy`] since the server
+    /// started. Monotonic; never reset.
+    rejected: AtomicU64,
+}
 
 /// A TCP front-end for a sharded reconfiguration plane.
 ///
@@ -52,8 +74,10 @@ pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
 #[derive(Debug)]
 pub struct RpcServer {
     listener: TcpListener,
+    addr: std::net::SocketAddr,
     service: Arc<ShardedReconfigService>,
     max_connections: usize,
+    fault: Option<Arc<FaultScript>>,
 }
 
 impl RpcServer {
@@ -62,21 +86,26 @@ impl RpcServer {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, or the (in practice unreachable)
+    /// failure to read back the bound address.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         service: Arc<ShardedReconfigService>,
     ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
         Ok(RpcServer {
-            listener: TcpListener::bind(addr)?,
+            listener,
+            addr,
             service,
             max_connections: DEFAULT_MAX_CONNECTIONS,
+            fault: None,
         })
     }
 
     /// Caps concurrently served connections (default
-    /// [`DEFAULT_MAX_CONNECTIONS`]). Excess connections are closed on
-    /// accept.
+    /// [`DEFAULT_MAX_CONNECTIONS`]). Excess connections receive a
+    /// [`Response::Busy`] frame and are closed on accept.
     ///
     /// # Panics
     ///
@@ -87,16 +116,18 @@ impl RpcServer {
         self
     }
 
+    /// Attaches a deterministic fault-injection script consulted at the
+    /// `server.handle` site (keyed by request opcode) before each
+    /// request executes. Test-only seam; the default `None` script
+    /// costs one branch per frame.
+    pub fn with_fault_script(mut self, script: Arc<FaultScript>) -> Self {
+        self.fault = Some(script);
+        self
+    }
+
     /// The bound address (resolves port 0 to the actual port).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the listener's address cannot be read (the socket is
-    /// already bound, so this does not happen in practice).
     pub fn local_addr(&self) -> std::net::SocketAddr {
-        self.listener
-            .local_addr()
-            .expect("bound listener has an address")
+        self.addr
     }
 
     /// The plane this server fronts. Tests use this to inspect
@@ -113,12 +144,14 @@ impl RpcServer {
     ///
     /// Propagates listener clone failures.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
-        let addr = self.local_addr();
+        let addr = self.addr;
         let stop = Arc::new(AtomicBool::new(false));
         let service = Arc::clone(&self.service);
         let accept_stop = Arc::clone(&stop);
-        let live = Arc::new(AtomicUsize::new(0));
+        let stats = Arc::new(ConnStats::default());
+        let accept_stats = Arc::clone(&stats);
         let max_connections = self.max_connections;
+        let fault = self.fault;
         let listener = self.listener;
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
@@ -126,26 +159,38 @@ impl RpcServer {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                if live.load(Ordering::Acquire) >= max_connections {
-                    let _ = stream.shutdown(Shutdown::Both);
+                if accept_stats.live.load(Ordering::Acquire) >= max_connections {
+                    shed_connection(stream);
+                    accept_stats.rejected.fetch_add(1, Ordering::AcqRel);
                     continue;
                 }
-                live.fetch_add(1, Ordering::AcqRel);
+                accept_stats.live.fetch_add(1, Ordering::AcqRel);
                 let service = Arc::clone(&service);
-                let live = Arc::clone(&live);
+                let stats = Arc::clone(&accept_stats);
+                let fault = fault.clone();
                 std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &service);
-                    live.fetch_sub(1, Ordering::AcqRel);
+                    let _ = serve_connection(stream, &service, fault.as_deref());
+                    stats.live.fetch_sub(1, Ordering::AcqRel);
                 });
             }
         });
         Ok(ServerHandle {
             addr,
             service: self.service,
+            stats,
             stop,
             accept_thread: Some(accept_thread),
         })
     }
+}
+
+/// Tells an over-cap client the plane is at capacity — one typed
+/// [`Response::Busy`] frame, best-effort, then close. A client that
+/// never reads it loses nothing relative to a silent drop.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.write_all(&wire::encode_response(&Response::Busy));
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Handle to a running [`RpcServer`]; stops the accept loop on
@@ -155,6 +200,7 @@ impl RpcServer {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     service: Arc<ShardedReconfigService>,
+    stats: Arc<ConnStats>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -168,6 +214,27 @@ impl ServerHandle {
     /// The plane this server fronts.
     pub fn service(&self) -> &Arc<ShardedReconfigService> {
         &self.service
+    }
+
+    /// Connections currently being served.
+    pub fn connections(&self) -> usize {
+        self.stats.live.load(Ordering::Acquire)
+    }
+
+    /// Connections shed with [`Response::Busy`] since the server
+    /// started.
+    pub fn rejected(&self) -> u64 {
+        self.stats.rejected.load(Ordering::Acquire)
+    }
+
+    /// The plane's health report with this server's connection
+    /// accounting filled in (the plane itself cannot see the TCP
+    /// layer).
+    pub fn health(&self) -> talus_core::PlaneHealth {
+        let mut health = self.service.health();
+        health.connections = self.connections() as u64;
+        health.rejected = self.rejected();
+        health
     }
 
     /// Stops accepting connections and joins the accept thread.
@@ -193,10 +260,12 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Serves one connection until clean EOF or the first protocol error.
+/// Serves one connection until clean EOF, the first protocol error, or
+/// a scripted `server.handle` fault that severs the connection.
 fn serve_connection(
     stream: TcpStream,
     service: &ShardedReconfigService,
+    fault: Option<&FaultScript>,
 ) -> Result<(), wire::WireError> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone().map_err(wire::WireError::from)?);
@@ -204,6 +273,41 @@ fn serve_connection(
     // One frame in flight per connection: read, apply, reply, repeat.
     while let Some(payload) = read_frame(&mut reader)? {
         let request = wire::decode_request(&payload)?;
+        // The fault seam fires after decode (so hostile-input handling
+        // is never masked) and before execution (so a killed connection
+        // models a server that died without applying the request).
+        let directive = match fault {
+            Some(script) => script.check("server.handle", u64::from(opcode_of(&request))),
+            None => FaultDirective::None,
+        };
+        match directive {
+            FaultDirective::KillConnection => {
+                // Die before applying: the client sees an abrupt close
+                // with the request's effects absent.
+                return Ok(());
+            }
+            FaultDirective::Fail => {
+                // Shed mid-stream: typed Busy, then close.
+                writer
+                    .write_all(&wire::encode_response(&Response::Busy))
+                    .map_err(wire::WireError::from)?;
+                writer.flush().map_err(wire::WireError::from)?;
+                return Ok(());
+            }
+            FaultDirective::TruncateFrame => {
+                // Apply, then die mid-reply: the client gets half a
+                // frame and must treat the request outcome as unknown —
+                // exactly the ambiguity idempotent retries resolve.
+                let response = handle_request(request, service);
+                let encoded = wire::encode_response(&response);
+                writer
+                    .write_all(&encoded[..encoded.len() / 2])
+                    .map_err(wire::WireError::from)?;
+                writer.flush().map_err(wire::WireError::from)?;
+                return Ok(());
+            }
+            FaultDirective::None => {}
+        }
         let response = handle_request(request, service);
         writer
             .write_all(&wire::encode_response(&response))
@@ -211,6 +315,20 @@ fn serve_connection(
         writer.flush().map_err(wire::WireError::from)?;
     }
     Ok(())
+}
+
+/// The request's wire opcode, used as the `server.handle` fault key so
+/// scripts can target e.g. only `RunEpoch` frames.
+fn opcode_of(request: &Request) -> u8 {
+    match request {
+        Request::Register { .. } => wire::OP_REGISTER,
+        Request::Deregister { .. } => wire::OP_DEREGISTER,
+        Request::Submit { .. } => wire::OP_SUBMIT,
+        Request::RunEpoch => wire::OP_RUN_EPOCH,
+        Request::Report { .. } => wire::OP_REPORT,
+        Request::Ping => wire::OP_PING,
+        Request::Health => wire::OP_HEALTH,
+    }
 }
 
 /// Executes one decoded request against the plane. Decode has already
@@ -241,5 +359,6 @@ fn handle_request(request: Request, service: &ShardedReconfigService) -> Respons
                 .map(|snap| SnapshotSummary::from(&*snap)),
         ),
         Request::Ping => Response::Pong,
+        Request::Health => Response::Health(service.health()),
     }
 }

@@ -75,6 +75,11 @@ pub enum ServeError {
         /// The underlying planning error.
         source: PlanError,
     },
+    /// The cache is quarantined: its planner panicked during an epoch.
+    /// The last-good snapshot keeps serving, but new submissions are
+    /// rejected until the cache is deregistered and re-registered (or
+    /// the plane is restored from its journal).
+    Quarantined(CacheId),
 }
 
 impl fmt::Display for ServeError {
@@ -90,6 +95,9 @@ impl fmt::Display for ServeError {
                 "tenant {tenant} out of range for {cache} ({tenants} tenants)"
             ),
             ServeError::Plan { cache, source } => write!(f, "planning {cache} failed: {source}"),
+            ServeError::Quarantined(id) => {
+                write!(f, "{id} is quarantined after a planner panic")
+            }
         }
     }
 }
@@ -119,6 +127,10 @@ pub struct EpochReport {
     pub deferred: Vec<CacheId>,
     /// Caches whose replanning failed, with the error.
     pub failed: Vec<(CacheId, ServeError)>,
+    /// Caches quarantined this epoch: their planner panicked. The panic
+    /// is contained to the cache — its last-good snapshot keeps serving,
+    /// and every other cache plans normally.
+    pub quarantined: Vec<CacheId>,
     /// Dirty caches left in the queue for the next epoch (batch overflow).
     pub remaining_dirty: usize,
 }
@@ -126,7 +138,10 @@ pub struct EpochReport {
 impl EpochReport {
     /// Whether the epoch had nothing at all to do.
     pub fn is_idle(&self) -> bool {
-        self.planned.is_empty() && self.deferred.is_empty() && self.failed.is_empty()
+        self.planned.is_empty()
+            && self.deferred.is_empty()
+            && self.failed.is_empty()
+            && self.quarantined.is_empty()
     }
 }
 
@@ -283,6 +298,49 @@ impl ReconfigService {
         self.shard.registered()
     }
 
+    /// Ids of quarantined caches, ascending. A cache is quarantined when
+    /// its planner panics during an epoch; see [`ServeError::Quarantined`].
+    pub fn quarantined(&self) -> Vec<CacheId> {
+        self.shard.quarantined()
+    }
+
+    /// The plane's health snapshot: this single shard's counters plus
+    /// epoch progress. `connections`/`rejected` are zero here — they are
+    /// filled in by an RPC front-end, if one is serving this plane.
+    pub fn health(&self) -> talus_core::PlaneHealth {
+        let quarantined: Vec<u64> = self
+            .shard
+            .quarantined()
+            .iter()
+            .map(|id| id.value())
+            .collect();
+        let shard = talus_core::ShardHealth {
+            caches: self.shard.registered() as u64,
+            pending: self.shard.pending() as u64,
+            quarantined: quarantined.len() as u64,
+            state: talus_core::ShardState::Ok,
+        };
+        talus_core::PlaneHealth {
+            epochs: self.epochs(),
+            caches: shard.caches,
+            pending: shard.pending,
+            quarantined,
+            shards: vec![shard],
+            store: self.shard.store_health(),
+            connections: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Attaches a deterministic [`FaultScript`](talus_core::FaultScript):
+    /// the shard consults it at the `"shard.plan"` site (key = raw cache
+    /// id) before invoking the planner. Test-substrate plumbing — an
+    /// empty script (or none) costs nothing on the planning path.
+    pub fn with_fault_script(mut self, script: std::sync::Arc<talus_core::FaultScript>) -> Self {
+        self.shard.set_fault_script(script);
+        self
+    }
+
     /// Runs one planning epoch: drain a batch of dirty caches, re-plan
     /// them through the shared [`Planner`] pipeline with **no locks
     /// held**, then publish the new snapshots in one epoch swap. The
@@ -405,7 +463,10 @@ mod tests {
         let s = ReconfigService::new();
         let id = s.register(CacheSpec::new(1024, 1));
         for round in 1..=3u64 {
-            s.submit(id, 0, curve(512.0, 1024.0)).unwrap();
+            // A different curve each round: resubmitting bit-identical
+            // curves is a deliberate no-op (idempotent retries).
+            s.submit(id, 0, curve(512.0 - 64.0 * round as f64, 1024.0))
+                .unwrap();
             s.run_epoch();
             assert_eq!(s.snapshot(id).unwrap().version, round);
         }

@@ -10,11 +10,12 @@
 //! siblings exist — caches never share state, and neither do shards.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::service::{CacheSpec, EpochReport, ServeError};
 use crate::snapshot::{CacheId, PlanSnapshot};
-use talus_core::MissCurve;
+use talus_core::{FaultScript, MissCurve, StoreHealth};
 use talus_partition::Planner;
 use talus_store::StoreSink;
 
@@ -30,6 +31,11 @@ struct CacheEntry {
     version: u64,
     /// Whether the cache sits in the dirty queue.
     dirty: bool,
+    /// Set when the cache's planner panicked during an epoch. The
+    /// last-good snapshot keeps serving; submissions are rejected and
+    /// the drain skips the cache until it is re-registered (or the plane
+    /// is restored from its journal, which rebuilds entries fresh).
+    quarantined: bool,
 }
 
 #[derive(Debug, Default)]
@@ -52,6 +58,10 @@ pub(crate) struct Shard {
     /// registry lock, in the exact order it takes effect. `None` = no
     /// persistence (the default).
     sink: Option<Arc<dyn StoreSink>>,
+    /// Deterministic fault-injection seam, consulted at `"shard.plan"`
+    /// (key = raw cache id) inside the planner's panic containment.
+    /// `None` outside the test substrate.
+    fault: Option<Arc<FaultScript>>,
     registry: Mutex<Registry>,
     /// Reader-facing snapshot map: the only state readers touch.
     published: RwLock<HashMap<u64, Arc<PlanSnapshot>>>,
@@ -65,6 +75,7 @@ impl Shard {
             max_batch,
             index: 0,
             sink: None,
+            fault: None,
             registry: Mutex::new(Registry::default()),
             published: RwLock::new(HashMap::new()),
         }
@@ -83,8 +94,28 @@ impl Shard {
         self.sink = Some(sink);
     }
 
+    /// Attaches the fault-injection script consulted at `"shard.plan"`.
+    pub(crate) fn set_fault_script(&mut self, script: Arc<FaultScript>) {
+        self.fault = Some(script);
+    }
+
+    // Lock poisoning: a panic while a shard lock is held can only come
+    // from the planner seam, and that is wrapped in `catch_unwind` with
+    // no lock held — so a poisoned shard lock means some *other* code
+    // panicked mid-mutation. Registry and published state are always
+    // written in self-consistent steps (no partial multi-field updates
+    // survive an early return), so recovery takes the data as-is rather
+    // than poisoning the whole plane.
     fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
-        self.registry.lock().expect("registry lock poisoned")
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read_published(&self) -> std::sync::RwLockReadGuard<'_, HashMap<u64, Arc<PlanSnapshot>>> {
+        self.published.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_published(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<u64, Arc<PlanSnapshot>>> {
+        self.published.write().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Inserts a cache under an id the caller allocated. The cache
@@ -103,6 +134,7 @@ impl Shard {
                 updates: 0,
                 version: 0,
                 dirty: false,
+                quarantined: false,
             },
         );
     }
@@ -121,10 +153,7 @@ impl Shard {
                 sink.deregister(id.0);
             }
         }
-        self.published
-            .write()
-            .expect("published lock poisoned")
-            .remove(&id.0);
+        self.write_published().remove(&id.0);
         Ok(())
     }
 
@@ -141,6 +170,9 @@ impl Shard {
             .caches
             .get_mut(&id.0)
             .ok_or(ServeError::UnknownCache(id))?;
+        if entry.quarantined {
+            return Err(ServeError::Quarantined(id));
+        }
         let tenants = entry.spec.tenants;
         if tenant >= tenants {
             return Err(ServeError::TenantOutOfRange {
@@ -148,6 +180,36 @@ impl Shard {
                 tenant,
                 tenants,
             });
+        }
+        // A bit-identical resubmission is a full no-op — no journal
+        // append, no update count, no dirty mark. This is what makes
+        // retried/duplicated submissions idempotent: the retried plane
+        // (and its journal) is bit-identical to the once-delivered one.
+        //
+        // "No-op" requires the curve to already be *accounted for*:
+        // queued for planning (dirty) or reflected in a published
+        // snapshot. A cache whose plan was lost — a crash between the
+        // epoch cut and publication, or a planner failure — has current
+        // curves but no current plan; there a resubmission re-marks
+        // dirty (still without journaling a duplicate or bumping the
+        // update count — the journal already holds this curve, and
+        // replaying it re-derives the same dirty mark) so the next
+        // epoch plans it. Lock order registry → published matches the
+        // publish phase, so this read can't deadlock.
+        if entry.curves[tenant].as_ref() == Some(&curve) {
+            if entry.dirty {
+                return Ok(());
+            }
+            let updates = entry.updates;
+            let planned = self
+                .read_published()
+                .get(&id.0)
+                .is_some_and(|snap| snap.updates == updates);
+            if !planned {
+                entry.dirty = true;
+                reg.dirty_queue.push_back(id.0);
+            }
+            return Ok(());
         }
         if let Some(sink) = &self.sink {
             sink.submit(id.0, tenant as u32, &curve);
@@ -165,11 +227,7 @@ impl Shard {
     ///
     /// This is the reader hot path: a read-lock held for one `Arc` clone.
     pub(crate) fn snapshot(&self, id: CacheId) -> Option<Arc<PlanSnapshot>> {
-        self.published
-            .read()
-            .expect("published lock poisoned")
-            .get(&id.0)
-            .cloned()
+        self.read_published().get(&id.0).cloned()
     }
 
     /// Dirty caches currently queued on this shard.
@@ -184,10 +242,7 @@ impl Shard {
 
     /// Published snapshots currently visible on this shard.
     pub(crate) fn snapshots(&self) -> usize {
-        self.published
-            .read()
-            .expect("published lock poisoned")
-            .len()
+        self.read_published().len()
     }
 
     /// Ids of every cache registered on this shard (unordered).
@@ -232,6 +287,13 @@ impl Shard {
                     continue; // deregistered while queued
                 };
                 entry.dirty = false;
+                if entry.quarantined {
+                    // Raced into the queue between its drain and its
+                    // quarantine (submit rejects quarantined caches, so
+                    // this is the only way in). Drop it silently: the
+                    // quarantine was already reported.
+                    continue;
+                }
                 if entry.curves.iter().any(Option::is_none) {
                     // Not every tenant has reported yet: wait for data. The
                     // missing tenant's first submission re-queues the cache.
@@ -257,20 +319,43 @@ impl Shard {
             }
         }
 
-        // Phase 2 — plan (no locks): the expensive part.
+        // Phase 2 — plan (no locks): the expensive part. Each planner
+        // invocation runs inside `catch_unwind`, so a panic — a planner
+        // bug, or a scripted fault at the `"shard.plan"` seam — is
+        // contained to its cache: the cache is quarantined (last-good
+        // snapshot keeps serving) and every sibling plans normally.
         let mut planned = Vec::new();
         let mut failed = Vec::new();
+        let mut quarantined = Vec::new();
         let mut ready = Vec::new();
         for job in jobs {
-            match job.planner.plan(&job.curves, job.capacity, job.round) {
-                Ok(plan) => ready.push((job.id, job.updates, plan)),
-                Err(source) => failed.push((
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(fault) = &self.fault {
+                    let _ = fault.check("shard.plan", job.id.0);
+                }
+                job.planner.plan(&job.curves, job.capacity, job.round)
+            }));
+            match outcome {
+                Ok(Ok(plan)) => ready.push((job.id, job.updates, plan)),
+                Ok(Err(source)) => failed.push((
                     job.id,
                     ServeError::Plan {
                         cache: job.id,
                         source,
                     },
                 )),
+                Err(_panic) => quarantined.push(job.id),
+            }
+        }
+
+        // Quarantine before publishing: flip the flag under the registry
+        // lock so concurrent submits start bouncing immediately.
+        if !quarantined.is_empty() {
+            let mut reg = self.lock_registry();
+            for id in &quarantined {
+                if let Some(entry) = reg.caches.get_mut(&id.0) {
+                    entry.quarantined = true;
+                }
             }
         }
 
@@ -283,7 +368,7 @@ impl Shard {
         // inverted elsewhere (remove takes them sequentially).
         if !ready.is_empty() {
             let mut reg = self.lock_registry();
-            let mut published = self.published.write().expect("published lock poisoned");
+            let mut published = self.write_published();
             for (id, updates, plan) in ready {
                 let Some(entry) = reg.caches.get_mut(&id.0) else {
                     continue; // deregistered mid-plan: drop the result
@@ -317,13 +402,38 @@ impl Shard {
         planned.sort_unstable();
         deferred.sort_unstable();
         failed.sort_unstable_by_key(|(id, _)| *id);
+        quarantined.sort_unstable();
 
         EpochReport {
             epoch,
             planned,
             deferred,
             failed,
+            quarantined,
             remaining_dirty,
+        }
+    }
+
+    /// Ids of quarantined caches on this shard, ascending.
+    pub(crate) fn quarantined(&self) -> Vec<CacheId> {
+        let mut ids: Vec<CacheId> = self
+            .lock_registry()
+            .caches
+            .iter()
+            .filter(|(_, entry)| entry.quarantined)
+            .map(|(id, _)| CacheId(*id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The health of this shard's journal sink ([`StoreHealth::None`]
+    /// when the shard is ephemeral).
+    pub(crate) fn store_health(&self) -> StoreHealth {
+        match &self.sink {
+            None => StoreHealth::None,
+            Some(sink) if sink.is_faulted() => StoreHealth::Faulted,
+            Some(_) => StoreHealth::Ok,
         }
     }
 
@@ -350,6 +460,7 @@ impl Shard {
                 updates: 0,
                 version: 0,
                 dirty: false,
+                quarantined: false,
             },
         );
         true
@@ -364,10 +475,7 @@ impl Shard {
             // later cut record pops it just like the live drain did.
         };
         if known {
-            self.published
-                .write()
-                .expect("published lock poisoned")
-                .remove(&id);
+            self.write_published().remove(&id);
         }
         known
     }
@@ -419,10 +527,7 @@ impl Shard {
             return false;
         };
         entry.version = snap.version;
-        self.published
-            .write()
-            .expect("published lock poisoned")
-            .insert(snap.cache.0, Arc::new(snap));
+        self.write_published().insert(snap.cache.0, Arc::new(snap));
         true
     }
 }

@@ -1,12 +1,12 @@
-//! The v1 wire protocol: length-prefixed, little-endian binary frames
-//! for curve ingest and epoch control.
+//! The v2 wire protocol: length-prefixed, little-endian binary frames
+//! for curve ingest, epoch control, and plane health.
 //!
 //! Every frame is
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     payload length N (LE u32), 2 ≤ N ≤ WIRE_MAX_FRAME_LEN
-//! 4       1     protocol version (WIRE_VERSION = 1)
+//! 4       1     protocol version (WIRE_VERSION = 2)
 //! 5       1     opcode
 //! 6       N−2   body (message-specific, see Request/Response)
 //! ```
@@ -42,28 +42,38 @@
 //!
 //! The version byte is checked on every frame. Any change to the frame
 //! layout, an opcode's body, or the limits in `talus_core::limits` bumps
-//! [`WIRE_VERSION`]; the golden-bytes fixture test pins the v1 encoding
-//! so accidental format drift fails CI.
+//! [`WIRE_VERSION`]; the golden-bytes fixture test pins the current
+//! encoding so accidental format drift fails CI.
+//!
+//! v2 (this version) over v1: a `Health` request/reply pair reporting
+//! per-shard failure state, a `Busy` response for over-capacity
+//! admission shedding, a `quarantined` id list in the epoch-report
+//! body, and a `Quarantined` serve-error tag.
 
 use std::io::Read;
 
 use crate::service::{EpochReport, ServeError};
 use crate::snapshot::{CacheId, PlanSnapshot};
 use talus_core::limits::{
-    WIRE_MAX_BATCH, WIRE_MAX_CURVE_POINTS, WIRE_MAX_FRAME_LEN, WIRE_MAX_IDS, WIRE_MAX_TENANTS,
+    WIRE_MAX_BATCH, WIRE_MAX_CURVE_POINTS, WIRE_MAX_FRAME_LEN, WIRE_MAX_IDS, WIRE_MAX_SHARDS,
+    WIRE_MAX_TENANTS,
 };
-use talus_core::{CurveError, MissCurve, PlanError};
+use talus_core::{
+    CurveError, MissCurve, PlanError, PlaneHealth, ShardHealth, ShardState, StoreHealth,
+};
 
 /// Protocol version carried in every frame header.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
-// Request opcodes (client → server).
-const OP_REGISTER: u8 = 0x01;
-const OP_DEREGISTER: u8 = 0x02;
-const OP_SUBMIT: u8 = 0x03;
-const OP_RUN_EPOCH: u8 = 0x04;
-const OP_REPORT: u8 = 0x05;
-const OP_PING: u8 = 0x06;
+// Request opcodes (client → server). Crate-visible so the server can
+// key `server.handle` fault-injection rules by opcode.
+pub(crate) const OP_REGISTER: u8 = 0x01;
+pub(crate) const OP_DEREGISTER: u8 = 0x02;
+pub(crate) const OP_SUBMIT: u8 = 0x03;
+pub(crate) const OP_RUN_EPOCH: u8 = 0x04;
+pub(crate) const OP_REPORT: u8 = 0x05;
+pub(crate) const OP_PING: u8 = 0x06;
+pub(crate) const OP_HEALTH: u8 = 0x07;
 
 // Response opcodes (server → client); high bit set.
 const OP_REGISTERED: u8 = 0x81;
@@ -72,6 +82,8 @@ const OP_SUBMIT_REPLY: u8 = 0x83;
 const OP_EPOCH: u8 = 0x84;
 const OP_SNAPSHOT: u8 = 0x85;
 const OP_PONG: u8 = 0x86;
+const OP_HEALTH_REPLY: u8 = 0x87;
+const OP_BUSY: u8 = 0x8E;
 const OP_ERROR: u8 = 0x8F;
 
 /// Everything that can go wrong reading or decoding a frame. Decode
@@ -198,6 +210,9 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
+    /// Fetch the plane's health snapshot (per-shard status, quarantined
+    /// caches, epoch counters, store fault state, admission counters).
+    Health,
 }
 
 /// A per-tenant slice of a [`SnapshotSummary`].
@@ -288,6 +303,12 @@ pub enum Response {
     Snapshot(Option<SnapshotSummary>),
     /// Reply to [`Request::Ping`].
     Pong,
+    /// Reply to [`Request::Health`]: the plane's failure-state snapshot.
+    Health(PlaneHealth),
+    /// The server is at its connection cap and is shedding this
+    /// connection. Sent before closing, so a client can distinguish
+    /// overload (retry later) from a crash (reconnect elsewhere).
+    Busy,
     /// Request-level failure (e.g. deregistering an unknown cache).
     Error(ServeError),
 }
@@ -357,6 +378,10 @@ impl FrameWriter {
                 self.u32(*tenant as u32);
                 self.u32(*tenants as u32);
             }
+            ServeError::Quarantined(id) => {
+                self.u8(4);
+                self.u64(id.value());
+            }
             ServeError::Plan { cache, source } => {
                 self.u8(3);
                 self.u64(cache.value());
@@ -416,6 +441,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u64(*id);
         }
         Request::Ping => w = FrameWriter::new(WIRE_VERSION, OP_PING),
+        Request::Health => w = FrameWriter::new(WIRE_VERSION, OP_HEALTH),
     }
     w.finish()
 }
@@ -452,6 +478,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 w.u64(id.value());
                 w.serve_error(err);
             }
+            w.ids(&report.quarantined);
             w.u64(report.remaining_dirty as u64);
         }
         Response::Snapshot(summary) => {
@@ -483,6 +510,34 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
         }
         Response::Pong => w = FrameWriter::new(WIRE_VERSION, OP_PONG),
+        Response::Health(h) => {
+            w = FrameWriter::new(WIRE_VERSION, OP_HEALTH_REPLY);
+            w.u64(h.epochs);
+            w.u64(h.caches);
+            w.u64(h.pending);
+            w.u64(h.connections);
+            w.u64(h.rejected);
+            w.u8(match h.store {
+                StoreHealth::None => 0,
+                StoreHealth::Ok => 1,
+                StoreHealth::Faulted => 2,
+            });
+            w.u32(h.quarantined.len() as u32);
+            for id in &h.quarantined {
+                w.u64(*id);
+            }
+            w.u32(h.shards.len() as u32);
+            for s in &h.shards {
+                w.u64(s.caches);
+                w.u64(s.pending);
+                w.u64(s.quarantined);
+                w.u8(match s.state {
+                    ShardState::Ok => 0,
+                    ShardState::Degraded => 1,
+                });
+            }
+        }
+        Response::Busy => w = FrameWriter::new(WIRE_VERSION, OP_BUSY),
         Response::Error(e) => {
             w = FrameWriter::new(WIRE_VERSION, OP_ERROR);
             w.serve_error(e);
@@ -525,11 +580,13 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let bytes = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let bytes = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -577,6 +634,7 @@ impl<'a> Reader<'a> {
     fn serve_error(&mut self) -> Result<ServeError, WireError> {
         match self.u8()? {
             1 => Ok(ServeError::UnknownCache(CacheId(self.u64()?))),
+            4 => Ok(ServeError::Quarantined(CacheId(self.u64()?))),
             2 => Ok(ServeError::TenantOutOfRange {
                 cache: CacheId(self.u64()?),
                 tenant: self.u32()? as usize,
@@ -666,6 +724,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         OP_RUN_EPOCH => Request::RunEpoch,
         OP_REPORT => Request::Report { id: r.u64()? },
         OP_PING => Request::Ping,
+        OP_HEALTH => Request::Health,
         got => return Err(WireError::BadOpcode { got }),
     };
     r.end()?;
@@ -701,12 +760,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             for _ in 0..failures {
                 failed.push((CacheId(r.u64()?), r.serve_error()?));
             }
+            let quarantined = r.ids()?;
             let remaining_dirty = r.u64()? as usize;
             Response::Epoch(EpochReport {
                 epoch,
                 planned,
                 deferred,
                 failed,
+                quarantined,
                 remaining_dirty,
             })
         }
@@ -750,6 +811,53 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             _ => return Err(WireError::Malformed("unknown snapshot tag")),
         },
         OP_PONG => Response::Pong,
+        OP_HEALTH_REPLY => {
+            let epochs = r.u64()?;
+            let caches = r.u64()?;
+            let pending = r.u64()?;
+            let connections = r.u64()?;
+            let rejected = r.u64()?;
+            let store = match r.u8()? {
+                0 => StoreHealth::None,
+                1 => StoreHealth::Ok,
+                2 => StoreHealth::Faulted,
+                _ => return Err(WireError::Malformed("unknown store-health tag")),
+            };
+            let quarantined_count = r.count(WIRE_MAX_IDS, 8)?;
+            let mut quarantined = Vec::with_capacity(quarantined_count);
+            for _ in 0..quarantined_count {
+                quarantined.push(r.u64()?);
+            }
+            let shard_count = r.count(WIRE_MAX_SHARDS, 8 + 8 + 8 + 1)?;
+            let mut shards = Vec::with_capacity(shard_count);
+            for _ in 0..shard_count {
+                let caches = r.u64()?;
+                let pending = r.u64()?;
+                let quarantined = r.u64()?;
+                let state = match r.u8()? {
+                    0 => ShardState::Ok,
+                    1 => ShardState::Degraded,
+                    _ => return Err(WireError::Malformed("unknown shard-state tag")),
+                };
+                shards.push(ShardHealth {
+                    caches,
+                    pending,
+                    quarantined,
+                    state,
+                });
+            }
+            Response::Health(PlaneHealth {
+                epochs,
+                caches,
+                pending,
+                quarantined,
+                shards,
+                store,
+                connections,
+                rejected,
+            })
+        }
+        OP_BUSY => Response::Busy,
         OP_ERROR => Response::Error(r.serve_error()?),
         got => return Err(WireError::BadOpcode { got }),
     };

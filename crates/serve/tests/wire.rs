@@ -1,13 +1,13 @@
 //! The wire-protocol battery: round-trip properties for every message
-//! type, a golden-bytes fixture pinning the v1 format, and an
+//! type, a golden-bytes fixture pinning the v2 format, and an
 //! adversarial suite proving the decoder is total — truncations,
 //! hostile length fields, wrong versions, garbage opcodes, and random
 //! byte soup all come back as typed errors, never panics, and never
 //! cost allocation proportional to an attacker-controlled length.
 
 use proptest::prelude::*;
-use talus_core::limits::{WIRE_MAX_BATCH, WIRE_MAX_FRAME_LEN, WIRE_MAX_TENANTS};
-use talus_core::{MissCurve, PlanError};
+use talus_core::limits::{WIRE_MAX_BATCH, WIRE_MAX_FRAME_LEN, WIRE_MAX_SHARDS, WIRE_MAX_TENANTS};
+use talus_core::{MissCurve, PlanError, PlaneHealth, ShardHealth, ShardState, StoreHealth};
 use talus_serve::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, Request,
     Response, ShadowSummary, SnapshotSummary, SubmitEntry, TenantSummary, WireError, WIRE_VERSION,
@@ -85,7 +85,7 @@ fn serve_error_from_seed(seed: u64, ids: &[CacheId]) -> ServeError {
 /// `prop_oneof`, so weighting rides a modulus, as in `sharding.rs`).
 fn arb_request() -> impl Strategy<Value = Request> {
     (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(kind, a, b, seed)| {
-        match kind % 6 {
+        match kind % 7 {
             0 => Request::Register {
                 capacity: 1 + a % (1 << 32),
                 tenants: 1 + (b % WIRE_MAX_TENANTS as u64) as u32,
@@ -103,7 +103,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
             }
             3 => Request::RunEpoch,
             4 => Request::Report { id: a },
-            _ => Request::Ping,
+            5 => Request::Ping,
+            _ => Request::Health,
         }
     })
 }
@@ -112,7 +113,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 fn arb_response() -> impl Strategy<Value = Response> {
     (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(kind, a, b, seed)| {
         let ids = cache_ids(4);
-        match kind % 7 {
+        match kind % 9 {
             0 => Response::Registered { id: a },
             1 => Response::Deregistered,
             2 => Response::SubmitReply {
@@ -136,6 +137,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         (ids[i as usize], e)
                     })
                     .collect(),
+                quarantined: ids[..(b >> 6) as usize % 3].to_vec(),
                 remaining_dirty: (b >> 8) as usize % 1000,
             }),
             4 => {
@@ -167,6 +169,34 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 }
             }
             5 => Response::Pong,
+            6 => Response::Busy,
+            7 => Response::Health(PlaneHealth {
+                epochs: a % 10_000,
+                caches: b % 1000,
+                pending: (b >> 4) % 1000,
+                quarantined: (0..(seed % 4))
+                    .map(|i| (seed >> 8).wrapping_add(i))
+                    .collect(),
+                shards: (0..1 + b % 4)
+                    .map(|i| ShardHealth {
+                        caches: (b >> i) % 100,
+                        pending: (seed >> i) % 100,
+                        quarantined: (a >> i) % 4,
+                        state: if (seed >> (16 + i)) & 1 == 0 {
+                            ShardState::Ok
+                        } else {
+                            ShardState::Degraded
+                        },
+                    })
+                    .collect(),
+                store: match seed % 3 {
+                    0 => StoreHealth::None,
+                    1 => StoreHealth::Ok,
+                    _ => StoreHealth::Faulted,
+                },
+                connections: a % 100,
+                rejected: (a >> 8) % 100,
+            }),
             _ => Response::Error(serve_error_from_seed(seed, &ids)),
         }
     })
@@ -288,7 +318,7 @@ fn undersized_length_prefix_is_malformed() {
 
 #[test]
 fn wrong_version_is_rejected_on_every_opcode() {
-    for version in [0u8, 2, 9, 0xFF] {
+    for version in [0u8, 1, 9, 0xFF] {
         for opcode in 0..=0xFFu8 {
             let payload = [version, opcode];
             assert_eq!(
@@ -305,8 +335,8 @@ fn wrong_version_is_rejected_on_every_opcode() {
 
 #[test]
 fn garbage_opcodes_are_typed_errors() {
-    let request_ops = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06];
-    let response_ops = [0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x8F];
+    let request_ops = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+    let response_ops = [0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x8E, 0x8F];
     for opcode in 0..=0xFFu8 {
         let payload = [WIRE_VERSION, opcode];
         if !request_ops.contains(&opcode) {
@@ -434,35 +464,39 @@ fn trailing_bytes_are_malformed() {
 }
 
 // ---------------------------------------------------------------------
-// Golden bytes: the v1 format, pinned byte for byte. If any of these
+// Golden bytes: the v2 format, pinned byte for byte. If any of these
 // fail, the wire format changed — bump WIRE_VERSION and make the change
-// deliberate.
+// deliberate. (v2 over v1: Health/Busy opcodes, the quarantined id list
+// in epoch reports, serve-error tag 4.)
 // ---------------------------------------------------------------------
 
 #[test]
-fn golden_v1_constants() {
-    assert_eq!(WIRE_VERSION, 1);
+fn golden_v2_constants() {
+    assert_eq!(WIRE_VERSION, 2);
     // The limits are part of the format contract (decoders reject by
     // them), so drifting them silently is a wire change too.
     assert_eq!(WIRE_MAX_FRAME_LEN, 1 << 20);
     assert_eq!(WIRE_MAX_BATCH, 1024);
     assert_eq!(WIRE_MAX_TENANTS, 1024);
+    assert_eq!(WIRE_MAX_SHARDS, 4096);
 }
 
 #[test]
-fn golden_v1_fixed_frames() {
-    // [len=2 LE] [version=1] [opcode]
-    assert_eq!(encode_request(&Request::Ping), [2, 0, 0, 0, 1, 0x06]);
-    assert_eq!(encode_request(&Request::RunEpoch), [2, 0, 0, 0, 1, 0x04]);
-    assert_eq!(encode_response(&Response::Pong), [2, 0, 0, 0, 1, 0x86]);
+fn golden_v2_fixed_frames() {
+    // [len=2 LE] [version=2] [opcode]
+    assert_eq!(encode_request(&Request::Ping), [2, 0, 0, 0, 2, 0x06]);
+    assert_eq!(encode_request(&Request::RunEpoch), [2, 0, 0, 0, 2, 0x04]);
+    assert_eq!(encode_request(&Request::Health), [2, 0, 0, 0, 2, 0x07]);
+    assert_eq!(encode_response(&Response::Pong), [2, 0, 0, 0, 2, 0x86]);
+    assert_eq!(encode_response(&Response::Busy), [2, 0, 0, 0, 2, 0x8E]);
     assert_eq!(
         encode_response(&Response::Deregistered),
-        [2, 0, 0, 0, 1, 0x82]
+        [2, 0, 0, 0, 2, 0x82]
     );
 }
 
 #[test]
-fn golden_v1_register_frame() {
+fn golden_v2_register_frame() {
     // len=14: version + opcode + capacity u64 LE + tenants u32 LE.
     let bytes = encode_request(&Request::Register {
         capacity: 4096,
@@ -472,7 +506,7 @@ fn golden_v1_register_frame() {
         bytes,
         [
             14, 0, 0, 0, // length
-            1, 0x01, // version, opcode
+            2, 0x01, // version, opcode
             0x00, 0x10, 0, 0, 0, 0, 0, 0, // capacity = 4096
             3, 0, 0, 0, // tenants
         ]
@@ -480,7 +514,7 @@ fn golden_v1_register_frame() {
 }
 
 #[test]
-fn golden_v1_submit_frame() {
+fn golden_v2_submit_frame() {
     // One entry, two-point curve; f64s are IEEE-754 bit patterns LE.
     let curve = MissCurve::from_samples(&[0.0, 64.0], &[8.0, 2.0]).unwrap();
     let bytes = encode_request(&Request::Submit {
@@ -494,7 +528,7 @@ fn golden_v1_submit_frame() {
         bytes,
         [
             54, 0, 0, 0, // length = 2 + 4 + 8 + 4 + 4 + 2*16
-            1, 0x03, // version, opcode
+            2, 0x03, // version, opcode
             1, 0, 0, 0, // entry count
             7, 0, 0, 0, 0, 0, 0, 0, // cache id
             1, 0, 0, 0, // tenant
@@ -508,20 +542,21 @@ fn golden_v1_submit_frame() {
 }
 
 #[test]
-fn golden_v1_epoch_report_frame() {
+fn golden_v2_epoch_report_frame() {
     let ids = cache_ids(2);
     let bytes = encode_response(&Response::Epoch(EpochReport {
         epoch: 3,
         planned: vec![ids[0]],
         deferred: vec![],
         failed: vec![(ids[1], ServeError::UnknownCache(ids[1]))],
+        quarantined: vec![],
         remaining_dirty: 2,
     }));
     assert_eq!(
         bytes,
         [
-            55, 0, 0, 0, // length
-            1, 0x84, // version, opcode
+            59, 0, 0, 0, // length
+            2, 0x84, // version, opcode
             3, 0, 0, 0, 0, 0, 0, 0, // epoch
             1, 0, 0, 0, // planned count
             0, 0, 0, 0, 0, 0, 0, 0, // planned[0] = cache id 0
@@ -530,13 +565,98 @@ fn golden_v1_epoch_report_frame() {
             1, 0, 0, 0, 0, 0, 0, 0, // failed[0] cache id 1
             1, // serve-error tag: UnknownCache
             1, 0, 0, 0, 0, 0, 0, 0, // the unknown id
+            0, 0, 0, 0, // quarantined count (v2)
             2, 0, 0, 0, 0, 0, 0, 0, // remaining_dirty
         ]
     );
 }
 
 #[test]
-fn golden_v1_snapshot_frame() {
+fn golden_v2_quarantined_error_frame() {
+    // Serve-error tag 4 (v2): a submission rejected by quarantine.
+    let ids = cache_ids(1);
+    let bytes = encode_response(&Response::Error(ServeError::Quarantined(ids[0])));
+    assert_eq!(
+        bytes,
+        [
+            11, 0, 0, 0, // length
+            2, 0x8F, // version, opcode
+            4,    // serve-error tag: Quarantined
+            0, 0, 0, 0, 0, 0, 0, 0, // the quarantined id
+        ]
+    );
+}
+
+#[test]
+fn golden_v2_health_frame() {
+    let bytes = encode_response(&Response::Health(PlaneHealth {
+        epochs: 5,
+        caches: 3,
+        pending: 1,
+        quarantined: vec![9],
+        shards: vec![
+            ShardHealth {
+                caches: 2,
+                pending: 1,
+                quarantined: 0,
+                state: ShardState::Ok,
+            },
+            ShardHealth {
+                caches: 1,
+                pending: 0,
+                quarantined: 1,
+                state: ShardState::Degraded,
+            },
+        ],
+        store: StoreHealth::Faulted,
+        connections: 4,
+        rejected: 7,
+    }));
+    assert_eq!(
+        bytes,
+        [
+            109, 0, 0, 0, // length
+            2, 0x87, // version, opcode
+            5, 0, 0, 0, 0, 0, 0, 0, // epochs
+            3, 0, 0, 0, 0, 0, 0, 0, // caches
+            1, 0, 0, 0, 0, 0, 0, 0, // pending
+            4, 0, 0, 0, 0, 0, 0, 0, // connections
+            7, 0, 0, 0, 0, 0, 0, 0, // rejected
+            2, // store: Faulted
+            1, 0, 0, 0, // quarantined count
+            9, 0, 0, 0, 0, 0, 0, 0, // quarantined[0]
+            2, 0, 0, 0, // shard count
+            2, 0, 0, 0, 0, 0, 0, 0, // shard 0 caches
+            1, 0, 0, 0, 0, 0, 0, 0, // shard 0 pending
+            0, 0, 0, 0, 0, 0, 0, 0, // shard 0 quarantined
+            0, // shard 0 state: Ok
+            1, 0, 0, 0, 0, 0, 0, 0, // shard 1 caches
+            0, 0, 0, 0, 0, 0, 0, 0, // shard 1 pending
+            1, 0, 0, 0, 0, 0, 0, 0, // shard 1 quarantined
+            1, // shard 1 state: Degraded
+        ]
+    );
+}
+
+#[test]
+fn hostile_health_shard_count_fails_before_allocation() {
+    // A health frame claiming u32::MAX shards would be ~100 GiB if the
+    // decoder trusted the count.
+    let mut payload = vec![WIRE_VERSION, 0x87];
+    for _ in 0..5 {
+        payload.extend_from_slice(&0u64.to_le_bytes());
+    }
+    payload.push(0); // store: None
+    payload.extend_from_slice(&0u32.to_le_bytes()); // no quarantined ids
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile shards
+    assert!(matches!(
+        decode_response(&payload),
+        Err(WireError::BadCount { .. })
+    ));
+}
+
+#[test]
+fn golden_v2_snapshot_frame() {
     let bytes = encode_response(&Response::Snapshot(Some(SnapshotSummary {
         cache: 5,
         epoch: 9,
@@ -557,7 +677,7 @@ fn golden_v1_snapshot_frame() {
         bytes,
         [
             88, 0, 0, 0, // length
-            1, 0x85, // version, opcode
+            2, 0x85, // version, opcode
             1,    // present tag
             5, 0, 0, 0, 0, 0, 0, 0, // cache
             9, 0, 0, 0, 0, 0, 0, 0, // epoch
@@ -576,6 +696,6 @@ fn golden_v1_snapshot_frame() {
     // Absent snapshot: just the tag.
     assert_eq!(
         encode_response(&Response::Snapshot(None)),
-        [3, 0, 0, 0, 1, 0x85, 0]
+        [3, 0, 0, 0, 2, 0x85, 0]
     );
 }

@@ -45,6 +45,14 @@ pub trait StoreSink: Send + Sync + fmt::Debug {
 
     /// A plan was published for cache `id`.
     fn plan(&self, id: u64, epoch: u64, version: u64, updates: u64, plan: &CachePlan);
+
+    /// Whether the sink has hit a write fault and is dropping appends.
+    /// The plane polls this into its health report, so a silently
+    /// dropped journal becomes an observable event. Defaults to `false`
+    /// for sinks that cannot fail (in-memory recorders in tests).
+    fn is_faulted(&self) -> bool {
+        false
+    }
 }
 
 /// What opening a store found and recovered, per shard.
@@ -109,6 +117,9 @@ pub struct Store {
     /// Set on the first append failure; checked before every append.
     faulted: AtomicBool,
     fault: Mutex<Option<StoreError>>,
+    /// Deterministic fault-injection seam, consulted at `"store.append"`
+    /// (key = shard index) before each append. `None` outside tests.
+    script: Option<std::sync::Arc<talus_core::FaultScript>>,
     recovery: RecoveryReport,
 }
 
@@ -149,8 +160,18 @@ impl Store {
             seq: AtomicU64::new(max_seq.map_or(0, |s| s + 1)),
             faulted: AtomicBool::new(false),
             fault: Mutex::new(None),
+            script: None,
             recovery: report,
         })
+    }
+
+    /// Attaches a deterministic [`FaultScript`](talus_core::FaultScript):
+    /// the store consults it at the `"store.append"` site (key = shard
+    /// index) before each append; a `Fail` directive trips the fault
+    /// flag exactly as a real write error would.
+    pub fn with_fault_script(mut self, script: std::sync::Arc<talus_core::FaultScript>) -> Self {
+        self.script = Some(script);
+        self
     }
 
     /// Number of journal shards (fixed at open).
@@ -173,6 +194,13 @@ impl Store {
     /// prefixes of the plane's history up to the fault.
     pub fn last_error(&self) -> Option<StoreError> {
         self.fault.lock().expect("fault lock poisoned").clone()
+    }
+
+    /// Whether the store has tripped its fault flag and is dropping
+    /// appends. Cheap (one atomic load): the plane polls this on every
+    /// health request.
+    pub fn faulted(&self) -> bool {
+        self.faulted.load(Ordering::Acquire)
     }
 
     /// Flushes every shard file to stable storage (`fsync`). Appends
@@ -245,6 +273,17 @@ impl Store {
         if self.faulted.load(Ordering::Acquire) {
             return;
         }
+        if let Some(script) = &self.script {
+            if script.check("store.append", shard as u64) == talus_core::FaultDirective::Fail {
+                // Trip the fault exactly as a real write error would.
+                self.faulted.store(true, Ordering::Release);
+                self.fault
+                    .lock()
+                    .expect("fault lock poisoned")
+                    .get_or_insert(StoreError::Malformed("injected append fault"));
+                return;
+            }
+        }
         let mut journal = self.journals[shard].lock().expect("journal lock poisoned");
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = journal.append(&make(seq)) {
@@ -300,6 +339,10 @@ impl StoreSink for Store {
         self.append_with(self.shard_for(id), |seq| {
             encode_plan(seq, id, epoch, version, updates, plan)
         });
+    }
+
+    fn is_faulted(&self) -> bool {
+        self.faulted()
     }
 }
 

@@ -269,7 +269,10 @@ mod rpc {
         assert_eq!(snap.version, 1);
 
         // The plane keeps serving: the next epoch continues the count.
-        setup.submit(id, 0, curve()).expect("submit");
+        // (A fresh curve — a bit-identical resubmission of already
+        // planned data is an idempotent no-op and would plan nothing.)
+        let fresh = MissCurve::from_samples(&[0.0, 256.0, 512.0], &[9.0, 8.0, 1.0]).expect("valid");
+        setup.submit(id, 0, fresh).expect("submit");
         let report = setup.run_epoch().expect("epoch");
         assert_eq!(report.epoch, 2, "epoch counter stayed monotone");
         assert_eq!(report.planned, vec![id]);
@@ -357,7 +360,9 @@ mod rpc {
         assert_eq!(report.planned, vec![id]);
         let snap = service.snapshot(id).expect("published");
         assert_eq!(snap.version, 1, "one replan for a thousand submissions");
-        assert_eq!(snap.updates, 1000, "every update was still recorded");
+        // Bit-identical resubmissions are deduplicated at the shard (the
+        // idempotent-retry contract), so the flood counts as one update.
+        assert_eq!(snap.updates, 1, "identical resubmissions coalesce");
         handle.shutdown();
     }
 }
