@@ -66,6 +66,92 @@ pub fn shard_of(id: u64, n: usize) -> usize {
     (mix64(SHARD_SEED, id) % n as u64) as usize
 }
 
+/// A contiguous slice of the canonical shard layout owned by one process.
+///
+/// A cluster splits the `total` global shards of a plane across N server
+/// processes; each process owns the contiguous range
+/// `[first, first + count)`. Placement stays the pure function
+/// [`shard_of`]`(id, total)` — the topology only says which of those
+/// global shards are *local* — so routing is identical whether the plane
+/// runs in one process ([`ShardTopology::solo`]) or many, and a journal
+/// written under one member's topology restores under the same one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTopology {
+    total: usize,
+    first: usize,
+    count: usize,
+}
+
+impl ShardTopology {
+    /// The single-process topology: one process owns all `n` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn solo(n: usize) -> Self {
+        Self::range(n, 0, n)
+    }
+
+    /// A member owning global shards `[first, first + count)` of `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or the range does not fit in `total`.
+    pub fn range(total: usize, first: usize, count: usize) -> Self {
+        assert!(count > 0, "a member must own at least one shard");
+        assert!(
+            first.checked_add(count).is_some_and(|end| end <= total),
+            "shard range [{first}, {first}+{count}) exceeds total {total}"
+        );
+        Self {
+            total,
+            first,
+            count,
+        }
+    }
+
+    /// Global shards in the whole plane.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// First global shard this member owns.
+    pub fn first(&self) -> usize {
+        self.first
+    }
+
+    /// Number of contiguous global shards this member owns.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this member owns the whole plane (single-process layout).
+    pub fn is_solo(&self) -> bool {
+        self.first == 0 && self.count == self.total
+    }
+
+    /// The global shard cache `id` routes to: [`shard_of`]`(id, total)`.
+    pub fn global_shard(&self, id: u64) -> usize {
+        shard_of(id, self.total)
+    }
+
+    /// The member-local shard index for `id`, if this member owns it.
+    pub fn local_shard(&self, id: u64) -> Option<usize> {
+        let g = self.global_shard(id);
+        self.owns_shard(g).then(|| g - self.first)
+    }
+
+    /// Whether this member owns the shard cache `id` routes to.
+    pub fn owns(&self, id: u64) -> bool {
+        self.owns_shard(self.global_shard(id))
+    }
+
+    /// Whether global shard `g` falls in this member's owned range.
+    pub fn owns_shard(&self, g: usize) -> bool {
+        g >= self.first && g < self.first + self.count
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +201,45 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn shard_of_rejects_zero_shards() {
         shard_of(1, 0);
+    }
+
+    #[test]
+    fn topology_partitions_every_id_exactly_once() {
+        // Three members covering 6 shards: every id is owned by exactly
+        // one member, at a local index consistent with the global one.
+        let members = [
+            ShardTopology::range(6, 0, 2),
+            ShardTopology::range(6, 2, 2),
+            ShardTopology::range(6, 4, 2),
+        ];
+        for id in 0..500u64 {
+            let owners: Vec<_> = members.iter().filter(|t| t.owns(id)).collect();
+            assert_eq!(owners.len(), 1, "id {id} owned once");
+            let t = owners[0];
+            let local = t.local_shard(id).unwrap();
+            assert_eq!(t.first() + local, shard_of(id, 6));
+        }
+    }
+
+    #[test]
+    fn solo_topology_matches_shard_of() {
+        let t = ShardTopology::solo(4);
+        assert!(t.is_solo());
+        for id in 0..100u64 {
+            assert_eq!(t.local_shard(id), Some(shard_of(id, 4)));
+        }
+        assert!(!ShardTopology::range(4, 1, 3).is_solo());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total")]
+    fn topology_rejects_overhanging_range() {
+        ShardTopology::range(4, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn topology_rejects_empty_range() {
+        ShardTopology::range(4, 2, 0);
     }
 }

@@ -122,6 +122,40 @@ impl RetryPolicy {
             seed: 0,
         }
     }
+
+    /// The initial jitter-generator state for this policy (a zero seed
+    /// falls back to the default seed, since xorshift64 has a zero
+    /// fixed point).
+    pub fn seed_state(&self) -> u64 {
+        if self.seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            self.seed
+        }
+    }
+
+    /// The backoff before retry number `retry` (0-based): exponential
+    /// from the policy base (`base · 2^retry`), capped at `cap`, then
+    /// jittered to 50–100% of that value by the xorshift64 generator
+    /// threaded through `state` (start from
+    /// [`seed_state`](RetryPolicy::seed_state)). Pure arithmetic on the
+    /// policy and the passed state, so a given seed replays a given
+    /// backoff schedule exactly — failure tests and the cluster client's
+    /// probes are deterministic.
+    pub fn backoff(&self, state: &mut u64, retry: u32) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.base.saturating_mul(1u32 << retry.min(16));
+        let delay = exp.min(self.cap.max(self.base));
+        // xorshift64: deterministic for a given seed.
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        let half = delay / 2;
+        let jitter = *state % (half.as_nanos() as u64 + 1);
+        half + Duration::from_nanos(jitter)
+    }
 }
 
 impl Default for RetryPolicy {
@@ -222,11 +256,7 @@ impl RpcClient {
     /// [retryable](RpcError) failures. `register`/`deregister` are never
     /// retried.
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
-        self.rng = if policy.seed == 0 {
-            0x9E37_79B9_7F4A_7C15
-        } else {
-            policy.seed
-        };
+        self.rng = policy.seed_state();
         self.retry = policy;
         self
     }
@@ -277,23 +307,10 @@ impl RpcClient {
         }
     }
 
-    /// The backoff before retry number `retry` (0-based): exponential
-    /// from the policy base, capped, jittered to 50–100% by the seeded
-    /// generator.
+    /// The backoff before retry number `retry` (0-based), from the
+    /// policy's schedule, advancing this client's jitter state.
     fn backoff(&mut self, retry: u32) -> Duration {
-        let base = self.retry.base;
-        if base.is_zero() {
-            return Duration::ZERO;
-        }
-        let exp = base.saturating_mul(1u32 << retry.min(16));
-        let delay = exp.min(self.retry.cap.max(base));
-        // xorshift64: deterministic for a given seed.
-        self.rng ^= self.rng << 13;
-        self.rng ^= self.rng >> 7;
-        self.rng ^= self.rng << 17;
-        let half = delay / 2;
-        let jitter = self.rng % (half.as_nanos() as u64 + 1);
-        half + Duration::from_nanos(jitter)
+        self.retry.backoff(&mut self.rng, retry)
     }
 
     /// One request/response round trip. A typed `Busy` reply surfaces as
@@ -366,6 +383,48 @@ impl RpcClient {
         match self.call(&Request::Register { capacity, tenants })? {
             Response::Registered { id } => Ok(CacheId(id)),
             other => Err(Self::reject(other, "register")),
+        }
+    }
+
+    /// Registers a cache under a caller-minted id with the default
+    /// planner (capacity/64 grain) — the cluster registration path.
+    /// Retried under the retry policy: the server treats an identical
+    /// re-registration as an idempotent no-op, so a retried request
+    /// whose first reply was lost converges instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Serve`] with [`ServeError::Misrouted`] if this
+    /// server does not own the id's shard, or
+    /// [`ServeError::DuplicateCache`] if the id exists with a different
+    /// spec.
+    pub fn register_at(
+        &mut self,
+        id: CacheId,
+        capacity: u64,
+        tenants: u32,
+    ) -> Result<CacheId, RpcError> {
+        let req = Request::RegisterAt {
+            id: id.value(),
+            capacity,
+            tenants,
+        };
+        match self.call_retrying(&req)? {
+            Response::Registered { id } => Ok(CacheId(id)),
+            other => Err(Self::reject(other, "register-at")),
+        }
+    }
+
+    /// Cluster handshake: asks the server for its topology slice, epoch
+    /// progress, next unminted id, and plane health.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn hello(&mut self) -> Result<wire::ClusterInfo, RpcError> {
+        match self.call_retrying(&Request::Hello)? {
+            Response::Hello(info) => Ok(info),
+            other => Err(Self::reject(other, "hello")),
         }
     }
 
@@ -623,5 +682,110 @@ impl RpcClient {
             None => Ok(None),
             Some(payload) => Ok(Some(wire::decode_response(&payload)?)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full jittered backoff schedule for `retries` retries.
+    fn schedule(policy: &RetryPolicy, retries: u32) -> Vec<Duration> {
+        let mut state = policy.seed_state();
+        (0..retries)
+            .map(|r| policy.backoff(&mut state, r))
+            .collect()
+    }
+
+    #[test]
+    fn equal_seeds_replay_equal_backoff_schedules() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0xDEAD_BEEF,
+        };
+        assert_eq!(schedule(&policy, 32), schedule(&policy, 32));
+        // A different seed diverges somewhere in the schedule (the
+        // jitter range is wide enough that 32 identical draws from two
+        // xorshift streams would be astronomically unlikely).
+        let other = RetryPolicy {
+            seed: 0xBEEF_DEAD,
+            ..policy
+        };
+        assert_ne!(schedule(&policy, 32), schedule(&other, 32));
+    }
+
+    #[test]
+    fn zero_seed_falls_back_to_default_seed() {
+        // xorshift64 has a fixed point at zero; the policy must not.
+        let zeroed = RetryPolicy {
+            seed: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zeroed.seed_state(), RetryPolicy::default().seed_state());
+        assert!(schedule(&zeroed, 8).iter().all(|d| !d.is_zero()));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_bounded_by_the_cap() {
+        let policy = RetryPolicy {
+            attempts: 16,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            seed: 7,
+        };
+        let mut state = policy.seed_state();
+        for retry in 0..40 {
+            let delay = policy.backoff(&mut state, retry);
+            let raw = policy
+                .base
+                .saturating_mul(1u32 << retry.min(16))
+                .min(policy.cap);
+            // Jitter keeps each delay within 50–100% of the capped
+            // exponential value, so delays never exceed the cap and
+            // never collapse to zero.
+            assert!(delay >= raw / 2, "retry {retry}: {delay:?} < {:?}", raw / 2);
+            assert!(delay <= raw, "retry {retry}: {delay:?} > {raw:?}");
+            assert!(delay <= policy.cap);
+        }
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let policy = RetryPolicy::none();
+        let mut state = policy.seed_state();
+        assert_eq!(policy.backoff(&mut state, 0), Duration::ZERO);
+        assert_eq!(policy.backoff(&mut state, 31), Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_exhaustion_honors_the_attempt_count_exactly() {
+        // A listener that accepts and immediately drops every
+        // connection: each attempt fails at the transport layer, so the
+        // client runs its full schedule and reports the exact count.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // More accepts than attempts, in case the OS coalesces.
+            for stream in listener.incoming().take(16).flatten() {
+                drop(stream);
+            }
+        });
+        let attempts = 3;
+        let mut client = RpcClient::connect(addr)
+            .expect("connect")
+            .with_retry(RetryPolicy {
+                attempts,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                seed: 42,
+            });
+        match client.ping() {
+            Err(RpcError::Exhausted { attempts: got, .. }) => assert_eq!(got, attempts),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        drop(client);
+        drop(server); // The listener thread exits when its take() drains.
     }
 }

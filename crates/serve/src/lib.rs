@@ -121,6 +121,30 @@
 //! panics, delays, connection kills, and truncated frames, with the
 //! surviving caches asserted bit-identical to a fault-free run.
 //!
+//! ## Scaling across processes: the shard cluster
+//!
+//! One server is one failure domain. A **cluster** splits the fixed
+//! global shard layout across N server processes — each owns a
+//! contiguous [`talus_core::ShardTopology`] slice of the shards,
+//! journals its slice into its own `talus-store` directory, and
+//! refuses operations for ids it does not own
+//! ([`ServeError::Misrouted`]). [`ClusterClient`] assembles them back
+//! into one logical plane: a v3 `Hello` handshake verifies the
+//! advertised slices are disjoint and complete, cache-id minting moves
+//! client-side (servers in cluster topologies reject server-side
+//! minting with [`ServeError::ClusterMint`]), and every operation
+//! routes by the same `mix64(id) % total` placement a single-process
+//! plane uses — so cluster snapshots and epoch reports stay
+//! bit-identical to single-process ones (`tests/cluster.rs`). Partial
+//! failure follows the same discipline as everything above: a dead
+//! member trips a per-member circuit breaker (typed
+//! [`ClusterError::ShardDown`] naming the unreachable shard range,
+//! deterministic periodic re-probes), surviving members keep serving
+//! their slices, and a killed member resurrects from its journal slice
+//! via [`ShardedReconfigService::restore`] — with the handshake
+//! rejecting rejoins that changed topology or went backwards in epochs
+//! ([`HandshakeError::StaleEpoch`]).
+//!
 //! ```
 //! use talus_core::MissCurve;
 //! use talus_serve::{CacheSpec, ReconfigService};
@@ -148,6 +172,7 @@
 #![forbid(unsafe_code)]
 
 mod client;
+mod cluster;
 mod router;
 mod rpc_server;
 mod service;
@@ -156,6 +181,10 @@ mod snapshot;
 pub mod wire;
 
 pub use client::{RetryPolicy, RpcClient, RpcError};
+pub use cluster::{
+    ClusterClient, ClusterConfig, ClusterEpochReport, ClusterError, ClusterHealth, HandshakeError,
+    MemberHealth, DEFAULT_PROBE_INTERVAL,
+};
 pub use router::{RestoreError, RestoreSummary, ShardedReconfigService};
 pub use rpc_server::{RpcServer, ServerHandle, DEFAULT_MAX_CONNECTIONS};
 pub use service::{CacheSpec, EpochReport, ReconfigService, ServeError};

@@ -28,7 +28,7 @@ use crate::service::{CacheSpec, EpochReport, ServeError};
 use crate::shard::Shard;
 use crate::snapshot::{CacheId, PlanSnapshot};
 use talus_core::{
-    shard_of, CurveSource, FaultScript, MissCurve, PlaneHealth, ShardHealth, ShardState,
+    CurveSource, FaultScript, MissCurve, PlaneHealth, ShardHealth, ShardState, ShardTopology,
     StoreHealth,
 };
 use talus_store::{Record, Store, StoreError, StoreSink};
@@ -243,6 +243,10 @@ impl Drop for WorkerPool {
 #[derive(Debug)]
 pub struct ShardedReconfigService {
     shards: Vec<Arc<Shard>>,
+    /// Which slice of the global shard layout these local shards are.
+    /// [`ShardTopology::solo`] (the default) makes local == global; a
+    /// cluster member owns a sub-range and bounces misrouted ids.
+    topology: ShardTopology,
     next_id: AtomicU64,
     epochs: AtomicU64,
     /// `Some` in thread-pool mode: one worker per shard.
@@ -275,6 +279,7 @@ impl ShardedReconfigService {
         assert!(shards > 0, "need at least one shard");
         ShardedReconfigService {
             shards: (0..shards).map(|_| Arc::new(Shard::new(64))).collect(),
+            topology: ShardTopology::solo(shards),
             next_id: AtomicU64::new(0),
             epochs: AtomicU64::new(0),
             pool: None,
@@ -282,6 +287,38 @@ impl ShardedReconfigService {
             fault: None,
             epoch_deadline: DEFAULT_EPOCH_DEADLINE,
         }
+    }
+
+    /// Declares this plane a cluster member owning `topology`'s shard
+    /// range: local shard `i` is global shard `topology.first() + i`,
+    /// and operations on ids whose canonical placement
+    /// (`shard_of(id, topology.total())`) falls outside the range are
+    /// bounced with [`ServeError::Misrouted`]. The default is
+    /// [`ShardTopology::solo`] — every shard local, nothing bounced.
+    ///
+    /// Configure first (before sinks, fault scripts, restore, and
+    /// threads): the topology changes placement, so everything journaled
+    /// or registered must already live under it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology.count()` differs from the plane's shard
+    /// count, if the plane already has state, or if thread-pool mode is
+    /// already enabled.
+    pub fn with_topology(mut self, topology: ShardTopology) -> Self {
+        assert!(self.pool.is_none(), "set the topology before threads");
+        assert!(self.sink.is_none(), "set the topology before the sink");
+        assert_eq!(
+            topology.count(),
+            self.shards.len(),
+            "topology range must match the plane's shard count"
+        );
+        assert!(
+            self.registered() == 0 && self.epochs.load(Ordering::Relaxed) == 0,
+            "set the topology on a fresh plane"
+        );
+        self.topology = topology;
+        self
     }
 
     /// Caps how many caches each **shard** replans per epoch (so a plane
@@ -329,6 +366,11 @@ impl ShardedReconfigService {
             sink.shards(),
             self.shards.len(),
             "sink shard layout must match the plane"
+        );
+        assert_eq!(
+            sink.topology(),
+            self.topology,
+            "sink topology slice must match the plane"
         );
         for (i, shard) in self.shards.iter_mut().enumerate() {
             Arc::get_mut(shard)
@@ -401,9 +443,21 @@ impl ShardedReconfigService {
         self
     }
 
-    /// Number of shards.
+    /// Number of local shards (the plane's own; for a cluster member
+    /// this is its owned range, not the global total).
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// This plane's slice of the global shard layout.
+    pub fn topology(&self) -> ShardTopology {
+        self.topology
+    }
+
+    /// The smallest id this plane has never minted or restored — what a
+    /// cluster member advertises so a client can seed its own mint.
+    pub fn next_id_hint(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
     }
 
     /// Whether epochs run on per-shard worker threads.
@@ -411,25 +465,71 @@ impl ShardedReconfigService {
         self.pool.is_some()
     }
 
-    /// The shard index `id` routes to: [`talus_core::shard_of`]. Stable
-    /// for a given shard count and shared with `talus-store`'s journal
-    /// layout; exposed for observability (logs, dashboards).
+    /// The **global** shard index `id` routes to:
+    /// [`talus_core::shard_of`]`(id, topology.total())`. Stable for a
+    /// given total and shared with `talus-store`'s journal layout;
+    /// exposed for observability (logs, dashboards). For the default
+    /// solo topology this is also the local shard index.
     pub fn shard_index(&self, id: CacheId) -> usize {
-        shard_of(id.value(), self.shards.len())
+        self.topology.global_shard(id.value())
     }
 
-    fn shard_of(&self, id: CacheId) -> &Shard {
-        &self.shards[self.shard_index(id)]
+    /// The local shard owning `id`, or [`ServeError::Misrouted`] naming
+    /// the owning global shard when it lives on another cluster member.
+    fn try_shard_of(&self, id: CacheId) -> Result<&Shard, ServeError> {
+        match self.topology.local_shard(id.value()) {
+            Some(local) => Ok(&self.shards[local]),
+            None => Err(ServeError::Misrouted {
+                cache: id,
+                shard: self.topology.global_shard(id.value()),
+            }),
+        }
     }
 
     /// Registers a logical cache; returns its handle. Ids are allocated
     /// from one plane-wide counter (never reused), then routed to a shard
     /// by hash. The cache publishes no plan until every tenant has
     /// submitted at least one curve and an epoch has run.
+    ///
+    /// # Panics
+    ///
+    /// Panics under a non-solo topology: a cluster member owns only a
+    /// slice of the id space, so minting must happen at the cluster
+    /// client ([`register_with_id`] is the member-side entry; the RPC
+    /// server turns a stray `Register` into
+    /// [`ServeError::ClusterMint`] before reaching this).
+    ///
+    /// [`register_with_id`]: ShardedReconfigService::register_with_id
     pub fn register(&self, spec: CacheSpec) -> CacheId {
+        assert!(
+            self.topology.is_solo(),
+            "cluster members cannot mint ids; use register_with_id"
+        );
         let id = CacheId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.shard_of(id).insert(id.value(), spec);
+        // Solo topology: local == global, every id owned.
+        self.shards[self.topology.global_shard(id.value())].insert(id.value(), spec);
         id
+    }
+
+    /// Registers a logical cache under a caller-minted id — the cluster
+    /// registration path, where the client mints ids and each member
+    /// accepts only the ones its topology slice owns. Idempotent:
+    /// re-registering an id with an identical spec succeeds without
+    /// effect (nothing re-journaled), so a client retrying a
+    /// registration whose reply was lost converges instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServeError::Misrouted`] — `id`'s canonical shard is owned by
+    ///   another member (names the owning global shard).
+    /// - [`ServeError::DuplicateCache`] — `id` exists with a different
+    ///   spec.
+    pub fn register_with_id(&self, id: CacheId, spec: CacheSpec) -> Result<CacheId, ServeError> {
+        self.try_shard_of(id)?.try_insert(id.value(), spec)?;
+        // Keep the mint hint monotone past every id ever accepted, so a
+        // restored or restarted member advertises a safe floor.
+        self.next_id.fetch_max(id.value() + 1, Ordering::Relaxed);
+        Ok(id)
     }
 
     /// Removes a cache and its published snapshot. In-flight planning for
@@ -438,9 +538,10 @@ impl ShardedReconfigService {
     /// # Errors
     ///
     /// [`ServeError::UnknownCache`] if the id was never registered or was
-    /// already removed.
+    /// already removed; [`ServeError::Misrouted`] if another cluster
+    /// member owns it.
     pub fn deregister(&self, id: CacheId) -> Result<(), ServeError> {
-        self.shard_of(id).remove(id)
+        self.try_shard_of(id)?.remove(id)
     }
 
     /// Stores tenant `tenant`'s latest miss curve and marks the cache
@@ -449,9 +550,10 @@ impl ShardedReconfigService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownCache`] / [`ServeError::TenantOutOfRange`].
+    /// [`ServeError::UnknownCache`] / [`ServeError::TenantOutOfRange`] /
+    /// [`ServeError::Misrouted`].
     pub fn submit(&self, id: CacheId, tenant: usize, curve: MissCurve) -> Result<(), ServeError> {
-        self.shard_of(id).submit(id, tenant, curve)
+        self.try_shard_of(id)?.submit(id, tenant, curve)
     }
 
     /// Pulls one update from a [`CurveSource`] and submits it. Returns
@@ -499,9 +601,10 @@ impl ShardedReconfigService {
     /// The latest published plan for `id`, if any epoch has planned it.
     ///
     /// The reader hot path: one shard's read-lock held for one `Arc`
-    /// clone.
+    /// clone. `None` for unpublished *and* for ids owned by another
+    /// cluster member (a member can only answer for its own slice).
     pub fn snapshot(&self, id: CacheId) -> Option<Arc<PlanSnapshot>> {
-        self.shard_of(id).snapshot(id)
+        self.try_shard_of(id).ok()?.snapshot(id)
     }
 
     /// Epochs run so far (plane-wide: one `run_epoch` call is one epoch,
@@ -688,7 +791,7 @@ impl ShardedReconfigService {
                         planner,
                         ..
                     } => {
-                        if shard_of(id, n) != i {
+                        if self.topology.local_shard(id) != Some(i) {
                             return Err(corrupt("register routed to the wrong shard"));
                         }
                         max_id = max_id.max(Some(id));
@@ -824,8 +927,10 @@ impl std::error::Error for RestoreError {
 
 /// Folds per-shard epoch reports into one plane-wide report, re-sorting
 /// into CacheId order (shard reports arrive in arbitrary completion
-/// order in thread-pool mode).
-fn merge_reports(epoch: u64, reports: Vec<EpochReport>) -> EpochReport {
+/// order in thread-pool mode). Crate-visible: the cluster client merges
+/// per-member reports through the same fold so a cluster epoch report
+/// is bit-identical to a single-process one.
+pub(crate) fn merge_reports(epoch: u64, reports: Vec<EpochReport>) -> EpochReport {
     let mut merged = EpochReport {
         epoch,
         planned: Vec::new(),
@@ -998,5 +1103,60 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ShardedReconfigService::new(0);
+    }
+
+    #[test]
+    fn cluster_member_owns_only_its_slice() {
+        let t = ShardTopology::range(4, 0, 2);
+        let member = ShardedReconfigService::new(2).with_topology(t);
+        let owned = (0u64..).find(|id| t.owns(*id)).unwrap();
+        let foreign = (0u64..).find(|id| !t.owns(*id)).unwrap();
+
+        let spec = CacheSpec::new(1024, 1);
+        assert_eq!(
+            member.register_with_id(CacheId(owned), spec),
+            Ok(CacheId(owned))
+        );
+        // Idempotent: identical spec converges, different spec conflicts.
+        assert_eq!(
+            member.register_with_id(CacheId(owned), spec),
+            Ok(CacheId(owned))
+        );
+        assert_eq!(
+            member.register_with_id(CacheId(owned), CacheSpec::new(2048, 1)),
+            Err(ServeError::DuplicateCache(CacheId(owned)))
+        );
+        assert_eq!(member.registered(), 1);
+        assert_eq!(member.next_id_hint(), owned + 1);
+
+        // Everything addressed to another member's slice bounces typed.
+        let want = ServeError::Misrouted {
+            cache: CacheId(foreign),
+            shard: t.global_shard(foreign),
+        };
+        assert_eq!(
+            member.register_with_id(CacheId(foreign), spec),
+            Err(want.clone())
+        );
+        assert_eq!(
+            member.submit(CacheId(foreign), 0, curve(512.0, 1024.0)),
+            Err(want.clone())
+        );
+        assert_eq!(member.deregister(CacheId(foreign)), Err(want));
+        assert!(member.snapshot(CacheId(foreign)).is_none());
+
+        // Owned ids plan normally.
+        member
+            .submit(CacheId(owned), 0, curve(512.0, 1024.0))
+            .unwrap();
+        let report = member.run_epoch();
+        assert_eq!(report.planned, vec![CacheId(owned)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mint ids")]
+    fn cluster_member_refuses_to_mint() {
+        let member = ShardedReconfigService::new(2).with_topology(ShardTopology::range(4, 2, 2));
+        member.register(CacheSpec::new(1024, 1));
     }
 }

@@ -32,7 +32,7 @@ use std::thread::JoinHandle;
 use talus_core::{FaultDirective, FaultScript};
 
 use crate::router::ShardedReconfigService;
-use crate::service::CacheSpec;
+use crate::service::{CacheSpec, ServeError};
 use crate::snapshot::CacheId;
 use crate::wire::{self, read_frame, Request, Response, SnapshotSummary};
 
@@ -328,6 +328,8 @@ fn opcode_of(request: &Request) -> u8 {
         Request::Report { .. } => wire::OP_REPORT,
         Request::Ping => wire::OP_PING,
         Request::Health => wire::OP_HEALTH,
+        Request::Hello => wire::OP_HELLO,
+        Request::RegisterAt { .. } => wire::OP_REGISTER_AT,
     }
 }
 
@@ -337,10 +339,26 @@ fn opcode_of(request: &Request) -> u8 {
 fn handle_request(request: Request, service: &ShardedReconfigService) -> Response {
     match request {
         Request::Register { capacity, tenants } => {
+            if !service.topology().is_solo() {
+                // Server-side minting would race across members; cluster
+                // clients mint deterministically and use RegisterAt.
+                return Response::Error(ServeError::ClusterMint);
+            }
             // Decode guarantees capacity > 0 and 0 < tenants <= cap, the
             // exact preconditions of `CacheSpec::new`.
             let id = service.register(CacheSpec::new(capacity, tenants as usize));
             Response::Registered { id: id.value() }
+        }
+        Request::RegisterAt {
+            id,
+            capacity,
+            tenants,
+        } => {
+            match service.register_with_id(CacheId(id), CacheSpec::new(capacity, tenants as usize))
+            {
+                Ok(id) => Response::Registered { id: id.value() },
+                Err(e) => Response::Error(e),
+            }
         }
         Request::Deregister { id } => match service.deregister(CacheId(id)) {
             Ok(()) => Response::Deregistered,
@@ -360,5 +378,16 @@ fn handle_request(request: Request, service: &ShardedReconfigService) -> Respons
         ),
         Request::Ping => Response::Pong,
         Request::Health => Response::Health(service.health()),
+        Request::Hello => {
+            let topology = service.topology();
+            Response::Hello(wire::ClusterInfo {
+                total_shards: topology.total() as u32,
+                first_shard: topology.first() as u32,
+                shard_count: topology.count() as u32,
+                epoch: service.epochs(),
+                next_id: service.next_id_hint(),
+                health: service.health(),
+            })
+        }
     }
 }

@@ -80,6 +80,24 @@ pub enum ServeError {
     /// rejected until the cache is deregistered and re-registered (or
     /// the plane is restored from its journal).
     Quarantined(CacheId),
+    /// The cache's canonical shard (`shard_of(id, total)`) is not owned
+    /// by this plane's topology slice — the operation was routed to the
+    /// wrong cluster member. Names the owning *global* shard so a client
+    /// can re-route.
+    Misrouted {
+        /// The cache addressed.
+        cache: CacheId,
+        /// The global shard that owns it.
+        shard: usize,
+    },
+    /// A cache with this client-minted id already exists with a
+    /// *different* spec. (Re-registering an identical spec is an
+    /// idempotent no-op, so retried registrations never hit this.)
+    DuplicateCache(CacheId),
+    /// Server-side id minting (`Register`) is unavailable because this
+    /// plane owns only a slice of a cluster topology; ids must be minted
+    /// by the cluster client and registered via `RegisterAt`.
+    ClusterMint,
 }
 
 impl fmt::Display for ServeError {
@@ -97,6 +115,18 @@ impl fmt::Display for ServeError {
             ServeError::Plan { cache, source } => write!(f, "planning {cache} failed: {source}"),
             ServeError::Quarantined(id) => {
                 write!(f, "{id} is quarantined after a planner panic")
+            }
+            ServeError::Misrouted { cache, shard } => {
+                write!(
+                    f,
+                    "{cache} belongs to global shard {shard}, not this member"
+                )
+            }
+            ServeError::DuplicateCache(id) => {
+                write!(f, "{id} is already registered with a different spec")
+            }
+            ServeError::ClusterMint => {
+                write!(f, "cluster members cannot mint ids; use RegisterAt")
             }
         }
     }

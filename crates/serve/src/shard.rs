@@ -139,6 +139,36 @@ impl Shard {
         );
     }
 
+    /// Inserts a cache under a caller-minted id, refusing to clobber an
+    /// existing registration. Re-inserting an id with an *identical* spec
+    /// is an idempotent no-op (nothing journaled — the journal already
+    /// holds the registration), so retried cluster registrations are
+    /// safe; an id held by a different spec is a typed conflict.
+    pub(crate) fn try_insert(&self, id: u64, spec: CacheSpec) -> Result<(), ServeError> {
+        let mut reg = self.lock_registry();
+        if let Some(entry) = reg.caches.get(&id) {
+            if entry.spec == spec {
+                return Ok(());
+            }
+            return Err(ServeError::DuplicateCache(CacheId(id)));
+        }
+        if let Some(sink) = &self.sink {
+            sink.register(id, spec.capacity, spec.tenants as u32, &spec.planner);
+        }
+        reg.caches.insert(
+            id,
+            CacheEntry {
+                curves: vec![None; spec.tenants],
+                spec,
+                updates: 0,
+                version: 0,
+                dirty: false,
+                quarantined: false,
+            },
+        );
+        Ok(())
+    }
+
     /// Removes a cache and its published snapshot. In-flight planning for
     /// the cache (if any) is discarded at publication time.
     pub(crate) fn remove(&self, id: CacheId) -> Result<(), ServeError> {

@@ -1,12 +1,12 @@
-//! The v2 wire protocol: length-prefixed, little-endian binary frames
-//! for curve ingest, epoch control, and plane health.
+//! The v3 wire protocol: length-prefixed, little-endian binary frames
+//! for curve ingest, epoch control, plane health, and cluster topology.
 //!
 //! Every frame is
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     payload length N (LE u32), 2 ≤ N ≤ WIRE_MAX_FRAME_LEN
-//! 4       1     protocol version (WIRE_VERSION = 2)
+//! 4       1     protocol version (WIRE_VERSION = 3)
 //! 5       1     opcode
 //! 6       N−2   body (message-specific, see Request/Response)
 //! ```
@@ -45,10 +45,18 @@
 //! [`WIRE_VERSION`]; the golden-bytes fixture test pins the current
 //! encoding so accidental format drift fails CI.
 //!
-//! v2 (this version) over v1: a `Health` request/reply pair reporting
-//! per-shard failure state, a `Busy` response for over-capacity
-//! admission shedding, a `quarantined` id list in the epoch-report
-//! body, and a `Quarantined` serve-error tag.
+//! v2 over v1: a `Health` request/reply pair reporting per-shard
+//! failure state, a `Busy` response for over-capacity admission
+//! shedding, a `quarantined` id list in the epoch-report body, and a
+//! `Quarantined` serve-error tag.
+//!
+//! v3 (this version) over v2: the cluster handshake — a `Hello`
+//! request and a `Hello` reply carrying [`ClusterInfo`] (total shards,
+//! the server's owned shard range, epoch progress, the next unminted
+//! id, and a full plane-health snapshot); a `RegisterAt` request for
+//! client-minted ids (registration across a multi-process cluster);
+//! and three serve-error tags for cluster routing faults —
+//! `Misrouted`, `DuplicateCache`, and `ClusterMint`.
 
 use std::io::Read;
 
@@ -63,7 +71,7 @@ use talus_core::{
 };
 
 /// Protocol version carried in every frame header.
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 3;
 
 // Request opcodes (client → server). Crate-visible so the server can
 // key `server.handle` fault-injection rules by opcode.
@@ -74,6 +82,8 @@ pub(crate) const OP_RUN_EPOCH: u8 = 0x04;
 pub(crate) const OP_REPORT: u8 = 0x05;
 pub(crate) const OP_PING: u8 = 0x06;
 pub(crate) const OP_HEALTH: u8 = 0x07;
+pub(crate) const OP_HELLO: u8 = 0x08;
+pub(crate) const OP_REGISTER_AT: u8 = 0x09;
 
 // Response opcodes (server → client); high bit set.
 const OP_REGISTERED: u8 = 0x81;
@@ -83,6 +93,7 @@ const OP_EPOCH: u8 = 0x84;
 const OP_SNAPSHOT: u8 = 0x85;
 const OP_PONG: u8 = 0x86;
 const OP_HEALTH_REPLY: u8 = 0x87;
+const OP_HELLO_REPLY: u8 = 0x88;
 const OP_BUSY: u8 = 0x8E;
 const OP_ERROR: u8 = 0x8F;
 
@@ -213,6 +224,46 @@ pub enum Request {
     /// Fetch the plane's health snapshot (per-shard status, quarantined
     /// caches, epoch counters, store fault state, admission counters).
     Health,
+    /// Cluster handshake: ask the server to advertise its topology
+    /// slice, epoch progress, next unminted id, and health.
+    Hello,
+    /// Register a logical cache under a client-minted id (cluster
+    /// registration; the id's canonical shard must be owned by the
+    /// receiving server). Idempotent: re-registering the same id with
+    /// an identical spec succeeds without effect.
+    RegisterAt {
+        /// Client-minted raw cache id.
+        id: u64,
+        /// Capacity budget in lines (positive).
+        capacity: u64,
+        /// Tenant count (1..=[`WIRE_MAX_TENANTS`]).
+        tenants: u32,
+    },
+}
+
+/// What a server advertises in its `Hello` reply: which slice of the
+/// global shard layout it owns, how far its epochs have advanced, the
+/// smallest id it has never seen registered, and its plane health. A
+/// cluster client handshakes every member, checks the slices agree on
+/// `total_shards`, are disjoint, and cover the whole layout, and seeds
+/// its id mint from the largest `next_id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInfo {
+    /// Global shards in the whole plane (≥ 1).
+    pub total_shards: u32,
+    /// First global shard this server owns.
+    pub first_shard: u32,
+    /// Number of contiguous global shards this server owns (≥ 1;
+    /// `first_shard + shard_count ≤ total_shards`).
+    pub shard_count: u32,
+    /// Epochs this server's plane has run (restored planes resume from
+    /// their journaled epoch, so a rejoining server must advertise at
+    /// least the epoch it last acknowledged).
+    pub epoch: u64,
+    /// The smallest cache id this server has never seen registered.
+    pub next_id: u64,
+    /// The member's full plane-health snapshot.
+    pub health: PlaneHealth,
 }
 
 /// A per-tenant slice of a [`SnapshotSummary`].
@@ -305,6 +356,8 @@ pub enum Response {
     Pong,
     /// Reply to [`Request::Health`]: the plane's failure-state snapshot.
     Health(PlaneHealth),
+    /// Reply to [`Request::Hello`]: the server's topology advertisement.
+    Hello(ClusterInfo),
     /// The server is at its connection cap and is shedding this
     /// connection. Sent before closing, so a client can distinguish
     /// overload (retry later) from a crash (reconnect elsewhere).
@@ -382,6 +435,16 @@ impl FrameWriter {
                 self.u8(4);
                 self.u64(id.value());
             }
+            ServeError::Misrouted { cache, shard } => {
+                self.u8(5);
+                self.u64(cache.value());
+                self.u32(*shard as u32);
+            }
+            ServeError::DuplicateCache(id) => {
+                self.u8(6);
+                self.u64(id.value());
+            }
+            ServeError::ClusterMint => self.u8(7),
             ServeError::Plan { cache, source } => {
                 self.u8(3);
                 self.u64(cache.value());
@@ -402,6 +465,35 @@ impl FrameWriter {
                     }
                 }
             }
+        }
+    }
+
+    /// Encodes a full [`PlaneHealth`] body (shared by the `Health` reply
+    /// and the `Hello` reply's embedded health snapshot).
+    fn plane_health(&mut self, h: &PlaneHealth) {
+        self.u64(h.epochs);
+        self.u64(h.caches);
+        self.u64(h.pending);
+        self.u64(h.connections);
+        self.u64(h.rejected);
+        self.u8(match h.store {
+            StoreHealth::None => 0,
+            StoreHealth::Ok => 1,
+            StoreHealth::Faulted => 2,
+        });
+        self.u32(h.quarantined.len() as u32);
+        for id in &h.quarantined {
+            self.u64(*id);
+        }
+        self.u32(h.shards.len() as u32);
+        for s in &h.shards {
+            self.u64(s.caches);
+            self.u64(s.pending);
+            self.u64(s.quarantined);
+            self.u8(match s.state {
+                ShardState::Ok => 0,
+                ShardState::Degraded => 1,
+            });
         }
     }
 
@@ -442,6 +534,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Ping => w = FrameWriter::new(WIRE_VERSION, OP_PING),
         Request::Health => w = FrameWriter::new(WIRE_VERSION, OP_HEALTH),
+        Request::Hello => w = FrameWriter::new(WIRE_VERSION, OP_HELLO),
+        Request::RegisterAt {
+            id,
+            capacity,
+            tenants,
+        } => {
+            w = FrameWriter::new(WIRE_VERSION, OP_REGISTER_AT);
+            w.u64(*id);
+            w.u64(*capacity);
+            w.u32(*tenants);
+        }
     }
     w.finish()
 }
@@ -512,30 +615,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Pong => w = FrameWriter::new(WIRE_VERSION, OP_PONG),
         Response::Health(h) => {
             w = FrameWriter::new(WIRE_VERSION, OP_HEALTH_REPLY);
-            w.u64(h.epochs);
-            w.u64(h.caches);
-            w.u64(h.pending);
-            w.u64(h.connections);
-            w.u64(h.rejected);
-            w.u8(match h.store {
-                StoreHealth::None => 0,
-                StoreHealth::Ok => 1,
-                StoreHealth::Faulted => 2,
-            });
-            w.u32(h.quarantined.len() as u32);
-            for id in &h.quarantined {
-                w.u64(*id);
-            }
-            w.u32(h.shards.len() as u32);
-            for s in &h.shards {
-                w.u64(s.caches);
-                w.u64(s.pending);
-                w.u64(s.quarantined);
-                w.u8(match s.state {
-                    ShardState::Ok => 0,
-                    ShardState::Degraded => 1,
-                });
-            }
+            w.plane_health(h);
+        }
+        Response::Hello(info) => {
+            w = FrameWriter::new(WIRE_VERSION, OP_HELLO_REPLY);
+            w.u32(info.total_shards);
+            w.u32(info.first_shard);
+            w.u32(info.shard_count);
+            w.u64(info.epoch);
+            w.u64(info.next_id);
+            w.plane_health(&info.health);
         }
         Response::Busy => w = FrameWriter::new(WIRE_VERSION, OP_BUSY),
         Response::Error(e) => {
@@ -635,6 +724,12 @@ impl<'a> Reader<'a> {
         match self.u8()? {
             1 => Ok(ServeError::UnknownCache(CacheId(self.u64()?))),
             4 => Ok(ServeError::Quarantined(CacheId(self.u64()?))),
+            5 => Ok(ServeError::Misrouted {
+                cache: CacheId(self.u64()?),
+                shard: self.u32()? as usize,
+            }),
+            6 => Ok(ServeError::DuplicateCache(CacheId(self.u64()?))),
+            7 => Ok(ServeError::ClusterMint),
             2 => Ok(ServeError::TenantOutOfRange {
                 cache: CacheId(self.u64()?),
                 tenant: self.u32()? as usize,
@@ -658,6 +753,55 @@ impl<'a> Reader<'a> {
             }
             _ => Err(WireError::Malformed("unknown serve-error tag")),
         }
+    }
+
+    /// Decodes a full [`PlaneHealth`] body (shared by the `Health` reply
+    /// and the `Hello` reply's embedded health snapshot).
+    fn plane_health(&mut self) -> Result<PlaneHealth, WireError> {
+        let epochs = self.u64()?;
+        let caches = self.u64()?;
+        let pending = self.u64()?;
+        let connections = self.u64()?;
+        let rejected = self.u64()?;
+        let store = match self.u8()? {
+            0 => StoreHealth::None,
+            1 => StoreHealth::Ok,
+            2 => StoreHealth::Faulted,
+            _ => return Err(WireError::Malformed("unknown store-health tag")),
+        };
+        let quarantined_count = self.count(WIRE_MAX_IDS, 8)?;
+        let mut quarantined = Vec::with_capacity(quarantined_count);
+        for _ in 0..quarantined_count {
+            quarantined.push(self.u64()?);
+        }
+        let shard_count = self.count(WIRE_MAX_SHARDS, 8 + 8 + 8 + 1)?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let caches = self.u64()?;
+            let pending = self.u64()?;
+            let quarantined = self.u64()?;
+            let state = match self.u8()? {
+                0 => ShardState::Ok,
+                1 => ShardState::Degraded,
+                _ => return Err(WireError::Malformed("unknown shard-state tag")),
+            };
+            shards.push(ShardHealth {
+                caches,
+                pending,
+                quarantined,
+                state,
+            });
+        }
+        Ok(PlaneHealth {
+            epochs,
+            caches,
+            pending,
+            quarantined,
+            shards,
+            store,
+            connections,
+            rejected,
+        })
     }
 
     /// Asserts the body was fully consumed: accepted frames account for
@@ -725,6 +869,29 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         OP_REPORT => Request::Report { id: r.u64()? },
         OP_PING => Request::Ping,
         OP_HEALTH => Request::Health,
+        OP_HELLO => Request::Hello,
+        OP_REGISTER_AT => {
+            let id = r.u64()?;
+            let capacity = r.u64()?;
+            let tenants = r.u32()?;
+            if capacity == 0 {
+                return Err(WireError::Malformed("zero capacity"));
+            }
+            if tenants == 0 {
+                return Err(WireError::Malformed("zero tenants"));
+            }
+            if tenants > WIRE_MAX_TENANTS {
+                return Err(WireError::BadCount {
+                    count: tenants,
+                    max: WIRE_MAX_TENANTS,
+                });
+            }
+            Request::RegisterAt {
+                id,
+                capacity,
+                tenants,
+            }
+        }
         got => return Err(WireError::BadOpcode { got }),
     };
     r.end()?;
@@ -811,50 +978,36 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             _ => return Err(WireError::Malformed("unknown snapshot tag")),
         },
         OP_PONG => Response::Pong,
-        OP_HEALTH_REPLY => {
-            let epochs = r.u64()?;
-            let caches = r.u64()?;
-            let pending = r.u64()?;
-            let connections = r.u64()?;
-            let rejected = r.u64()?;
-            let store = match r.u8()? {
-                0 => StoreHealth::None,
-                1 => StoreHealth::Ok,
-                2 => StoreHealth::Faulted,
-                _ => return Err(WireError::Malformed("unknown store-health tag")),
-            };
-            let quarantined_count = r.count(WIRE_MAX_IDS, 8)?;
-            let mut quarantined = Vec::with_capacity(quarantined_count);
-            for _ in 0..quarantined_count {
-                quarantined.push(r.u64()?);
-            }
-            let shard_count = r.count(WIRE_MAX_SHARDS, 8 + 8 + 8 + 1)?;
-            let mut shards = Vec::with_capacity(shard_count);
-            for _ in 0..shard_count {
-                let caches = r.u64()?;
-                let pending = r.u64()?;
-                let quarantined = r.u64()?;
-                let state = match r.u8()? {
-                    0 => ShardState::Ok,
-                    1 => ShardState::Degraded,
-                    _ => return Err(WireError::Malformed("unknown shard-state tag")),
-                };
-                shards.push(ShardHealth {
-                    caches,
-                    pending,
-                    quarantined,
-                    state,
+        OP_HEALTH_REPLY => Response::Health(r.plane_health()?),
+        OP_HELLO_REPLY => {
+            let total_shards = r.u32()?;
+            let first_shard = r.u32()?;
+            let shard_count = r.u32()?;
+            if total_shards == 0 || total_shards > WIRE_MAX_SHARDS {
+                return Err(WireError::BadCount {
+                    count: total_shards,
+                    max: WIRE_MAX_SHARDS,
                 });
             }
-            Response::Health(PlaneHealth {
-                epochs,
-                caches,
-                pending,
-                quarantined,
-                shards,
-                store,
-                connections,
-                rejected,
+            if shard_count == 0 {
+                return Err(WireError::Malformed("empty shard range"));
+            }
+            let end = first_shard
+                .checked_add(shard_count)
+                .ok_or(WireError::Malformed("shard range overflows"))?;
+            if end > total_shards {
+                return Err(WireError::Malformed("shard range exceeds total"));
+            }
+            let epoch = r.u64()?;
+            let next_id = r.u64()?;
+            let health = r.plane_health()?;
+            Response::Hello(ClusterInfo {
+                total_shards,
+                first_shard,
+                shard_count,
+                epoch,
+                next_id,
+                health,
             })
         }
         OP_BUSY => Response::Busy,
@@ -1001,10 +1154,104 @@ mod tests {
                         max: 8.0,
                     },
                 }),
+                Err(ServeError::Misrouted {
+                    cache: CacheId(11),
+                    shard: 3,
+                }),
+                Err(ServeError::DuplicateCache(CacheId(6))),
+                Err(ServeError::ClusterMint),
             ],
         };
         let bytes = encode_response(&resp);
         assert_eq!(decode_response(&bytes[4..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn hello_roundtrips_and_validates_topology() {
+        let req = encode_request(&Request::Hello);
+        assert_eq!(decode_request(&req[4..]).unwrap(), Request::Hello);
+        let info = ClusterInfo {
+            total_shards: 6,
+            first_shard: 2,
+            shard_count: 2,
+            epoch: 41,
+            next_id: 17,
+            health: PlaneHealth {
+                epochs: 41,
+                caches: 5,
+                pending: 1,
+                quarantined: vec![9],
+                shards: vec![
+                    ShardHealth {
+                        caches: 3,
+                        pending: 1,
+                        quarantined: 1,
+                        state: ShardState::Ok,
+                    },
+                    ShardHealth {
+                        caches: 2,
+                        pending: 0,
+                        quarantined: 0,
+                        state: ShardState::Degraded,
+                    },
+                ],
+                store: StoreHealth::Ok,
+                connections: 2,
+                rejected: 0,
+            },
+        };
+        let resp = Response::Hello(info);
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes[4..]).unwrap(), resp);
+
+        // A reply whose range overhangs the total is rejected typed.
+        let bad = Response::Hello(ClusterInfo {
+            total_shards: 4,
+            first_shard: 3,
+            shard_count: 2,
+            ..match decode_response(&bytes[4..]).unwrap() {
+                Response::Hello(i) => i,
+                _ => unreachable!(),
+            }
+        });
+        let bad_bytes = encode_response(&bad);
+        assert_eq!(
+            decode_response(&bad_bytes[4..]),
+            Err(WireError::Malformed("shard range exceeds total"))
+        );
+    }
+
+    #[test]
+    fn register_at_roundtrips_and_validates_like_register() {
+        let req = Request::RegisterAt {
+            id: 42,
+            capacity: 4096,
+            tenants: 3,
+        };
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes[4..]).unwrap(), req);
+
+        let zero_cap = Request::RegisterAt {
+            id: 42,
+            capacity: 0,
+            tenants: 3,
+        };
+        assert_eq!(
+            decode_request(&encode_request(&zero_cap)[4..]),
+            Err(WireError::Malformed("zero capacity"))
+        );
+        let too_many = Request::RegisterAt {
+            id: 42,
+            capacity: 64,
+            tenants: WIRE_MAX_TENANTS + 1,
+        };
+        assert_eq!(
+            decode_request(&encode_request(&too_many)[4..]),
+            Err(WireError::BadCount {
+                count: WIRE_MAX_TENANTS + 1,
+                max: WIRE_MAX_TENANTS
+            })
+        );
     }
 
     #[test]

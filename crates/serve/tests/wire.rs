@@ -1,5 +1,5 @@
 //! The wire-protocol battery: round-trip properties for every message
-//! type, a golden-bytes fixture pinning the v2 format, and an
+//! type, a golden-bytes fixture pinning the v3 format, and an
 //! adversarial suite proving the decoder is total — truncations,
 //! hostile length fields, wrong versions, garbage opcodes, and random
 //! byte soup all come back as typed errors, never panics, and never
@@ -9,8 +9,9 @@ use proptest::prelude::*;
 use talus_core::limits::{WIRE_MAX_BATCH, WIRE_MAX_FRAME_LEN, WIRE_MAX_SHARDS, WIRE_MAX_TENANTS};
 use talus_core::{MissCurve, PlanError, PlaneHealth, ShardHealth, ShardState, StoreHealth};
 use talus_serve::wire::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, Request,
-    Response, ShadowSummary, SnapshotSummary, SubmitEntry, TenantSummary, WireError, WIRE_VERSION,
+    decode_request, decode_response, encode_request, encode_response, read_frame, ClusterInfo,
+    Request, Response, ShadowSummary, SnapshotSummary, SubmitEntry, TenantSummary, WireError,
+    WIRE_VERSION,
 };
 use talus_serve::{CacheId, CacheSpec, EpochReport, ReconfigService, ServeError};
 
@@ -51,13 +52,19 @@ fn curve_from_seed(seed: u64) -> MissCurve {
 /// A `ServeError` in every variant, picked by seed, over a pool of ids.
 fn serve_error_from_seed(seed: u64, ids: &[CacheId]) -> ServeError {
     let id = ids[(seed >> 8) as usize % ids.len()];
-    match seed % 5 {
+    match seed % 8 {
         0 => ServeError::UnknownCache(id),
         1 => ServeError::TenantOutOfRange {
             cache: id,
             tenant: (seed >> 16) as usize % 1000,
             tenants: (seed >> 24) as usize % 1000,
         },
+        5 => ServeError::Misrouted {
+            cache: id,
+            shard: (seed >> 32) as usize % 4096,
+        },
+        6 => ServeError::DuplicateCache(id),
+        7 => ServeError::ClusterMint,
         2 => ServeError::Plan {
             cache: id,
             source: PlanError::SizeOutOfRange {
@@ -85,7 +92,7 @@ fn serve_error_from_seed(seed: u64, ids: &[CacheId]) -> ServeError {
 /// `prop_oneof`, so weighting rides a modulus, as in `sharding.rs`).
 fn arb_request() -> impl Strategy<Value = Request> {
     (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(kind, a, b, seed)| {
-        match kind % 7 {
+        match kind % 9 {
             0 => Request::Register {
                 capacity: 1 + a % (1 << 32),
                 tenants: 1 + (b % WIRE_MAX_TENANTS as u64) as u32,
@@ -104,6 +111,12 @@ fn arb_request() -> impl Strategy<Value = Request> {
             3 => Request::RunEpoch,
             4 => Request::Report { id: a },
             5 => Request::Ping,
+            6 => Request::Hello,
+            7 => Request::RegisterAt {
+                id: a,
+                capacity: 1 + b % (1 << 32),
+                tenants: 1 + (seed % WIRE_MAX_TENANTS as u64) as u32,
+            },
             _ => Request::Health,
         }
     })
@@ -113,8 +126,39 @@ fn arb_request() -> impl Strategy<Value = Request> {
 fn arb_response() -> impl Strategy<Value = Response> {
     (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(kind, a, b, seed)| {
         let ids = cache_ids(4);
-        match kind % 9 {
+        match kind % 10 {
             0 => Response::Registered { id: a },
+            9 => {
+                // A topology slice that always satisfies the decoder's
+                // validation: count >= 1, first + count <= total.
+                let total = 1 + a % 64;
+                let count = 1 + b % total;
+                let first = seed % (total - count + 1);
+                Response::Hello(ClusterInfo {
+                    total_shards: total as u32,
+                    first_shard: first as u32,
+                    shard_count: count as u32,
+                    epoch: a >> 8,
+                    next_id: b >> 8,
+                    health: PlaneHealth {
+                        epochs: a >> 8,
+                        caches: b % 100,
+                        pending: (b >> 4) % 100,
+                        quarantined: (0..seed % 3).collect(),
+                        shards: (0..1 + b % 3)
+                            .map(|i| ShardHealth {
+                                caches: (b >> i) % 50,
+                                pending: 0,
+                                quarantined: 0,
+                                state: ShardState::Ok,
+                            })
+                            .collect(),
+                        store: StoreHealth::Ok,
+                        connections: 0,
+                        rejected: 0,
+                    },
+                })
+            }
             1 => Response::Deregistered,
             2 => Response::SubmitReply {
                 results: (0..1 + b % 6)
@@ -335,8 +379,8 @@ fn wrong_version_is_rejected_on_every_opcode() {
 
 #[test]
 fn garbage_opcodes_are_typed_errors() {
-    let request_ops = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
-    let response_ops = [0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x8E, 0x8F];
+    let request_ops = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
+    let response_ops = [0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x8E, 0x8F];
     for opcode in 0..=0xFFu8 {
         let payload = [WIRE_VERSION, opcode];
         if !request_ops.contains(&opcode) {
@@ -464,15 +508,16 @@ fn trailing_bytes_are_malformed() {
 }
 
 // ---------------------------------------------------------------------
-// Golden bytes: the v2 format, pinned byte for byte. If any of these
+// Golden bytes: the v3 format, pinned byte for byte. If any of these
 // fail, the wire format changed — bump WIRE_VERSION and make the change
-// deliberate. (v2 over v1: Health/Busy opcodes, the quarantined id list
-// in epoch reports, serve-error tag 4.)
+// deliberate. (v3 over v2: Hello handshake opcodes 0x08/0x88 carrying
+// ClusterInfo, RegisterAt opcode 0x09 for client-minted ids, and
+// serve-error tags 5/6/7 for cluster routing faults.)
 // ---------------------------------------------------------------------
 
 #[test]
-fn golden_v2_constants() {
-    assert_eq!(WIRE_VERSION, 2);
+fn golden_v3_constants() {
+    assert_eq!(WIRE_VERSION, 3);
     // The limits are part of the format contract (decoders reject by
     // them), so drifting them silently is a wire change too.
     assert_eq!(WIRE_MAX_FRAME_LEN, 1 << 20);
@@ -482,21 +527,21 @@ fn golden_v2_constants() {
 }
 
 #[test]
-fn golden_v2_fixed_frames() {
-    // [len=2 LE] [version=2] [opcode]
-    assert_eq!(encode_request(&Request::Ping), [2, 0, 0, 0, 2, 0x06]);
-    assert_eq!(encode_request(&Request::RunEpoch), [2, 0, 0, 0, 2, 0x04]);
-    assert_eq!(encode_request(&Request::Health), [2, 0, 0, 0, 2, 0x07]);
-    assert_eq!(encode_response(&Response::Pong), [2, 0, 0, 0, 2, 0x86]);
-    assert_eq!(encode_response(&Response::Busy), [2, 0, 0, 0, 2, 0x8E]);
+fn golden_v3_fixed_frames() {
+    // [len=2 LE] [version=3] [opcode]
+    assert_eq!(encode_request(&Request::Ping), [2, 0, 0, 0, 3, 0x06]);
+    assert_eq!(encode_request(&Request::RunEpoch), [2, 0, 0, 0, 3, 0x04]);
+    assert_eq!(encode_request(&Request::Health), [2, 0, 0, 0, 3, 0x07]);
+    assert_eq!(encode_response(&Response::Pong), [2, 0, 0, 0, 3, 0x86]);
+    assert_eq!(encode_response(&Response::Busy), [2, 0, 0, 0, 3, 0x8E]);
     assert_eq!(
         encode_response(&Response::Deregistered),
-        [2, 0, 0, 0, 2, 0x82]
+        [2, 0, 0, 0, 3, 0x82]
     );
 }
 
 #[test]
-fn golden_v2_register_frame() {
+fn golden_v3_register_frame() {
     // len=14: version + opcode + capacity u64 LE + tenants u32 LE.
     let bytes = encode_request(&Request::Register {
         capacity: 4096,
@@ -506,7 +551,7 @@ fn golden_v2_register_frame() {
         bytes,
         [
             14, 0, 0, 0, // length
-            2, 0x01, // version, opcode
+            3, 0x01, // version, opcode
             0x00, 0x10, 0, 0, 0, 0, 0, 0, // capacity = 4096
             3, 0, 0, 0, // tenants
         ]
@@ -514,7 +559,7 @@ fn golden_v2_register_frame() {
 }
 
 #[test]
-fn golden_v2_submit_frame() {
+fn golden_v3_submit_frame() {
     // One entry, two-point curve; f64s are IEEE-754 bit patterns LE.
     let curve = MissCurve::from_samples(&[0.0, 64.0], &[8.0, 2.0]).unwrap();
     let bytes = encode_request(&Request::Submit {
@@ -528,7 +573,7 @@ fn golden_v2_submit_frame() {
         bytes,
         [
             54, 0, 0, 0, // length = 2 + 4 + 8 + 4 + 4 + 2*16
-            2, 0x03, // version, opcode
+            3, 0x03, // version, opcode
             1, 0, 0, 0, // entry count
             7, 0, 0, 0, 0, 0, 0, 0, // cache id
             1, 0, 0, 0, // tenant
@@ -542,7 +587,7 @@ fn golden_v2_submit_frame() {
 }
 
 #[test]
-fn golden_v2_epoch_report_frame() {
+fn golden_v3_epoch_report_frame() {
     let ids = cache_ids(2);
     let bytes = encode_response(&Response::Epoch(EpochReport {
         epoch: 3,
@@ -556,7 +601,7 @@ fn golden_v2_epoch_report_frame() {
         bytes,
         [
             59, 0, 0, 0, // length
-            2, 0x84, // version, opcode
+            3, 0x84, // version, opcode
             3, 0, 0, 0, 0, 0, 0, 0, // epoch
             1, 0, 0, 0, // planned count
             0, 0, 0, 0, 0, 0, 0, 0, // planned[0] = cache id 0
@@ -572,7 +617,7 @@ fn golden_v2_epoch_report_frame() {
 }
 
 #[test]
-fn golden_v2_quarantined_error_frame() {
+fn golden_v3_quarantined_error_frame() {
     // Serve-error tag 4 (v2): a submission rejected by quarantine.
     let ids = cache_ids(1);
     let bytes = encode_response(&Response::Error(ServeError::Quarantined(ids[0])));
@@ -580,7 +625,7 @@ fn golden_v2_quarantined_error_frame() {
         bytes,
         [
             11, 0, 0, 0, // length
-            2, 0x8F, // version, opcode
+            3, 0x8F, // version, opcode
             4,    // serve-error tag: Quarantined
             0, 0, 0, 0, 0, 0, 0, 0, // the quarantined id
         ]
@@ -588,7 +633,7 @@ fn golden_v2_quarantined_error_frame() {
 }
 
 #[test]
-fn golden_v2_health_frame() {
+fn golden_v3_health_frame() {
     let bytes = encode_response(&Response::Health(PlaneHealth {
         epochs: 5,
         caches: 3,
@@ -616,7 +661,7 @@ fn golden_v2_health_frame() {
         bytes,
         [
             109, 0, 0, 0, // length
-            2, 0x87, // version, opcode
+            3, 0x87, // version, opcode
             5, 0, 0, 0, 0, 0, 0, 0, // epochs
             3, 0, 0, 0, 0, 0, 0, 0, // caches
             1, 0, 0, 0, 0, 0, 0, 0, // pending
@@ -656,7 +701,7 @@ fn hostile_health_shard_count_fails_before_allocation() {
 }
 
 #[test]
-fn golden_v2_snapshot_frame() {
+fn golden_v3_snapshot_frame() {
     let bytes = encode_response(&Response::Snapshot(Some(SnapshotSummary {
         cache: 5,
         epoch: 9,
@@ -677,7 +722,7 @@ fn golden_v2_snapshot_frame() {
         bytes,
         [
             88, 0, 0, 0, // length
-            2, 0x85, // version, opcode
+            3, 0x85, // version, opcode
             1,    // present tag
             5, 0, 0, 0, 0, 0, 0, 0, // cache
             9, 0, 0, 0, 0, 0, 0, 0, // epoch
@@ -696,6 +741,120 @@ fn golden_v2_snapshot_frame() {
     // Absent snapshot: just the tag.
     assert_eq!(
         encode_response(&Response::Snapshot(None)),
-        [3, 0, 0, 0, 2, 0x85, 0]
+        [3, 0, 0, 0, 3, 0x85, 0]
+    );
+}
+
+#[test]
+fn golden_v3_hello_frames() {
+    // The handshake request carries no body.
+    assert_eq!(encode_request(&Request::Hello), [2, 0, 0, 0, 3, 0x08]);
+
+    // The reply: topology slice, epoch, next-id hint, then the full
+    // plane-health block in its usual layout.
+    let bytes = encode_response(&Response::Hello(ClusterInfo {
+        total_shards: 6,
+        first_shard: 2,
+        shard_count: 2,
+        epoch: 5,
+        next_id: 9,
+        health: PlaneHealth {
+            epochs: 5,
+            caches: 1,
+            pending: 0,
+            quarantined: vec![],
+            shards: vec![ShardHealth {
+                caches: 1,
+                pending: 0,
+                quarantined: 0,
+                state: ShardState::Ok,
+            }],
+            store: StoreHealth::Ok,
+            connections: 0,
+            rejected: 0,
+        },
+    }));
+    assert_eq!(
+        bytes,
+        [
+            104, 0, 0, 0, // length
+            3, 0x88, // version, opcode
+            6, 0, 0, 0, // total_shards
+            2, 0, 0, 0, // first_shard
+            2, 0, 0, 0, // shard_count
+            5, 0, 0, 0, 0, 0, 0, 0, // epoch
+            9, 0, 0, 0, 0, 0, 0, 0, // next_id
+            5, 0, 0, 0, 0, 0, 0, 0, // health: epochs
+            1, 0, 0, 0, 0, 0, 0, 0, // health: caches
+            0, 0, 0, 0, 0, 0, 0, 0, // health: pending
+            0, 0, 0, 0, 0, 0, 0, 0, // health: connections
+            0, 0, 0, 0, 0, 0, 0, 0, // health: rejected
+            1, // store: Ok
+            0, 0, 0, 0, // quarantined count
+            1, 0, 0, 0, // shard count
+            1, 0, 0, 0, 0, 0, 0, 0, // shard 0 caches
+            0, 0, 0, 0, 0, 0, 0, 0, // shard 0 pending
+            0, 0, 0, 0, 0, 0, 0, 0, // shard 0 quarantined
+            0, // shard 0 state: Ok
+        ]
+    );
+}
+
+#[test]
+fn golden_v3_register_at_frame() {
+    // Client-minted registration: id + capacity + tenants.
+    let bytes = encode_request(&Request::RegisterAt {
+        id: 5,
+        capacity: 4096,
+        tenants: 3,
+    });
+    assert_eq!(
+        bytes,
+        [
+            22, 0, 0, 0, // length
+            3, 0x09, // version, opcode
+            5, 0, 0, 0, 0, 0, 0, 0, // cache id
+            0x00, 0x10, 0, 0, 0, 0, 0, 0, // capacity = 4096
+            3, 0, 0, 0, // tenants
+        ]
+    );
+}
+
+#[test]
+fn golden_v3_cluster_error_frames() {
+    let ids = cache_ids(1);
+
+    // Tag 5: a request routed to a member that does not own the id.
+    let bytes = encode_response(&Response::Error(ServeError::Misrouted {
+        cache: ids[0],
+        shard: 3,
+    }));
+    assert_eq!(
+        bytes,
+        [
+            15, 0, 0, 0, // length
+            3, 0x8F, // version, opcode
+            5,    // serve-error tag: Misrouted
+            0, 0, 0, 0, 0, 0, 0, 0, // the misrouted cache id
+            3, 0, 0, 0, // the receiving member's owning shard hint
+        ]
+    );
+
+    // Tag 6: RegisterAt collided with a different live spec.
+    let bytes = encode_response(&Response::Error(ServeError::DuplicateCache(ids[0])));
+    assert_eq!(
+        bytes,
+        [
+            11, 0, 0, 0, // length
+            3, 0x8F, // version, opcode
+            6,    // serve-error tag: DuplicateCache
+            0, 0, 0, 0, 0, 0, 0, 0, // the colliding id
+        ]
+    );
+
+    // Tag 7: server-side minting rejected on a cluster topology.
+    assert_eq!(
+        encode_response(&Response::Error(ServeError::ClusterMint)),
+        [3, 0, 0, 0, 3, 0x8F, 7]
     );
 }

@@ -525,11 +525,13 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        // take(4) returned exactly 4 bytes, so the array conversion
+        // below is infallible.
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4"))) // audited: slice is 4 bytes
     }
 
     fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8"))) // audited: slice is 8 bytes
     }
 
     fn f64(&mut self) -> Result<f64, StoreError> {
@@ -625,14 +627,16 @@ pub fn decode_record(buf: &[u8]) -> Result<(Record, usize), StoreError> {
     if buf.len() < RECORD_HEADER_LEN {
         return Err(StoreError::Truncated);
     }
-    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4"));
+    // The length check above guarantees RECORD_HEADER_LEN bytes, so
+    // both fixed-width header slices convert infallibly.
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4")); // audited: header present
     if len > STORE_MAX_RECORD_LEN {
         return Err(StoreError::Oversized { len });
     }
     if len < 2 {
         return Err(StoreError::Malformed("record shorter than its header"));
     }
-    let expected = u64::from_le_bytes(buf[4..12].try_into().expect("8"));
+    let expected = u64::from_le_bytes(buf[4..12].try_into().expect("8")); // audited: header present
     let total = RECORD_HEADER_LEN + len as usize;
     if buf.len() < total {
         return Err(StoreError::Truncated);

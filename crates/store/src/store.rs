@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use talus_core::{shard_of, MissCurve};
+use talus_core::{MissCurve, ShardTopology};
 use talus_partition::{CachePlan, Planner};
 
 use crate::journal::{ShardJournal, ShardRecovery};
@@ -52,6 +52,15 @@ pub trait StoreSink: Send + Sync + fmt::Debug {
     /// for sinks that cannot fail (in-memory recorders in tests).
     fn is_faulted(&self) -> bool {
         false
+    }
+
+    /// Which slice of the global shard layout this sink's files are. A
+    /// plane attaching a sink checks the sink's topology matches its
+    /// own, so a cluster member never journals into files laid out for
+    /// a different slice. Defaults to the single-process layout (every
+    /// shard local).
+    fn topology(&self) -> ShardTopology {
+        ShardTopology::solo(self.shards())
     }
 }
 
@@ -112,6 +121,10 @@ pub struct CurveUpdate {
 pub struct Store {
     dir: PathBuf,
     journals: Vec<Mutex<ShardJournal>>,
+    /// Which slice of the global layout these files hold (solo unless
+    /// [`with_topology`](Store::with_topology) was called): file `i` is
+    /// global shard `topology.first() + i`.
+    topology: ShardTopology,
     /// Next append sequence number (resumes past everything recovered).
     seq: AtomicU64,
     /// Set on the first append failure; checked before every append.
@@ -157,6 +170,7 @@ impl Store {
         Ok(Store {
             dir,
             journals,
+            topology: ShardTopology::solo(shards),
             seq: AtomicU64::new(max_seq.map_or(0, |s| s + 1)),
             faulted: AtomicBool::new(false),
             fault: Mutex::new(None),
@@ -171,6 +185,26 @@ impl Store {
     /// flag exactly as a real write error would.
     pub fn with_fault_script(mut self, script: std::sync::Arc<talus_core::FaultScript>) -> Self {
         self.script = Some(script);
+        self
+    }
+
+    /// Declares these files a cluster member's slice of the global
+    /// layout: file `i` holds global shard `topology.first() + i`, and
+    /// ids are placed by `shard_of(id, topology.total())`. Set it to
+    /// the same topology as the plane the store serves (the plane's
+    /// `with_sink` checks they agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology.count()` differs from the store's shard-file
+    /// count.
+    pub fn with_topology(mut self, topology: ShardTopology) -> Self {
+        assert_eq!(
+            topology.count(),
+            self.shards(),
+            "topology range must match the store's shard-file count"
+        );
+        self.topology = topology;
         self
     }
 
@@ -193,7 +227,7 @@ impl Store {
     /// (on every shard) is dropped, so the on-disk journals stay valid
     /// prefixes of the plane's history up to the fault.
     pub fn last_error(&self) -> Option<StoreError> {
-        self.fault.lock().expect("fault lock poisoned").clone()
+        self.lock_fault().clone()
     }
 
     /// Whether the store has tripped its fault flag and is dropping
@@ -214,7 +248,7 @@ impl Store {
     pub fn sync(&self) -> Result<(), StoreError> {
         let mut first = None;
         for journal in &self.journals {
-            if let Err(e) = journal.lock().expect("journal lock poisoned").sync() {
+            if let Err(e) = journal.lock().unwrap_or_else(|e| e.into_inner()).sync() {
                 first.get_or_insert(e);
             }
         }
@@ -236,20 +270,24 @@ impl Store {
         assert!(shard < self.shards(), "shard index out of range");
         // Lock the journal so the read doesn't race an in-flight append
         // (a half-written record would misread as a torn tail).
-        let _guard = self.journals[shard].lock().expect("journal lock poisoned");
+        let _guard = self.lock_journal(shard);
         let buf = std::fs::read(shard_path(&self.dir, shard))?;
         Ok(scan(&buf))
     }
 
     /// Every curve ever journaled for cache `id`, in submission order
     /// (the timed miss-curve history of the cache — `seq` is the time
-    /// axis). Reads the shard file from disk.
+    /// axis). Reads the shard file from disk. For a cluster-slice store,
+    /// an id owned by another member has no records here: empty history.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] if the shard file cannot be read.
     pub fn history(&self, id: u64) -> Result<Vec<CurveUpdate>, StoreError> {
-        let scanned = self.replay_shard(shard_of(id, self.shards()))?;
+        let Some(local) = self.topology.local_shard(id) else {
+            return Ok(Vec::new());
+        };
+        let scanned = self.replay_shard(local)?;
         Ok(scanned
             .records
             .into_iter()
@@ -277,26 +315,47 @@ impl Store {
             if script.check("store.append", shard as u64) == talus_core::FaultDirective::Fail {
                 // Trip the fault exactly as a real write error would.
                 self.faulted.store(true, Ordering::Release);
-                self.fault
-                    .lock()
-                    .expect("fault lock poisoned")
+                self.lock_fault()
                     .get_or_insert(StoreError::Malformed("injected append fault"));
                 return;
             }
         }
-        let mut journal = self.journals[shard].lock().expect("journal lock poisoned");
+        let mut journal = self.lock_journal(shard);
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = journal.append(&make(seq)) {
             self.faulted.store(true, Ordering::Release);
-            self.fault
-                .lock()
-                .expect("fault lock poisoned")
-                .get_or_insert(e);
+            self.lock_fault().get_or_insert(e);
         }
     }
 
-    fn shard_for(&self, id: u64) -> usize {
-        shard_of(id, self.shards())
+    /// Appends the record for id-placed events, tripping the fault flag
+    /// if `id` is not owned by this store's topology slice (a plane
+    /// checks ownership before journaling, so reaching this means the
+    /// plane and store disagree on topology — data loss, made visible).
+    fn append_for_id(&self, id: u64, make: impl FnOnce(u64) -> Vec<u8>) {
+        match self.topology.local_shard(id) {
+            Some(shard) => self.append_with(shard, make),
+            None => {
+                self.faulted.store(true, Ordering::Release);
+                self.lock_fault()
+                    .get_or_insert(StoreError::Malformed("record for an unowned shard"));
+            }
+        }
+    }
+
+    // Lock poisoning: journal and fault locks guard single-step writes
+    // (one append, one error slot) — no partial multi-field state can
+    // survive a panic mid-critical-section — so recovery takes the data
+    // as-is rather than poisoning the whole store (matching the serving
+    // plane's shard locks).
+    fn lock_journal(&self, shard: usize) -> std::sync::MutexGuard<'_, ShardJournal> {
+        self.journals[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_fault(&self) -> std::sync::MutexGuard<'_, Option<StoreError>> {
+        self.fault.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -306,27 +365,23 @@ impl StoreSink for Store {
     }
 
     fn register(&self, id: u64, capacity: u64, tenants: u32, planner: &Planner) {
-        self.append_with(self.shard_for(id), |seq| {
+        self.append_for_id(id, |seq| {
             encode_register(seq, id, capacity, tenants, planner)
         });
     }
 
     fn deregister(&self, id: u64) {
-        self.append_with(self.shard_for(id), |seq| encode_deregister(seq, id));
+        self.append_for_id(id, |seq| encode_deregister(seq, id));
     }
 
     fn submit(&self, id: u64, tenant: u32, curve: &MissCurve) {
-        self.append_with(self.shard_for(id), |seq| {
-            encode_curve(seq, id, tenant, curve)
-        });
+        self.append_for_id(id, |seq| encode_curve(seq, id, tenant, curve));
     }
 
     fn epoch_cut(&self, shard: usize, epoch: u64, drained: &[u64]) {
         if shard >= self.shards() {
             self.faulted.store(true, Ordering::Release);
-            self.fault
-                .lock()
-                .expect("fault lock poisoned")
+            self.lock_fault()
                 .get_or_insert(StoreError::Malformed("epoch cut for unknown shard"));
             return;
         }
@@ -336,13 +391,17 @@ impl StoreSink for Store {
     }
 
     fn plan(&self, id: u64, epoch: u64, version: u64, updates: u64, plan: &CachePlan) {
-        self.append_with(self.shard_for(id), |seq| {
+        self.append_for_id(id, |seq| {
             encode_plan(seq, id, epoch, version, updates, plan)
         });
     }
 
     fn is_faulted(&self) -> bool {
         self.faulted()
+    }
+
+    fn topology(&self) -> ShardTopology {
+        self.topology
     }
 }
 

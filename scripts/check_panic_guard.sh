@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Panic guard for the serving plane.
+# Panic guard for the serving plane and its journal.
 #
 # The partial-failure contract (see ARCHITECTURE.md, "Failure model")
 # says the plane degrades — quarantine, typed errors, poison recovery —
 # instead of panicking. This guard keeps that true going forward: it
-# fails if any non-test production source in crates/serve/src calls
-# `.unwrap()` or `.expect(` without an explicit audit marker.
+# fails if any non-test production source in crates/serve/src or
+# crates/store/src calls `.unwrap()` or `.expect(` without an explicit
+# audit marker.
 #
 # Exclusions:
 #   - main.rs            the demo driver; a panic there aborts a smoke
@@ -20,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 status=0
-for f in crates/serve/src/*.rs; do
+for f in crates/serve/src/*.rs crates/store/src/*.rs; do
     [ "$(basename "$f")" = "main.rs" ] && continue
     hits=$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { in_test = 1 }
@@ -37,9 +38,9 @@ done
 
 if [ "$status" -ne 0 ]; then
     echo
-    echo "panic guard: un-audited .unwrap()/.expect( in crates/serve/src production code." >&2
+    echo "panic guard: un-audited .unwrap()/.expect( in production code." >&2
     echo "Recover (e.g. lock poisoning: .unwrap_or_else(|e| e.into_inner())), return a" >&2
     echo "typed degraded error, or append '// audited: <why a panic is correct here>'." >&2
     exit 1
 fi
-echo "panic guard: crates/serve/src production code is clean."
+echo "panic guard: crates/serve/src and crates/store/src production code is clean."
