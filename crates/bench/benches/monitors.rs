@@ -3,11 +3,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use talus_bench::synthetic_stream;
+use talus_core::CurveSource;
 use talus_sim::monitor::{
     CurveSampler, MattsonMonitor, Monitor, SampledMattson, ThreePointMonitor, Umon, UmonPair,
 };
 use talus_sim::policy::PolicyKind;
 use talus_sim::LineAddr;
+use talus_workloads::{multi_tenant, profile, AnalyticCurveSource, AnalyticModel, ComponentKind};
 
 const STREAM: usize = 20_000;
 
@@ -136,8 +138,61 @@ fn bench_curve_extraction(c: &mut Criterion) {
     g.finish();
 }
 
+/// The analytic backend: each iteration is the *entire* measurement cost
+/// of one tenant — model construction plus curve synthesis from the
+/// workload spec — with no address stream generated or recorded. The
+/// price point to beat is one simulated monitoring pass of equivalent
+/// fidelity: `monitor_record/sampled_mattson` (a 20k-access stream) plus
+/// `monitor_curve/sampled_mattson_curve`.
+fn bench_analytic_curve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytic_curve");
+
+    // The headline: a skewed Zipf tenant over the same 32k-line footprint
+    // and 64k-line resolution the monitor benches above observe.
+    g.bench_function("zipf_tenant", |b| {
+        b.iter(|| {
+            let model = AnalyticModel::from_components(&[(
+                black_box(ComponentKind::Zipf(0.9)),
+                32768,
+                1.0,
+            )]);
+            black_box(model.curve(65536))
+        })
+    });
+
+    // One tenant of the interference workload the serve driver runs:
+    // rotating shared-window scan superposed on a private Zipf hot set.
+    let mt = multi_tenant(4).scaled(1.0 / 64.0);
+    g.bench_function("multi_tenant", |b| {
+        b.iter(|| {
+            let model = AnalyticModel::from_multi_tenant(black_box(&mt));
+            black_box(model.curve(2 * mt.tenant_footprint_lines()))
+        })
+    });
+
+    // A mixed SPEC-shaped profile: scan plateaus + Zipf components.
+    let omnetpp = profile("omnetpp")
+        .expect("roster profile")
+        .scaled(1.0 / 256.0);
+    g.bench_function("mixed_spec", |b| {
+        b.iter(|| {
+            let model = AnalyticModel::from_profile(black_box(&omnetpp));
+            black_box(model.curve(65536))
+        })
+    });
+
+    // Steady state: the source synthesises once and replays; next_curve
+    // is a clone — what the serving plane pays per interval after warmup.
+    let mut source = AnalyticCurveSource::from_multi_tenant(&mt, 2 * mt.tenant_footprint_lines());
+    g.bench_function("steady_state_next", |b| {
+        b.iter(|| black_box(source.next_curve()))
+    });
+
+    g.finish();
+}
+
 criterion_group!(name = benches; config = fast_criterion();
-    targets = bench_record, bench_curve_extraction);
+    targets = bench_record, bench_curve_extraction, bench_analytic_curve);
 
 fn fast_criterion() -> Criterion {
     Criterion::default()

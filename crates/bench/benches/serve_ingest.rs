@@ -24,6 +24,11 @@
 //!   over a loopback socket, and epochs are driven by a remote
 //!   `run_epoch`. The delta vs `sharded_4` prices the wire protocol
 //!   (encode + TCP + decode) on the ingest hot path.
+//! - `analytic`: the `sharded_4` cycle with the analytic curve backend in
+//!   the loop — producers *synthesise* each curve from a workload spec at
+//!   submission time instead of cloning a monitor-measured fixture. The
+//!   delta vs `sharded_4` prices in-loop curve synthesis, the mode the
+//!   `AnalyticCurveSource` backend enables (no monitors anywhere).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::{Arc, Mutex};
@@ -34,7 +39,7 @@ use talus_serve::{
 };
 use talus_sim::monitor::{MonitorSource, SampledMattson};
 use talus_sim::LineAddr;
-use talus_workloads::{multi_tenant, AccessGenerator};
+use talus_workloads::{multi_tenant, AccessGenerator, AnalyticModel, ComponentKind};
 
 /// Logical caches on the plane.
 const CACHES: usize = 32;
@@ -143,6 +148,48 @@ fn ingest_cycle(plane: &Plane, ids: &[CacheId], fixture: &Fixture) -> usize {
     plane.drain()
 }
 
+/// One full ingest cycle with curve *synthesis* in the loop: producers
+/// derive each tenant's curve from its workload spec at submission time —
+/// no fixture, no monitors. The Zipf exponent drifts per round so every
+/// submission is a genuine plan-changing update rather than a
+/// bit-identical no-op (which the plane dedupes).
+fn analytic_cycle(plane: &Plane, ids: &[CacheId]) -> usize {
+    thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for (c, id) in ids.iter().enumerate() {
+                        if c % PRODUCERS != p {
+                            continue;
+                        }
+                        for t in 0..TENANTS {
+                            let q = 0.85 + 0.01 * ((round + t) % ROUNDS) as f64;
+                            let model = AnalyticModel::from_components(&[(
+                                ComponentKind::Zipf(q),
+                                4 * CAPACITY,
+                                1.0,
+                            )]);
+                            plane.submit(*id, t, model.curve(2 * CAPACITY));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    plane.drain()
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let plane = Plane::Sharded(ShardedReconfigService::new(4));
+    let ids: Vec<CacheId> = (0..CACHES)
+        .map(|_| plane.register(CacheSpec::new(CAPACITY, TENANTS)))
+        .collect();
+    assert_eq!(analytic_cycle(&plane, &ids), CACHES);
+    c.bench_function("serve_ingest/analytic", |b| {
+        b.iter(|| black_box(analytic_cycle(&plane, &ids)))
+    });
+}
+
 fn bench_plane(c: &mut Criterion, name: &str, plane: Plane, fixture: &Fixture) {
     let ids: Vec<CacheId> = (0..CACHES)
         .map(|_| plane.register(CacheSpec::new(CAPACITY, TENANTS)))
@@ -247,6 +294,7 @@ fn bench_serve_ingest(c: &mut Criterion) {
         &fixture,
     );
     bench_rpc(c, &fixture);
+    bench_analytic(c);
 }
 
 criterion_group!(name = benches; config = fast_criterion();

@@ -14,10 +14,13 @@ use std::fmt;
 
 /// Bench-name prefixes considered hot paths: the planning pipeline the
 /// online service leans on (hulls, plan, allocation), the serving plane's
-/// ingest cycle (`serve_ingest/` covers the local variants and the
-/// `serve_ingest/rpc` loopback wire-protocol cycle alike), the journal
+/// ingest cycle (`serve_ingest/` covers the local variants, the
+/// `serve_ingest/rpc` loopback wire-protocol cycle, and the
+/// `serve_ingest/analytic` synthesis-in-the-loop cycle alike), the journal
 /// append/replay paths riding that cycle (`store_journal/`), the monitor
-/// record/curve paths, and the per-access cache loops. A regression
+/// record/curve paths, the analytic curve-synthesis backend
+/// (`analytic_curve/` — its price point is what makes monitor-free
+/// serving viable), and the per-access cache loops. A regression
 /// beyond threshold on these fails the comparison (unless warn-only).
 pub const HOT_PREFIXES: &[&str] = &[
     "convex_hull/",
@@ -30,6 +33,7 @@ pub const HOT_PREFIXES: &[&str] = &[
     "store_journal/",
     "monitor_record/",
     "monitor_curve/",
+    "analytic_curve/",
     "set_assoc_access/",
     "set_assoc_access_block/",
     "organisation_access/",

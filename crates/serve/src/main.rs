@@ -10,6 +10,7 @@
 //! cargo run -p talus-serve --release -- store-dump <dir> [--json]  # print a journal
 //! cargo run -p talus-serve --release -- chaos                      # partial-failure smoke
 //! cargo run -p talus-serve --release -- cluster [dir]              # multi-process smoke
+//! cargo run -p talus-serve --release -- analytic [caches tenants shards]  # analytic-backend smoke
 //! ```
 //!
 //! With `<shards> > 1` the service is a [`ShardedReconfigService`]:
@@ -38,6 +39,17 @@
 //! the damage visible in the plane's health report. The process exits
 //! nonzero if the final health shows any degradation beyond the one
 //! scripted quarantine, so CI can gate on the exit status alone.
+//!
+//! `analytic` runs the analytic-backend smoke test: the same loopback
+//! RPC plane, but every tenant's curve comes from
+//! [`AnalyticCurveSource`] — synthesised in microseconds from workload
+//! *specs* (SPEC-profile mixtures and the multi-tenant phase model),
+//! with no address stream generated or recorded at all. The run prints
+//! the measured per-curve synthesis cost and exits nonzero if any
+//! analytic-fed cache ends without a published plan, with a
+//! wrong-arity or empty allocation vector, or with a plan that
+//! over-commits the cache's capacity — the CI gate that the analytic
+//! backend feeds the full planning stack end to end.
 //!
 //! `cluster` runs the multi-process smoke test: three real
 //! `cluster-server` child processes each own two of six global shards
@@ -112,6 +124,10 @@ fn main() {
         }
         Some("cluster-server") => {
             run_cluster_server();
+            return;
+        }
+        Some("analytic") => {
+            run_analytic_smoke();
             return;
         }
         _ => {}
@@ -368,6 +384,128 @@ fn print_health(health: &talus_core::PlaneHealth) {
         health.store,
         health.connections,
         health.rejected,
+    );
+}
+
+/// The analytic-backend smoke test: a loopback RPC plane fed entirely by
+/// [`AnalyticCurveSource`] — curves synthesised from workload specs in
+/// microseconds, no address stream generated or monitored anywhere in
+/// the process. Tenant 0 of every cache runs the multi-tenant phase
+/// model; the rest cycle through the memory-intensive SPEC roster, so
+/// the plans have genuinely heterogeneous curves to trade off. Exits
+/// nonzero if any cache ends without a valid plan — the shape checks
+/// mirror what an applier would reject: missing snapshot, wrong
+/// allocation arity, an all-zero carve-up, or capacity over-commit.
+fn run_analytic_smoke() {
+    use std::time::Instant;
+    use talus_workloads::{memory_intensive, AnalyticCurveSource};
+
+    let caches = arg(2, 4);
+    let tenants = arg(3, 3).max(1);
+    let shards = arg(4, 2).max(1);
+    println!(
+        "analytic smoke: {caches} caches x {tenants} tenants over loopback rpc, \
+         {shards} shard(s), curves from specs (no address streams)"
+    );
+
+    let service = Arc::new(ShardedReconfigService::new(shards));
+    let handle = RpcServer::bind("127.0.0.1:0", Arc::clone(&service))
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn accept loop");
+    let mut client = RpcClient::connect(handle.local_addr()).expect("connect");
+    client.ping().expect("server answers ping");
+
+    let ids: Vec<CacheId> = (0..caches)
+        .map(|_| {
+            client
+                .register(CAPACITY, tenants as u32)
+                .expect("register over rpc")
+        })
+        .collect();
+
+    // Synthesise every tenant's curve straight from its spec. The timing
+    // below is the backend's whole measurement cost — what replaces one
+    // full monitoring interval (generate + record + extract) per tenant.
+    let roster = memory_intensive();
+    let mt = multi_tenant(tenants).scaled(SCALE);
+    let started = Instant::now();
+    let mut sources: Vec<Vec<AnalyticCurveSource>> = (0..caches)
+        .map(|_| {
+            (0..tenants)
+                .map(|t| {
+                    if t == 0 {
+                        AnalyticCurveSource::from_multi_tenant(&mt, 2 * CAPACITY)
+                    } else {
+                        let p = roster[(t - 1) % roster.len()].scaled(SCALE);
+                        AnalyticCurveSource::from_profile(&p, 2 * CAPACITY)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let synth = started.elapsed();
+    let curves = caches * tenants;
+    println!(
+        "synthesised {curves} curves in {:?} ({:.2} us/curve)",
+        synth,
+        synth.as_secs_f64() * 1e6 / curves as f64
+    );
+
+    for (c, id) in ids.iter().enumerate() {
+        for (t, source) in sources[c].iter_mut().enumerate() {
+            client
+                .submit_from(*id, t, source)
+                .expect("cache registered and tenant in range");
+        }
+    }
+    while service.pending() > 0 {
+        client.run_epoch().expect("run epoch over rpc");
+    }
+
+    // The exit-status gate: every analytic-fed cache must have published
+    // a plan an applier could act on.
+    let mut problems = Vec::new();
+    println!("\nfinal published snapshots (analytic-fed):");
+    for id in &ids {
+        let Some(summary) = client.report(*id).expect("report over rpc") else {
+            problems.push(format!("{id}: no plan published"));
+            continue;
+        };
+        let allocations: Vec<u64> = summary.tenants.iter().map(|t| t.capacity).collect();
+        println!(
+            "  {id} [shard {}]: version {} (epoch {}, {} updates) allocations {allocations:?}",
+            service.shard_index(*id),
+            summary.version,
+            summary.epoch,
+            summary.updates,
+        );
+        if summary.version == 0 {
+            problems.push(format!("{id}: unversioned plan"));
+        }
+        if allocations.len() != tenants {
+            problems.push(format!(
+                "{id}: {} allocation(s) for {tenants} tenant(s)",
+                allocations.len()
+            ));
+        }
+        let total: u64 = allocations.iter().sum();
+        if total == 0 {
+            problems.push(format!("{id}: empty carve-up"));
+        }
+        if total > CAPACITY {
+            problems.push(format!("{id}: over-committed {total} of {CAPACITY} lines"));
+        }
+    }
+    handle.shutdown();
+    if !problems.is_empty() {
+        eprintln!("analytic smoke FAILED: {problems:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "{} epochs run, all {} analytic-fed caches published valid plans; analytic smoke ok",
+        service.epochs(),
+        ids.len()
     );
 }
 

@@ -34,6 +34,7 @@
 use super::{default_grid, Monitor};
 use crate::addr::LineAddr;
 use crate::hasher::mix64;
+use std::cell::RefCell;
 use talus_core::MissCurve;
 
 /// Empty-slot sentinel in the open-addressing table.
@@ -241,6 +242,22 @@ impl LogHist {
     }
 }
 
+/// Memoized [`LogHist::cumulative`] expansion, tagged with the recording
+/// generation it was computed at. Curve extraction is read-only but every
+/// query rebuilt this few-hundred-entry scan from scratch; planners ask
+/// for curves far more often than histograms change (several `curve()`
+/// calls per epoch against one batch of records), so the rebuild dominated
+/// `monitor_curve/sampled_mattson_curve`. The cache holds the *exact*
+/// `(reps, cums)` vectors the rebuild would produce — the query path reads
+/// the same f64s either way, keeping cached curves bit-identical.
+#[derive(Debug, Clone)]
+struct CurveCache {
+    /// Value of [`SampledMattson::generation`] when this was computed.
+    generation: u64,
+    reps: Vec<f64>,
+    cums: Vec<u64>,
+}
+
 /// A sampled stack-distance monitor: a spatial hash filter in front of a
 /// flat Mattson pass, rescaled back to full-stream units.
 ///
@@ -291,6 +308,11 @@ pub struct SampledMattson {
     live: u64,
     now: usize,
     window: usize,
+    /// Bumped on every mutation that can change the curve (records and
+    /// resets); stamps [`CurveCache`] entries.
+    generation: u64,
+    /// Lazily rebuilt histogram expansion for the curve query path.
+    cumulative: RefCell<Option<CurveCache>>,
 }
 
 impl SampledMattson {
@@ -324,6 +346,8 @@ impl SampledMattson {
             live: 0,
             now: 0,
             window,
+            generation: 0,
+            cumulative: RefCell::new(None),
         }
     }
 
@@ -371,7 +395,19 @@ impl SampledMattson {
     /// realized inverse sampling rate) fits in `g` lines.
     pub fn curve_on_grid(&self, grid: &[u64]) -> MissCurve {
         let total = self.sampled.max(1) as f64;
-        let (reps, cums) = self.hist.cumulative(self.scale());
+        let mut slot = self.cumulative.borrow_mut();
+        if slot
+            .as_ref()
+            .is_none_or(|c| c.generation != self.generation)
+        {
+            let (reps, cums) = self.hist.cumulative(self.scale());
+            *slot = Some(CurveCache {
+                generation: self.generation,
+                reps,
+                cums,
+            });
+        }
+        let cache = slot.as_ref().expect("cache populated above");
         let mut sizes = Vec::with_capacity(grid.len() + 1);
         let mut misses = Vec::with_capacity(grid.len() + 1);
         if grid.first().copied() != Some(0) {
@@ -379,8 +415,8 @@ impl SampledMattson {
             misses.push(1.0);
         }
         for &g in grid {
-            let idx = reps.partition_point(|&r| r <= g as f64);
-            let hits = if idx == 0 { 0 } else { cums[idx - 1] };
+            let idx = cache.reps.partition_point(|&r| r <= g as f64);
+            let hits = if idx == 0 { 0 } else { cache.cums[idx - 1] };
             sizes.push(g as f64);
             misses.push((self.sampled - hits) as f64 / total);
         }
@@ -451,6 +487,9 @@ impl SampledMattson {
 
 impl Monitor for SampledMattson {
     fn record(&mut self, line: LineAddr) {
+        // Even a filtered-out access moves `observed`, and with it the
+        // rescale factor — so every record invalidates the curve cache.
+        self.generation += 1;
         self.observed += 1;
         if self.is_sampled(line) {
             self.record_sampled(line);
@@ -463,6 +502,7 @@ impl Monitor for SampledMattson {
         // the filter itself, not the batching); the block path only lifts
         // the observed-counter update out of the loop, which keeps the
         // reject case free of stores entirely.
+        self.generation += 1;
         self.observed += lines.len() as u64;
         for &line in lines {
             if self.is_sampled(line) {
@@ -480,6 +520,7 @@ impl Monitor for SampledMattson {
     }
 
     fn reset(&mut self) {
+        self.generation += 1;
         self.hist.clear();
         self.far = 0;
         self.cold = 0;
@@ -702,6 +743,48 @@ mod tests {
         assert_eq!(m.cold, 0, "tags stayed warm across reset");
         let c = m.curve_on_grid(&[0, 32, 64, 128]);
         assert!(c.value_at(128.0) < 0.01);
+    }
+
+    #[test]
+    fn curve_cache_is_bit_equivalent_and_invalidates() {
+        // Interleave records and curve queries. At each checkpoint the
+        // warm monitor's curve (served through the memoized expansion,
+        // possibly stale-then-refreshed) must be bit-identical to a fresh
+        // replay's *first* query — which is exactly the uncached
+        // computation. Repeated queries at the same state must also be
+        // bit-identical to each other, and `reset` must invalidate.
+        let stream = uniform_stream(3000, 50_000, 41);
+        let grid: Vec<u64> = (0..=4096).step_by(13).collect();
+        let mut warm = SampledMattson::new(4096, 4, 9);
+        for (i, &l) in stream.iter().enumerate() {
+            warm.record(l);
+            if i % 9000 == 0 || i + 1 == stream.len() {
+                let mut fresh = SampledMattson::new(4096, 4, 9);
+                for &r in &stream[..=i] {
+                    fresh.record(r);
+                }
+                let uncached = fresh.curve_on_grid(&grid);
+                let first = warm.curve_on_grid(&grid);
+                let repeat = warm.curve_on_grid(&grid);
+                for ((u, a), b) in uncached.iter().zip(first.iter()).zip(repeat.iter()) {
+                    assert!(
+                        u.size.to_bits() == a.size.to_bits()
+                            && u.misses.to_bits() == a.misses.to_bits(),
+                        "cached path diverged from fresh computation at access {i}"
+                    );
+                    assert!(
+                        a.misses.to_bits() == b.misses.to_bits(),
+                        "repeat query diverged at access {i}"
+                    );
+                }
+            }
+        }
+        // Reset must invalidate: a stale expansion would pair the old
+        // nonzero cumulative hits with the cleared `sampled == 0` counter
+        // (underflowing `sampled - hits`); the refreshed one reads 0.
+        warm.reset();
+        let after_reset = warm.curve_on_grid(&grid);
+        assert_eq!(after_reset.value_at(2048.0), 0.0);
     }
 
     #[test]

@@ -185,9 +185,24 @@ impl Zipfian {
 impl AccessGenerator for Zipfian {
     fn next_line(&mut self) -> LineAddr {
         // Scramble ranks so hot lines are spread across the address space
-        // (and therefore across cache sets).
+        // (and therefore across cache sets). Multiplying by an odd
+        // constant permutes any power-of-two domain, so cycle-walk inside
+        // the next power of two until the image lands back in range: a
+        // true rank → line bijection for *every* footprint. (A plain
+        // `mul % lines` is only bijective for power-of-two `lines`; for
+        // other sizes it merges ~1/e of the ranks, silently deforming the
+        // delivered popularity distribution — cold ranks inherit hot
+        // lines' reuse. Power-of-two footprints take the loop's first
+        // iteration and are bit-identical to the unwalked scramble.)
         let rank = self.sample_rank() - 1;
-        let scrambled = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.lines;
+        let mask = self.lines.next_power_of_two() - 1;
+        let mut scrambled = rank;
+        loop {
+            scrambled = scrambled.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask;
+            if scrambled < self.lines {
+                break;
+            }
+        }
         LineAddr(self.base + scrambled)
     }
 
@@ -493,14 +508,24 @@ mod tests {
         );
     }
 
+    /// The cycle-walked rank scramble, for tests that need to locate a
+    /// specific rank's line.
+    fn scramble(rank: u64, lines: u64) -> u64 {
+        let mask = lines.next_power_of_two() - 1;
+        let mut x = rank;
+        loop {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask;
+            if x < lines {
+                return x;
+            }
+        }
+    }
+
     #[test]
     fn zipf_rank_one_frequency_matches_theory() {
         // P(rank 1) with q=1, N=100 is 1/H_100 ≈ 0.1928.
         let mut g = Zipfian::new(0, 100, 1.0, 11);
-        let hot = (0u64..100)
-            .map(|r| r.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 100)
-            .next()
-            .unwrap();
+        let hot = scramble(0, 100);
         let mut hot_count = 0u32;
         let n = 200_000;
         for _ in 0..n {
@@ -518,6 +543,22 @@ mod tests {
         for _ in 0..10_000 {
             let v = g.next_line().value();
             assert!((500..564).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_scramble_is_a_bijection_for_any_footprint() {
+        // The cycle-walked scramble must permute 0..lines — including
+        // non-power-of-two footprints, where a plain `mul % lines` merges
+        // ranks and deforms the delivered distribution.
+        for lines in [1u64, 2, 3, 48, 100, 121, 1000, 1024, 1536] {
+            let mut seen = vec![false; lines as usize];
+            for r in 0..lines {
+                let s = scramble(r, lines);
+                assert!(s < lines, "lines={lines}: image {s} out of range");
+                assert!(!seen[s as usize], "lines={lines}: rank {r} collides");
+                seen[s as usize] = true;
+            }
         }
     }
 

@@ -19,11 +19,13 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod analytic;
 pub mod generator;
 pub mod interference;
 pub mod prefetch;
 pub mod spec;
 
+pub use analytic::{AnalyticCurveSource, AnalyticModel};
 pub use generator::{
     collect_trace, AccessGenerator, Mixture, Phased, PointerChase, Scan, StridedScan,
     UniformRandom, Zipfian,
